@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: every bench first *prints*
+ * the table or figure it regenerates (and writes the CSV), then runs
+ * its google-benchmark timing section. Reports go to stdout so
+ * running every binary under build/bench captures the evaluation.
+ */
+
+#ifndef SDNAV_BENCH_BENCH_COMMON_HH
+#define SDNAV_BENCH_BENCH_COMMON_HH
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/csv.hh"
+
+namespace sdnav::bench
+{
+
+/** Directory bench CSV outputs are written into. */
+inline std::string
+resultsDir()
+{
+    std::string dir = "bench_results";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+/** Write a CSV document under bench_results/ and log the path. */
+inline void
+writeCsv(const sdnav::CsvWriter &csv, const std::string &name)
+{
+    std::string path = resultsDir() + "/" + name;
+    if (csv.writeFile(path))
+        std::cout << "[csv] wrote " << path << "\n";
+    else
+        std::cout << "[csv] FAILED to write " << path << "\n";
+}
+
+/** Print a section separator. */
+inline void
+section(const std::string &title)
+{
+    std::cout << "\n" << std::string(72, '=') << "\n"
+              << title << "\n"
+              << std::string(72, '=') << "\n";
+}
+
+/**
+ * Standard bench main body: print the report, then run benchmarks.
+ * Each bench defines `printReport()` and registers benchmarks with
+ * the usual BENCHMARK() macros before calling this from main().
+ */
+inline int
+runBenchmarks(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace sdnav::bench
+
+#endif // SDNAV_BENCH_BENCH_COMMON_HH

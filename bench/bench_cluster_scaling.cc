@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Extension: the paper's 2N+1 generalization ("generalization to N>1
+ * is straightforward"). Sweeps the failure tolerance N (cluster size
+ * 2N+1) for the Small and Large topologies, both planes, both
+ * supervisor policies.
+ */
+
+#include <iostream>
+
+#include "bench/benchCommon.hh"
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/swCentric.hh"
+#include "prob/kofn.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::model;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+void
+printReport()
+{
+    bench::section("Extension — 2N+1 cluster scaling (N = failures "
+                   "tolerated)");
+    auto catalog = fmea::openContrail3();
+    SwParams params;
+
+    TextTable table;
+    table.header({"N", "nodes", "CP 1S m/y", "CP 2S m/y", "CP 1L m/y",
+                  "CP 2L m/y", "DP 2L m/y"});
+    CsvWriter csv;
+    csv.header({"n_tolerated", "nodes", "cp_1s", "cp_2s", "cp_1l",
+                "cp_2l", "dp_2l"});
+    for (unsigned tolerated = 1; tolerated <= 4; ++tolerated) {
+        std::size_t nodes = prob::clusterSize(tolerated);
+        auto small = topology::smallTopology(4, nodes);
+        auto large = topology::largeTopology(4, nodes);
+        double cp_1s =
+            SwAvailabilityModel(catalog, small,
+                                SupervisorPolicy::NotRequired)
+                .controlPlaneAvailability(params);
+        double cp_2s =
+            SwAvailabilityModel(catalog, small,
+                                SupervisorPolicy::Required)
+                .controlPlaneAvailability(params);
+        double cp_1l =
+            SwAvailabilityModel(catalog, large,
+                                SupervisorPolicy::NotRequired)
+                .controlPlaneAvailability(params);
+        SwAvailabilityModel large_2(catalog, large,
+                                    SupervisorPolicy::Required);
+        double cp_2l = large_2.controlPlaneAvailability(params);
+        double dp_2l = large_2.hostDataPlaneAvailability(params);
+        auto dt = [](double a) {
+            return formatFixed(availabilityToDowntimeMinutesPerYear(a),
+                               3);
+        };
+        table.addRow({std::to_string(tolerated),
+                      std::to_string(nodes), dt(cp_1s), dt(cp_2s),
+                      dt(cp_1l), dt(cp_2l), dt(dp_2l)});
+        csv.addRow(std::to_string(tolerated),
+                   {static_cast<double>(nodes), cp_1s, cp_2s, cp_1l,
+                    cp_2l, dp_2l});
+    }
+    std::cout << table.str() << "\n";
+    std::cout
+        << "Growing the cluster strengthens the quorum processes "
+           "(Database) rapidly, but the\nSmall topology's CP floor is "
+           "set by its single rack and the host DP stays pinned\nby "
+           "the per-host vRouter processes — scaling the cluster does "
+           "not fix single points\nof failure, the paper's central "
+           "process-level insight.\n";
+    bench::writeCsv(csv, "cluster_scaling.csv");
+}
+
+void
+benchFiveNodeEngine(benchmark::State &state)
+{
+    auto catalog = sdnav::fmea::openContrail3();
+    auto topo = topology::largeTopology(4, 5);
+    SwAvailabilityModel model(catalog, topo,
+                              SupervisorPolicy::Required);
+    SwParams params;
+    for (auto _ : state) {
+        double a = model.controlPlaneAvailability(params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchFiveNodeEngine);
+
+void
+benchNineNodeEngine(benchmark::State &state)
+{
+    auto catalog = sdnav::fmea::openContrail3();
+    auto topo = topology::largeTopology(4, 9);
+    SwAvailabilityModel model(catalog, topo,
+                              SupervisorPolicy::Required);
+    SwParams params;
+    for (auto _ : state) {
+        double a = model.controlPlaneAvailability(params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchNineNodeEngine);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Regenerates paper Figure 3: OpenContrail Controller availability as
+ * a function of role availability A_C for the Small / Medium / Large
+ * HW topologies (HW-centric closed forms), with the paper's quoted
+ * spot values, and times the closed forms against the exact RBD
+ * evaluation.
+ */
+
+#include <iostream>
+
+#include "analysis/figures.hh"
+#include "analysis/summary.hh"
+#include "bench/benchCommon.hh"
+#include "common/units.hh"
+#include "model/hwCentric.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::model;
+namespace analysis = sdnav::analysis;
+namespace topology = sdnav::topology;
+
+void
+printReport()
+{
+    bench::section("Figure 3 — Controller availability vs role "
+                   "availability A_C (HW-centric)");
+    HwParams params; // Paper defaults: A_V=0.99995 A_H=0.9999
+                     // A_R=0.99999.
+    analysis::FigureData fig = analysis::figure3(params, 0.999, 1.0, 21);
+    std::cout << fig.toTable(7).str() << "\n";
+    bench::writeCsv(fig.toCsv(), "fig3.csv");
+
+    std::cout << analysis::availabilitySummary(
+                     "Spot values at A_C = 0.9995 (paper: Small/Medium "
+                     "0.999989, Large ~0.999999)",
+                     {{"Small (eq. 3)", hwSmallAvailability(params)},
+                      {"Medium (eq. 6)", hwMediumAvailability(params)},
+                      {"Large (eq. 8)", hwLargeAvailability(params)},
+                      {"Small exact (RBD)",
+                       hwExactAvailability(topology::smallTopology(),
+                                           params)},
+                      {"Medium exact (RBD)",
+                       hwExactAvailability(topology::mediumTopology(),
+                                           params)},
+                      {"Large exact (RBD)",
+                       hwExactAvailability(topology::largeTopology(),
+                                           params)}})
+                     .str()
+              << "\n";
+    double saved = availabilityToDowntimeMinutesPerYear(
+                       hwMediumAvailability(params)) -
+                   availabilityToDowntimeMinutesPerYear(
+                       hwLargeAvailability(params));
+    std::cout << "Third rack saves "
+              << formatFixed(saved, 2)
+              << " minutes/year of downtime (paper: ~5 m/y).\n";
+}
+
+void
+benchClosedFormSmall(benchmark::State &state)
+{
+    HwParams params;
+    for (auto _ : state) {
+        double a = hwSmallAvailability(params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchClosedFormSmall);
+
+void
+benchClosedFormLarge(benchmark::State &state)
+{
+    HwParams params;
+    for (auto _ : state) {
+        double a = hwLargeAvailability(params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchClosedFormLarge);
+
+void
+benchExactRbdSmall(benchmark::State &state)
+{
+    HwParams params;
+    auto topo = topology::smallTopology();
+    for (auto _ : state) {
+        double a = hwExactAvailability(topo, params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchExactRbdSmall);
+
+void
+benchExactRbdLarge(benchmark::State &state)
+{
+    HwParams params;
+    auto topo = topology::largeTopology();
+    for (auto _ : state) {
+        double a = hwExactAvailability(topo, params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchExactRbdLarge);
+
+void
+benchFigure3FullSweep(benchmark::State &state)
+{
+    HwParams params;
+    for (auto _ : state) {
+        auto fig = sdnav::analysis::figure3(params, 0.999, 1.0, 21);
+        benchmark::DoNotOptimize(fig.ys.data());
+    }
+}
+BENCHMARK(benchFigure3FullSweep);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: SDN control-plane availability A_CP as
+ * a function of process availability (x-axis in orders of magnitude
+ * of downtime) for options 1S / 2S / 1L / 2L, with the paper's quoted
+ * spot values, and times the SW-centric engine against the exact BDD
+ * evaluation.
+ */
+
+#include <iostream>
+
+#include "analysis/figures.hh"
+#include "analysis/summary.hh"
+#include "bench/benchCommon.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/exactModel.hh"
+#include "model/swCentric.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::model;
+namespace analysis = sdnav::analysis;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+void
+printReport()
+{
+    bench::section("Figure 4 — SDN CP availability A_CP (SW-centric)");
+    auto catalog = fmea::openContrail3();
+    SwParams params; // A = 0.99998, A_S = 0.9998 (paper defaults).
+    analysis::FigureData fig = analysis::figure4(catalog, params, 21);
+    std::cout << fig.toTable(8).str() << "\n";
+    bench::writeCsv(fig.toCsv(), "fig4.csv");
+
+    std::vector<analysis::SummaryEntry> entries;
+    struct Option
+    {
+        const char *name;
+        topology::ReferenceKind kind;
+        SupervisorPolicy policy;
+    };
+    const Option options[] = {
+        {"1S (Small, supervisor not required)",
+         topology::ReferenceKind::Small, SupervisorPolicy::NotRequired},
+        {"2S (Small, supervisor required)",
+         topology::ReferenceKind::Small, SupervisorPolicy::Required},
+        {"1L (Large, supervisor not required)",
+         topology::ReferenceKind::Large, SupervisorPolicy::NotRequired},
+        {"2L (Large, supervisor required)",
+         topology::ReferenceKind::Large, SupervisorPolicy::Required},
+    };
+    for (const Option &opt : options) {
+        auto topo = topology::referenceTopology(opt.kind);
+        SwAvailabilityModel model(catalog, topo, opt.policy);
+        entries.push_back({opt.name,
+                           model.controlPlaneAvailability(params)});
+    }
+    std::cout << analysis::availabilitySummary(
+                     "Spot values at defaults (paper: 5.9 / 6.6 / 0.7 "
+                     "/ 1.4 minutes/year)",
+                     entries)
+                     .str()
+              << "\n";
+    std::cout << "Cross-check against exact BDD structure function:\n";
+    for (const Option &opt : options) {
+        auto topo = topology::referenceTopology(opt.kind);
+        double exact = exactPlaneAvailability(
+            catalog, topo, opt.policy, params,
+            fmea::Plane::ControlPlane);
+        std::cout << "  " << analysis::summaryLine(opt.name, exact)
+                  << "\n";
+    }
+}
+
+void
+benchSwEngineSmallCp(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwAvailabilityModel model(catalog, topo,
+                              SupervisorPolicy::Required);
+    SwParams params;
+    for (auto _ : state) {
+        double a = model.controlPlaneAvailability(params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchSwEngineSmallCp);
+
+void
+benchSwEngineLargeCp(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    SwAvailabilityModel model(catalog, topo,
+                              SupervisorPolicy::Required);
+    SwParams params;
+    for (auto _ : state) {
+        double a = model.controlPlaneAvailability(params);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchSwEngineLargeCp);
+
+void
+benchExactBddSmallCp(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    for (auto _ : state) {
+        double a = exactPlaneAvailability(catalog, topo,
+                                          SupervisorPolicy::Required,
+                                          params,
+                                          fmea::Plane::ControlPlane);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchExactBddSmallCp);
+
+void
+benchFigure4FullSweep(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    SwParams params;
+    for (auto _ : state) {
+        auto fig = analysis::figure4(catalog, params, 21);
+        benchmark::DoNotOptimize(fig.ys.data());
+    }
+}
+BENCHMARK(benchFigure4FullSweep);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

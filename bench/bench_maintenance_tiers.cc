@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Ablation from paper section V.D: the effect of the maintenance
+ * contract (Same Day / Next Day / Next Business Day host restore
+ * times, i.e. A_H in {0.9999, 0.9995, 0.9990}) on controller CP and
+ * host DP availability across topologies.
+ */
+
+#include <iostream>
+
+#include "bench/benchCommon.hh"
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/hwCentric.hh"
+#include "model/swCentric.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::model;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+struct Tier
+{
+    const char *name;
+    double mttrHours;
+};
+
+constexpr Tier tiers[] = {
+    {"SD (4h)", 4.0},
+    {"ND (24h)", 24.0},
+    {"NBD (48h)", 48.0},
+};
+
+void
+printReport()
+{
+    bench::section("Ablation — maintenance tiers (host MTTR) per "
+                   "paper section V.D");
+    double host_mtbf = 5.0 * 365.0 * 24.0; // 5-year host MTBF.
+
+    std::cout << "Host availability by tier (A_H = MTBF/(MTBF+MTTR), "
+                 "MTBF = 5 years):\n";
+    for (const Tier &tier : tiers) {
+        std::cout << "  " << tier.name << ": A_H = "
+                  << formatFixed(
+                         availabilityFromMtbfMttr(host_mtbf,
+                                                  tier.mttrHours),
+                         5)
+                  << "\n";
+    }
+    std::cout << "\n";
+
+    auto catalog = fmea::openContrail3();
+    TextTable table;
+    table.header({"tier", "HW Small", "HW Large", "CP 2S m/y",
+                  "CP 2L m/y", "DP 2S m/y", "DP 2L m/y"});
+    CsvWriter csv;
+    csv.header({"tier", "hw_small", "hw_large", "cp_2s", "cp_2l",
+                "dp_2s", "dp_2l"});
+    auto small = topology::smallTopology();
+    auto large = topology::largeTopology();
+    SwAvailabilityModel model_2s(catalog, small,
+                                 SupervisorPolicy::Required);
+    SwAvailabilityModel model_2l(catalog, large,
+                                 SupervisorPolicy::Required);
+    for (const Tier &tier : tiers) {
+        double ah = availabilityFromMtbfMttr(host_mtbf, tier.mttrHours);
+        HwParams hw;
+        hw.hostAvailability = ah;
+        SwParams sw;
+        sw.hostAvailability = ah;
+        double cp_2s = model_2s.controlPlaneAvailability(sw);
+        double cp_2l = model_2l.controlPlaneAvailability(sw);
+        double dp_2s = model_2s.hostDataPlaneAvailability(sw);
+        double dp_2l = model_2l.hostDataPlaneAvailability(sw);
+        table.addRow({tier.name,
+                      formatFixed(hwSmallAvailability(hw), 7),
+                      formatFixed(hwLargeAvailability(hw), 7),
+                      formatFixed(
+                          availabilityToDowntimeMinutesPerYear(cp_2s),
+                          1),
+                      formatFixed(
+                          availabilityToDowntimeMinutesPerYear(cp_2l),
+                          1),
+                      formatFixed(
+                          availabilityToDowntimeMinutesPerYear(dp_2s),
+                          1),
+                      formatFixed(
+                          availabilityToDowntimeMinutesPerYear(dp_2l),
+                          1)});
+        csv.addRow(tier.name,
+                   {hwSmallAvailability(hw), hwLargeAvailability(hw),
+                    cp_2s, cp_2l, dp_2s, dp_2l});
+    }
+    std::cout << table.str() << "\n";
+    std::cout << "Slower maintenance hits the Small topology's CP much "
+                 "harder than the Large topology's\n(host failures eat "
+                 "into the co-located quorum), while the per-host DP is "
+                 "insensitive\n(it is dominated by vRouter processes, "
+                 "not controller hosts).\n";
+    bench::writeCsv(csv, "maintenance_tiers.csv");
+}
+
+void
+benchTierSweep(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    auto small = topology::smallTopology();
+    SwAvailabilityModel model(catalog, small,
+                              SupervisorPolicy::Required);
+    double host_mtbf = 5.0 * 365.0 * 24.0;
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (const Tier &tier : tiers) {
+            SwParams sw;
+            sw.hostAvailability =
+                availabilityFromMtbfMttr(host_mtbf, tier.mttrHours);
+            sum += model.controlPlaneAvailability(sw);
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(benchTierSweep);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Extension — operations-practice ablations the paper's conclusions
+ * point toward ("develop automation to reduce downtime"):
+ *
+ * 1. Repair-crew staffing: the Database "2 of 3" quorum as a
+ *    repairable Markov chain with 1..3 parallel repair crews; queued
+ *    repairs stretch quorum outages.
+ * 2. Software rejuvenation: proactive periodic restarts of the
+ *    vRouter processes under wear-out (Weibull) failure behavior —
+ *    when does the automation actually help, and by how much.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/rejuvenation.hh"
+#include "bench/benchCommon.hh"
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "markov/models.hh"
+#include "prob/kofn.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using sdnav::analysis::RejuvenationModel;
+
+void
+printRepairCrews()
+{
+    std::cout << "Database quorum ('2 of 3', manual restart) vs "
+                 "repair-crew staffing.\nPer-element MTBF 5000 h; "
+                 "per-repair time 1 h (the paper's R_S) and a slow "
+                 "24 h\nvariant (parts/people on site next day):\n\n";
+    TextTable table;
+    table.header({"repair time", "1 crew", "2 crews", "3 crews",
+                  "eq. (1) independent-repair value"});
+    CsvWriter csv;
+    csv.header({"repair_hours", "crews1", "crews2", "crews3",
+                "eq1"});
+    for (double mttr : {1.0, 24.0}) {
+        std::vector<std::string> row{formatGeneral(mttr, 4) + " h"};
+        std::vector<double> values;
+        for (unsigned crews = 1; crews <= 3; ++crews) {
+            auto chain = markov::kOfNRepairableModel(3, 2, 5000.0,
+                                                     mttr, crews);
+            double a = chain.steadyStateAvailability();
+            row.push_back(formatFixed(a, 9));
+            values.push_back(a);
+        }
+        double alpha = 5000.0 / (5000.0 + mttr);
+        double eq1 = prob::kOfN(2, 3, alpha);
+        row.push_back(formatFixed(eq1, 9));
+        values.push_back(eq1);
+        table.addRow(std::move(row));
+        csv.addRow(formatGeneral(mttr, 6), values);
+    }
+    std::cout << table.str() << "\n";
+    std::cout << "With fast (1 h) restarts crew count barely matters; "
+                 "with day-long repairs a\nsingle crew queues the "
+                 "second failure and measurably hurts the quorum — "
+                 "eq. (1)\nimplicitly assumes unconstrained repair.\n\n";
+    bench::writeCsv(csv, "repair_crews.csv");
+}
+
+void
+printRejuvenation()
+{
+    std::cout << "vRouter process rejuvenation (proactive restart "
+                 "every T hours). Failure repair\n1 h, planned restart "
+                 "3 minutes, MTBF 5000 h; Weibull shape sweeps the "
+                 "aging\nbehavior (1.0 = memoryless):\n\n";
+    TextTable table;
+    table.header({"Weibull shape", "baseline m/y", "optimal T (h)",
+                  "optimal m/y", "saved m/y"});
+    CsvWriter csv;
+    csv.header({"shape", "baseline", "optimal_period",
+                "optimal_availability"});
+    for (double shape : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+        RejuvenationModel model;
+        model.weibullShape = shape;
+        model.mtbfHours = 5000.0;
+        model.failureRepairHours = 1.0;
+        model.restartHours = 0.05;
+        double baseline = model.baselineAvailability();
+        double period = model.optimalPeriodHours();
+        double optimal = std::isfinite(period)
+            ? model.availability(period)
+            : baseline;
+        auto dt = [](double a) {
+            return availabilityToDowntimeMinutesPerYear(a);
+        };
+        table.addRow(
+            {formatGeneral(shape, 3), formatFixed(dt(baseline), 1),
+             std::isfinite(period) ? formatGeneral(period, 4)
+                                   : "never",
+             formatFixed(dt(optimal), 1),
+             formatFixed(dt(baseline) - dt(optimal), 1)});
+        csv.addRow(formatGeneral(shape, 4),
+                   {baseline,
+                    std::isfinite(period) ? period : -1.0, optimal});
+    }
+    std::cout << table.str() << "\n";
+    std::cout << "Memoryless processes gain nothing (the restart tax "
+                 "only costs); strong wear-out\nprocesses recover a "
+                 "large share of their failure downtime — rejuvenation "
+                 "automation\npays exactly where process aging is "
+                 "real.\n";
+    bench::writeCsv(csv, "rejuvenation.csv");
+}
+
+void
+printReport()
+{
+    bench::section("Extension — operations ablations: repair crews "
+                   "and rejuvenation");
+    printRepairCrews();
+    printRejuvenation();
+}
+
+void
+benchCrewChainSolve(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto chain = markov::kOfNRepairableModel(3, 2, 5000.0, 24.0,
+                                                 1);
+        double a = chain.steadyStateAvailability();
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchCrewChainSolve);
+
+void
+benchOptimalPeriodSearch(benchmark::State &state)
+{
+    RejuvenationModel model;
+    model.weibullShape = 3.0;
+    model.mtbfHours = 5000.0;
+    model.failureRepairHours = 1.0;
+    model.restartHours = 0.05;
+    for (auto _ : state) {
+        double period = model.optimalPeriodHours();
+        benchmark::DoNotOptimize(period);
+    }
+}
+BENCHMARK(benchOptimalPeriodSearch);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Ablation from paper section VI.A: supervisor restart dynamics.
+ *
+ * - Scenario 1 (supervisor not required): effective restart time R*
+ *   and availability A* as a function of the maintenance-window
+ *   exposure; the paper's claim that A* ~= A.
+ * - Scenario 2 (supervisor required): F* = F/2, R* = (R+R_S)/2,
+ *   A* ~= A_S; derived three ways (closed form, competing-risk
+ *   algebra, CTMC steady state).
+ * - Sensitivity of the 2S/2L control planes to the supervisor MTBF.
+ */
+
+#include <iostream>
+
+#include "bench/benchCommon.hh"
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "markov/models.hh"
+#include "model/swCentric.hh"
+#include "prob/processAvailability.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::model;
+using sdnav::prob::ProcessTimings;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+void
+printReport()
+{
+    bench::section("Ablation — supervisor restart dynamics (paper "
+                   "section VI.A)");
+    ProcessTimings timings{5000.0, 0.1, 1.0};
+
+    std::cout << "Scenario 1 (supervisor not required): effective "
+                 "restart R* and availability A*\nby maintenance-window "
+                 "exposure (paper: R* = 0.102 h at 10 h, A* ~= A):\n\n";
+    TextTable s1;
+    s1.header({"exposure window (h)", "R* (h)", "A*"});
+    for (double window : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+        s1.addRow({formatGeneral(window, 4),
+                   formatFixed(prob::scenario1EffectiveRestartHours(
+                                   timings, window),
+                               4),
+                   formatFixed(prob::scenario1EffectiveAvailability(
+                                   timings, window),
+                               7)});
+    }
+    std::cout << s1.str() << "\n";
+
+    std::cout << "Scenario 2 (supervisor required): the process "
+                 "inherits the supervisor availability\n(paper: F* = "
+                 "2500 h, R* = 0.55 h, A* ~= 0.9998):\n\n";
+    double f_star = prob::scenario2EffectiveMtbfHours(5000.0, 5000.0);
+    double r_star =
+        prob::scenario2EffectiveRestartHours(timings, 5000.0);
+    double a_star =
+        prob::scenario2EffectiveAvailability(timings, 5000.0);
+    auto chain = markov::supervisorCoupledModel(timings, 5000.0);
+    std::cout << "  competing-risk algebra: F* = " << f_star
+              << " h, R* = " << r_star
+              << " h, A* = " << formatFixed(a_star, 7) << "\n";
+    std::cout << "  CTMC steady state:      A* = "
+              << formatFixed(chain.steadyStateAvailability(), 7)
+              << "\n";
+    std::cout << "  supervisor availability A_S = "
+              << formatFixed(timings.unsupervisedAvailability(), 7)
+              << "\n\n";
+
+    std::cout << "Effect of supervisor MTBF on the 2S / 2L control "
+                 "planes (CP downtime, m/y):\n\n";
+    auto catalog = fmea::openContrail3();
+    SwAvailabilityModel small(catalog, topology::smallTopology(),
+                              SupervisorPolicy::Required);
+    SwAvailabilityModel large(catalog, topology::largeTopology(),
+                              SupervisorPolicy::Required);
+    TextTable s2;
+    s2.header({"supervisor MTBF (h)", "A_S", "CP 2S m/y",
+               "CP 2L m/y"});
+    CsvWriter csv;
+    csv.header({"sup_mtbf", "a_s", "cp_2s", "cp_2l"});
+    for (double mtbf : {500.0, 1000.0, 5000.0, 20000.0, 100000.0}) {
+        SwParams params;
+        params.manualProcessAvailability =
+            availabilityFromMtbfMttr(mtbf, 1.0);
+        double cp_2s = small.controlPlaneAvailability(params);
+        double cp_2l = large.controlPlaneAvailability(params);
+        s2.addRow({formatGeneral(mtbf, 6),
+                   formatFixed(params.manualProcessAvailability, 6),
+                   formatFixed(
+                       availabilityToDowntimeMinutesPerYear(cp_2s), 2),
+                   formatFixed(
+                       availabilityToDowntimeMinutesPerYear(cp_2l),
+                       2)});
+        csv.addRow(formatGeneral(mtbf, 8),
+                   {params.manualProcessAvailability, cp_2s, cp_2l});
+    }
+    std::cout << s2.str() << "\n";
+    std::cout << "(Note: A_S drives both the supervisors and the "
+                 "manual-restart Database processes,\nthe paper's "
+                 "dominant CP failure mode.)\n";
+    bench::writeCsv(csv, "supervisor.csv");
+}
+
+void
+benchScenario2Algebra(benchmark::State &state)
+{
+    ProcessTimings timings{5000.0, 0.1, 1.0};
+    for (auto _ : state) {
+        double a =
+            prob::scenario2EffectiveAvailability(timings, 5000.0);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchScenario2Algebra);
+
+void
+benchScenario2Ctmc(benchmark::State &state)
+{
+    ProcessTimings timings{5000.0, 0.1, 1.0};
+    for (auto _ : state) {
+        auto chain = markov::supervisorCoupledModel(timings, 5000.0);
+        double a = chain.steadyStateAvailability();
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchScenario2Ctmc);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates paper Table I (OpenContrail 3.x node processes and
+ * failure modes) and times catalog construction and derived-table
+ * computation.
+ */
+
+#include <iostream>
+
+#include "bench/benchCommon.hh"
+#include "fmea/openContrail.hh"
+#include "fmea/report.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::fmea;
+
+void
+printReport()
+{
+    bench::section("Table I — OpenContrail 3.x node process and "
+                   "failure modes");
+    ControllerCatalog catalog = openContrail3();
+    std::cout << nodeProcessTable(catalog).str() << "\n";
+    std::cout << "Full FMEA report:\n\n"
+              << fmeaReport(catalog) << "\n";
+
+    CsvWriter csv;
+    csv.header({"role", "process", "cp", "dp"});
+    for (const RoleSpec &role : catalog.roles()) {
+        for (const ProcessSpec &proc : role.processes) {
+            csv.addRow({role.name, proc.name,
+                        quorumNotation(proc.cpQuorum, 3),
+                        quorumNotation(proc.dpQuorum, 3)});
+        }
+    }
+    bench::writeCsv(csv, "table1.csv");
+}
+
+void
+benchCatalogConstruction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ControllerCatalog catalog = openContrail3();
+        benchmark::DoNotOptimize(&catalog);
+    }
+}
+BENCHMARK(benchCatalogConstruction);
+
+void
+benchTableRendering(benchmark::State &state)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (auto _ : state) {
+        std::string table = nodeProcessTable(catalog).str();
+        benchmark::DoNotOptimize(table.data());
+    }
+}
+BENCHMARK(benchTableRendering);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

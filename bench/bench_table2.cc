@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Table II (counts of processes by restart mode by
+ * role) for OpenContrail and the alternative catalogs, and times the
+ * derivation.
+ */
+
+#include <iostream>
+
+#include "bench/benchCommon.hh"
+#include "fmea/openContrail.hh"
+#include "fmea/report.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::fmea;
+
+void
+printReport()
+{
+    bench::section("Table II — counts of processes by restart mode by "
+                   "role");
+    ControllerCatalog catalog = openContrail3();
+    std::cout << restartModeTable(catalog).str() << "\n";
+
+    std::cout << "Extensibility check — the same derivation on other "
+                 "catalogs:\n\n";
+    std::cout << restartModeTable(raftStyleController()).str() << "\n";
+    std::cout << restartModeTable(fragileController()).str() << "\n";
+
+    CsvWriter csv;
+    csv.header({"role", "auto", "manual"});
+    for (std::size_t r = 0; r < catalog.roles().size(); ++r) {
+        RestartCounts counts = catalog.restartCounts(r);
+        csv.addRow({catalog.role(r).name,
+                    std::to_string(counts.autoRestart),
+                    std::to_string(counts.manualRestart)});
+    }
+    bench::writeCsv(csv, "table2.csv");
+}
+
+void
+benchRestartCounts(benchmark::State &state)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < catalog.roles().size(); ++r) {
+            RestartCounts counts = catalog.restartCounts(r);
+            benchmark::DoNotOptimize(&counts);
+        }
+    }
+}
+BENCHMARK(benchRestartCounts);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

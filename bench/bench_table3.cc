@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates paper Table III (counts of processes by quorum type by
+ * role, for the SDN CP and host DP) and demonstrates the 2N+1 quorum
+ * generalization.
+ */
+
+#include <iostream>
+
+#include "bench/benchCommon.hh"
+#include "fmea/openContrail.hh"
+#include "fmea/report.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::fmea;
+
+void
+printReport()
+{
+    bench::section("Table III — counts of processes by quorum type by "
+                   "role");
+    ControllerCatalog catalog = openContrail3();
+    std::cout << quorumTypeTable(catalog).str() << "\n";
+
+    std::cout << "Quorum requirements at generalized cluster sizes "
+                 "(2N+1):\n";
+    for (unsigned n : {3u, 5u, 7u, 9u}) {
+        std::cout << "  cluster " << n << ": majority = "
+                  << quorumNotation(QuorumClass::Majority, n)
+                  << ", any-one = "
+                  << quorumNotation(QuorumClass::AnyOne, n) << "\n";
+    }
+    std::cout << "\n";
+
+    CsvWriter csv;
+    csv.header({"role", "cp_majority", "cp_anyone", "dp_majority",
+                "dp_anyone"});
+    for (std::size_t r = 0; r < catalog.roles().size(); ++r) {
+        QuorumCounts cp = catalog.quorumCounts(r, Plane::ControlPlane);
+        QuorumCounts dp = catalog.quorumCounts(r, Plane::DataPlane);
+        csv.addRow({catalog.role(r).name, std::to_string(cp.majority),
+                    std::to_string(cp.anyOne),
+                    std::to_string(dp.majority),
+                    std::to_string(dp.anyOne)});
+    }
+    bench::writeCsv(csv, "table3.csv");
+}
+
+void
+benchQuorumDerivation(benchmark::State &state)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (auto _ : state) {
+        auto blocks = catalog.allPlaneBlocks(Plane::ControlPlane);
+        benchmark::DoNotOptimize(blocks.data());
+    }
+}
+BENCHMARK(benchQuorumDerivation);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    return sdnav::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Extensibility walkthrough: analyze a *different* SDN controller by
+ * writing its catalog — the paper's claim that "other implementations
+ * can be analyzed simply by populating these two tables".
+ *
+ * The example invents a small etcd-backed controller ("Meridian"):
+ * - a Gateway role (stateless API frontends, any one suffices),
+ * - a Brain role (scheduler + flow-compiler, where flow-compiler is
+ *   needed by the data plane, plus an etcd member requiring strict
+ *   majority and manual restart),
+ * - one per-host forwarder process.
+ *
+ * It prints the derived Tables I-III analogues, computes both planes'
+ * availability on the three reference topologies, and contrasts the
+ * result with OpenContrail on the same hardware.
+ *
+ * Run: ./examples/custom_controller
+ */
+
+#include <iostream>
+
+#include "analysis/summary.hh"
+#include "fmea/openContrail.hh"
+#include "fmea/report.hh"
+#include "model/swCentric.hh"
+#include "topology/deployment.hh"
+
+namespace
+{
+
+sdnav::fmea::ControllerCatalog
+meridianController()
+{
+    using namespace sdnav::fmea;
+    ControllerCatalog catalog("Meridian (example custom controller)");
+
+    RoleSpec gateway;
+    gateway.name = "Gateway";
+    gateway.tag = 'W';
+    gateway.processes = {
+        {"api-frontend", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Northbound REST termination; stateless."},
+        {"auth-proxy", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Token validation sidecar."},
+    };
+    catalog.addRole(std::move(gateway));
+
+    RoleSpec brain;
+    brain.name = "Brain";
+    brain.tag = 'B';
+    brain.processes = {
+        {"scheduler", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Places virtual networks onto hosts."},
+        // The flow-compiler and its cache must be co-located for the
+        // data plane (a {block} like the paper's control+dns+named).
+        {"flow-compiler", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "flowpath", "",
+         "Compiles policy into per-host flow tables."},
+        {"flow-cache", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "flowpath", "",
+         "Hot cache the compiler serves hosts from."},
+        {"etcd", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "Replicated store; majority required, manual restart."},
+    };
+    catalog.addRole(std::move(brain));
+
+    catalog.addHostProcess(
+        {"forwarder", RestartMode::Auto, true,
+         "Per-host datapath; its failure downs the host DP."});
+    catalog.validate();
+    return catalog;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace sdnav;
+    namespace model = sdnav::model;
+
+    fmea::ControllerCatalog meridian = meridianController();
+
+    // The framework derives the paper's tables from the declaration.
+    std::cout << fmea::nodeProcessTable(meridian).str() << "\n";
+    std::cout << fmea::restartModeTable(meridian).str() << "\n";
+    std::cout << fmea::quorumTypeTable(meridian).str() << "\n";
+
+    model::SwParams params; // Paper default process/platform numbers.
+    std::size_t roles = meridian.roles().size();
+
+    std::vector<analysis::SummaryEntry> results;
+    for (auto kind : {topology::ReferenceKind::Small,
+                      topology::ReferenceKind::Medium,
+                      topology::ReferenceKind::Large}) {
+        auto topo = topology::referenceTopology(kind, roles);
+        model::SwAvailabilityModel m(
+            meridian, topo, model::SupervisorPolicy::Required);
+        results.push_back({topology::referenceKindName(kind) + " CP",
+                           m.controlPlaneAvailability(params)});
+        results.push_back({topology::referenceKindName(kind) + " DP",
+                           m.hostDataPlaneAvailability(params)});
+    }
+    std::cout << analysis::availabilitySummary(
+                     "Meridian availability, supervisor required",
+                     results)
+                     .str()
+              << "\n";
+
+    // Head-to-head with OpenContrail on Large hardware.
+    fmea::ControllerCatalog contrail = fmea::openContrail3();
+    model::SwAvailabilityModel contrail_model(
+        contrail, topology::largeTopology(contrail.roles().size()),
+        model::SupervisorPolicy::Required);
+    model::SwAvailabilityModel meridian_model(
+        meridian, topology::largeTopology(roles),
+        model::SupervisorPolicy::Required);
+    std::cout << analysis::availabilitySummary(
+                     "Large topology head-to-head (supervisor "
+                     "required)",
+                     {{"OpenContrail CP",
+                       contrail_model.controlPlaneAvailability(params)},
+                      {"Meridian CP",
+                       meridian_model.controlPlaneAvailability(params)},
+                      {"OpenContrail DP",
+                       contrail_model.hostDataPlaneAvailability(
+                           params)},
+                      {"Meridian DP",
+                       meridian_model.hostDataPlaneAvailability(
+                           params)}})
+                     .str();
+    std::cout << "\nMeridian's single forwarder process (K=1) beats "
+                 "OpenContrail's two vRouter\nprocesses on DP "
+                 "availability; its single etcd ensemble resembles "
+                 "the Database\nrole and sets the CP floor. Declaring "
+                 "the catalog is the entire port.\n";
+    return 0;
+}

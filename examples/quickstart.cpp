@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: model OpenContrail 3.x availability in ~40 lines.
+ *
+ * Builds the paper's reference configuration (3-node controller,
+ * Small and Large hardware topologies), computes control-plane and
+ * per-host data-plane availability under both supervisor policies,
+ * and prints the results in availability and minutes-per-year form.
+ *
+ * Run: ./examples/quickstart
+ */
+
+#include <iostream>
+
+#include "analysis/summary.hh"
+#include "fmea/openContrail.hh"
+#include "model/swCentric.hh"
+#include "topology/deployment.hh"
+
+int
+main()
+{
+    using namespace sdnav;
+    namespace model = sdnav::model;
+
+    // 1. The controller software catalog: which processes exist, how
+    //    they restart, and what each plane requires of them. This is
+    //    the in-code form of the paper's Tables I-III.
+    fmea::ControllerCatalog catalog = fmea::openContrail3();
+
+    // 2. A hardware deployment topology (paper Fig. 2).
+    topology::DeploymentTopology small = topology::smallTopology();
+    topology::DeploymentTopology large = topology::largeTopology();
+
+    // 3. Availability parameters. Defaults are the paper's values:
+    //    A = 0.99998, A_S = 0.9998, A_V = 0.99995, A_H = 0.9999,
+    //    A_R = 0.99999. Everything is overridable.
+    model::SwParams params;
+
+    // 4. Evaluate. One model object per (catalog, topology, policy);
+    //    evaluation is cheap, so sweeps reuse the model.
+    std::vector<analysis::SummaryEntry> results;
+    for (const auto *topo : {&small, &large}) {
+        for (auto policy : {model::SupervisorPolicy::NotRequired,
+                            model::SupervisorPolicy::Required}) {
+            model::SwAvailabilityModel m(catalog, *topo, policy);
+            std::string tag =
+                std::string(1, model::supervisorPolicyTag(policy)) +
+                (topo == &small ? "S" : "L");
+            results.push_back(
+                {tag + " control plane",
+                 m.controlPlaneAvailability(params)});
+            results.push_back(
+                {tag + " host data plane",
+                 m.hostDataPlaneAvailability(params)});
+        }
+    }
+
+    std::cout << analysis::availabilitySummary(
+                     "OpenContrail 3.x availability (paper defaults)",
+                     results)
+                     .str();
+    std::cout << "\nKey takeaway (the paper's): the distributed "
+                 "control plane reaches ~5-6 nines,\nwhile the per-host "
+                 "data plane is capped near 3.5-4 nines by the vRouter "
+                 "processes\n— per-host single points of failure.\n";
+    return 0;
+}

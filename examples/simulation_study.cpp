@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Simulation study: validate the analytic models by discrete-event
+ * simulation (the paper's stated future work) and probe a dynamic
+ * the closed forms cannot express — the vRouter agents' control-node
+ * rediscovery transient.
+ *
+ * The study uses failure rates ~50x worse than the paper defaults so
+ * a laptop-scale run resolves tight confidence intervals; the
+ * *relationships* (simulation brackets analytics, transient cost
+ * scales with rediscovery delay) are what carry over.
+ *
+ * Run: ./examples/simulation_study
+ */
+
+#include <iostream>
+
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/swCentric.hh"
+#include "sim/controllerSim.hh"
+
+namespace
+{
+
+using namespace sdnav;
+namespace model = sdnav::model;
+using sim::ControllerSimConfig;
+
+ControllerSimConfig
+studyConfig()
+{
+    ControllerSimConfig config;
+    config.process = {100.0, 0.5, 2.0}; // F, R, R_S in hours.
+    config.supervisorMtbfHours = 100.0;
+    config.maintenanceIntervalHours = 10.0;
+    config.vmMtbfHours = 500.0;
+    config.hostMtbfHours = 1000.0;
+    config.rackMtbfHours = 5000.0;
+    config.vmAvailability = 0.995;
+    config.hostAvailability = 0.998;
+    config.rackAvailability = 0.9995;
+    config.monitoredHosts = 30;
+    config.horizonHours = 4.0e5; // ~45 simulated years.
+    config.batches = 20;
+    config.seed = 20260705;
+    return config;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    fmea::ControllerCatalog catalog = fmea::openContrail3();
+    auto small = topology::smallTopology();
+    ControllerSimConfig config = studyConfig();
+    model::SwParams params = sim::staticParamsFor(config);
+
+    std::cout << "Simulated system: OpenContrail on the Small "
+                 "topology, 30 monitored compute hosts,\n"
+              << formatGeneral(config.horizonHours, 3)
+              << " simulated hours (~45 years).\n\n";
+
+    // --- 1. Analytic vs simulated, both policies ---------------------
+    TextTable table;
+    table.header({"policy", "plane", "analytic", "simulated",
+                  "CI95 +-"});
+    for (auto policy : {model::SupervisorPolicy::NotRequired,
+                        model::SupervisorPolicy::Required}) {
+        ControllerSimConfig run = config;
+        run.modelRediscovery = false; // Static comparison first.
+        auto result =
+            sim::simulateController(catalog, small, policy, run);
+        model::SwAvailabilityModel analytic(catalog, small, policy);
+        std::string tag(1, model::supervisorPolicyTag(policy));
+        table.addRow(
+            {tag + "S", "CP",
+             formatFixed(analytic.controlPlaneAvailability(params), 5),
+             formatFixed(result.cpAvailability.mean, 5),
+             formatFixed(result.cpAvailability.halfWidth95(), 5)});
+        table.addRow(
+            {tag + "S", "DP",
+             formatFixed(analytic.hostDataPlaneAvailability(params),
+                         5),
+             formatFixed(result.dpAvailability.mean, 5),
+             formatFixed(result.dpAvailability.halfWidth95(), 5)});
+    }
+    std::cout << table.str();
+    std::cout << "(Scenario 1 simulates slightly below the static "
+                 "model: processes failing while\ntheir supervisor "
+                 "awaits the maintenance window need slow manual "
+                 "restarts — a real\neffect the static model folds "
+                 "into A* ~= A.)\n\n";
+
+    // --- 2. The rediscovery transient --------------------------------
+    std::cout << "Rediscovery transient (scenario 1, connection model "
+                 "on):\n\n";
+    TextTable transient;
+    transient.header({"rediscovery delay", "DP availability",
+                      "share of host-hours lost to rediscovery"});
+    for (double minutes : {1.0, 10.0, 30.0}) {
+        ControllerSimConfig run = config;
+        run.rediscoveryDelayHours = minutes / 60.0;
+        auto result = sim::simulateController(
+            catalog, small, model::SupervisorPolicy::NotRequired, run);
+        transient.addRow(
+            {formatGeneral(minutes, 3) + " min",
+             formatFixed(result.dpAvailability.mean, 5),
+             formatFixed(result.rediscoveryDowntimeFraction, 7)});
+    }
+    std::cout << transient.str();
+    std::cout << "\nAt ~1 minute (the paper's assumption) the "
+                 "transient is noise; at tens of minutes\nit becomes "
+                 "a measurable DP tax. The assumption in section III "
+                 "is validated.\n";
+
+    // --- 3. Outage texture -------------------------------------------
+    auto result = sim::simulateController(
+        catalog, small, model::SupervisorPolicy::Required, config);
+    std::cout << "\nCP outage texture over the run (scenario 2): "
+              << result.cpOutages << " outages, mean "
+              << formatFixed(result.cpMeanOutageHours, 2)
+              << " h, max "
+              << formatFixed(result.cpMaxOutageHours, 2)
+              << " h — averages hide rare long events, the paper's "
+                 "point\nabout single-rack sites.\n";
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deployment planning scenario: the paper's "cost:resiliency tradeoff
+ * before capital investment occurs".
+ *
+ * A provider is sizing an edge site. The planner enumerates candidate
+ * deployments — reference topologies, rack counts, maintenance
+ * contracts (SD / ND / NBD host restore), and cluster sizes — and
+ * prints, for each candidate, the controller CP availability, the
+ * host DP availability, and a simple cost proxy (racks + hosts), so
+ * the knee of the cost/availability curve is visible.
+ *
+ * Run: ./examples/topology_planner
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/swCentric.hh"
+#include "topology/deployment.hh"
+
+namespace
+{
+
+using namespace sdnav;
+namespace model = sdnav::model;
+
+struct MaintenanceTier
+{
+    const char *name;
+    double mttrHours;
+};
+
+struct Candidate
+{
+    std::string label;
+    topology::DeploymentTopology topo;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    fmea::ControllerCatalog catalog = fmea::openContrail3();
+    const double host_mtbf_hours = 5.0 * 365.0 * 24.0; // 5 years.
+    const MaintenanceTier tiers[] = {
+        {"SD", 4.0}, {"ND", 24.0}, {"NBD", 48.0}};
+
+    std::vector<Candidate> candidates;
+    candidates.push_back({"Small  (1 rack,  3 hosts)",
+                          topology::smallTopology()});
+    candidates.push_back({"Medium (2 racks, 3 hosts)",
+                          topology::mediumTopology()});
+    candidates.push_back({"Large  (3 racks, 12 hosts)",
+                          topology::largeTopology()});
+    candidates.push_back({"Large 5-node (5 racks, 20 hosts)",
+                          topology::largeTopology(4, 5)});
+
+    TextTable table;
+    table.title("Edge-site deployment planning "
+                "(OpenContrail, supervisor required — the realistic "
+                "case)");
+    table.header({"deployment", "maint.", "racks", "hosts",
+                  "CP m/y", "DP m/y", "CP nines"});
+    for (const Candidate &candidate : candidates) {
+        model::SwAvailabilityModel swmodel(
+            catalog, candidate.topo,
+            model::SupervisorPolicy::Required);
+        for (const MaintenanceTier &tier : tiers) {
+            model::SwParams params;
+            params.hostAvailability = availabilityFromMtbfMttr(
+                host_mtbf_hours, tier.mttrHours);
+            double cp = swmodel.controlPlaneAvailability(params);
+            double dp = swmodel.hostDataPlaneAvailability(params);
+            table.addRow(
+                {candidate.label, tier.name,
+                 std::to_string(candidate.topo.rackCount()),
+                 std::to_string(candidate.topo.hostCount()),
+                 formatFixed(
+                     availabilityToDowntimeMinutesPerYear(cp), 2),
+                 formatFixed(
+                     availabilityToDowntimeMinutesPerYear(dp), 1),
+                 formatFixed(availabilityNines(cp), 2)});
+        }
+    }
+    std::cout << table.str() << "\n";
+
+    std::cout
+        << "Planning observations (all consistent with the paper):\n"
+           "  1. With Same-Day maintenance, Small already delivers "
+           "~5 nines of CP; the third\n     rack buys ~5 minutes/year "
+           "— worthwhile only if rare-but-long rack outages are\n"
+           "     unacceptable (many-site providers).\n"
+           "  2. Slow maintenance (NBD) erodes the Small topology "
+           "badly — co-located quorum\n     members wait days for "
+           "host repairs — while Large degrades gracefully.\n"
+           "  3. The host DP barely moves across ALL of these "
+           "choices: the vRouter processes\n     cap it. Spend on "
+           "process resiliency, not racks, to improve the DP.\n";
+    return 0;
+}

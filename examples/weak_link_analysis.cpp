@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Weak-link hunting: "identifying these process weak links allows
+ * service provider operations to develop automation to reduce
+ * downtime" (paper conclusions).
+ *
+ * For a chosen deployment this example:
+ * 1. ranks every component by criticality importance (exact BDD
+ *    model) for both planes,
+ * 2. runs the parameter-level sensitivity analysis (which input
+ *    availability buys the most downtime when improved 10x), and
+ * 3. evaluates two concrete remediations the rankings suggest —
+ *    putting redis/Database under automatic restart, and removing
+ *    the vRouter supervisor requirement — quantifying each in
+ *    minutes/year.
+ *
+ * Run: ./examples/weak_link_analysis
+ */
+
+#include <iostream>
+
+#include "analysis/sensitivity.hh"
+#include "analysis/summary.hh"
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/exactModel.hh"
+#include "model/swCentric.hh"
+
+namespace
+{
+
+using namespace sdnav;
+namespace model = sdnav::model;
+
+/** OpenContrail with every Database/redis process auto-restarted. */
+fmea::ControllerCatalog
+withAutomatedRestarts()
+{
+    fmea::ControllerCatalog base = fmea::openContrail3();
+    fmea::ControllerCatalog improved(
+        "OpenContrail 3.x + restart automation");
+    for (const fmea::RoleSpec &role : base.roles()) {
+        fmea::RoleSpec copy = role;
+        for (fmea::ProcessSpec &proc : copy.processes)
+            proc.restart = fmea::RestartMode::Auto;
+        improved.addRole(std::move(copy));
+    }
+    for (const fmea::HostProcessSpec &proc : base.hostProcesses())
+        improved.addHostProcess(proc);
+    improved.validate();
+    return improved;
+}
+
+void
+printTopCritical(const rbd::RbdSystem &system, const std::string &title)
+{
+    std::cout << title << "\n";
+    auto ranking = system.rankImportance();
+    for (std::size_t i = 0; i < 5 && i < ranking.size(); ++i) {
+        std::cout << "  " << i + 1 << ". " << ranking[i].name
+                  << "  (criticality "
+                  << formatFixed(ranking[i].criticality, 4) << ")\n";
+    }
+    std::cout << "\n";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    fmea::ControllerCatalog catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    model::SwParams params;
+    auto policy = model::SupervisorPolicy::Required;
+
+    // --- 1. Component-level criticality rankings --------------------
+    printTopCritical(
+        model::buildExactSystem(catalog, topo, policy, params,
+                                fmea::Plane::ControlPlane),
+        "Top control-plane weak links (2L):");
+    printTopCritical(
+        model::buildExactSystem(catalog, topo, policy, params,
+                                fmea::Plane::DataPlane),
+        "Top data-plane weak links (2L):");
+
+    // --- 2. Parameter-level sensitivity ------------------------------
+    std::cout << analysis::sensitivityTable(
+                     "CP sensitivity: m/y saved by a 10x downtime "
+                     "improvement of each parameter",
+                     analysis::swSensitivity(
+                         catalog, topo, policy, params,
+                         fmea::Plane::ControlPlane))
+                     .str()
+              << "\n";
+    std::cout << analysis::sensitivityTable(
+                     "DP sensitivity",
+                     analysis::swSensitivity(
+                         catalog, topo, policy, params,
+                         fmea::Plane::DataPlane))
+                     .str()
+              << "\n";
+
+    // --- 3. Concrete remediations ------------------------------------
+    model::SwAvailabilityModel before(catalog, topo, policy);
+    fmea::ControllerCatalog automated = withAutomatedRestarts();
+    model::SwAvailabilityModel automated_model(automated, topo, policy);
+    model::SwAvailabilityModel no_sup_requirement(
+        catalog, topo, model::SupervisorPolicy::NotRequired);
+
+    auto dt = [](double a) {
+        return availabilityToDowntimeMinutesPerYear(a);
+    };
+    double cp0 = before.controlPlaneAvailability(params);
+    double dp0 = before.hostDataPlaneAvailability(params);
+    double cp1 = automated_model.controlPlaneAvailability(params);
+    double dp2 = no_sup_requirement.hostDataPlaneAvailability(params);
+
+    std::cout << "Remediation impact (Large topology):\n";
+    std::cout << "  baseline (2L):                       CP "
+              << formatFixed(dt(cp0), 2) << " m/y, DP "
+              << formatFixed(dt(dp0), 1) << " m/y\n";
+    std::cout << "  automate Database/redis restarts:    CP "
+              << formatFixed(dt(cp1), 2) << " m/y  (saves "
+              << formatFixed(dt(cp0) - dt(cp1), 2) << ")\n";
+    std::cout << "  hitless supervisor handling (1L DP): DP "
+              << formatFixed(dt(dp2), 1) << " m/y  (saves "
+              << formatFixed(dt(dp0) - dt(dp2), 1) << ")\n";
+    std::cout << "\nBoth remediations target exactly what the "
+                 "rankings flag: manual-restart quorum\nprocesses for "
+                 "the CP, and the vRouter supervisor for the DP.\n";
+    return 0;
+}

@@ -1,0 +1,166 @@
+#include "analysis/figures.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "model/hwCentric.hh"
+#include "model/swCentric.hh"
+#include "topology/deployment.hh"
+
+namespace sdnav::analysis
+{
+
+TextTable
+FigureData::toTable(int precision) const
+{
+    TextTable table;
+    table.title(title);
+    std::vector<std::string> header{xLabel};
+    for (const std::string &label : labels)
+        header.push_back(label);
+    table.header(std::move(header));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<std::string> row{formatGeneral(xs[i], 6)};
+        for (const auto &series : ys)
+            row.push_back(formatFixed(series[i], precision));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+CsvWriter
+FigureData::toCsv(int precision) const
+{
+    CsvWriter csv;
+    std::vector<std::string> header{xLabel};
+    for (const std::string &label : labels)
+        header.push_back(label);
+    csv.header(std::move(header));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<std::string> row{formatGeneral(xs[i], 10)};
+        for (const auto &series : ys)
+            row.push_back(formatFixed(series[i], precision));
+        csv.addRow(std::move(row));
+    }
+    return csv;
+}
+
+double
+FigureData::valueAt(const std::string &label, double x) const
+{
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+        if (labels[s] != label)
+            continue;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            if (std::fabs(xs[i] - x) < 1e-12)
+                return ys[s][i];
+        }
+        throw ModelError("x value not on the figure grid");
+    }
+    throw ModelError("unknown series label: " + label);
+}
+
+namespace
+{
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t points)
+{
+    require(points >= 2, "need at least two sweep points");
+    require(lo <= hi, "sweep range is inverted");
+    std::vector<double> xs(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        xs[i] = lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(points - 1);
+    }
+    return xs;
+}
+
+} // anonymous namespace
+
+FigureData
+figure3(const model::HwParams &base, double lo, double hi,
+        std::size_t points)
+{
+    FigureData fig;
+    fig.title = "Figure 3. Controller availability vs role availability "
+                "A_C (HW-centric)";
+    fig.xLabel = "A_C";
+    fig.yLabel = "controller availability";
+    fig.xs = linspace(lo, hi, points);
+    fig.labels = {"Small", "Medium", "Large"};
+    fig.ys.assign(3, std::vector<double>(points));
+    for (std::size_t i = 0; i < points; ++i) {
+        model::HwParams params = base;
+        params.roleAvailability = fig.xs[i];
+        fig.ys[0][i] = model::hwSmallAvailability(params);
+        fig.ys[1][i] = model::hwMediumAvailability(params);
+        fig.ys[2][i] = model::hwLargeAvailability(params);
+    }
+    return fig;
+}
+
+namespace
+{
+
+FigureData
+swFigure(const fmea::ControllerCatalog &catalog,
+         const model::SwParams &base, std::size_t points,
+         fmea::Plane plane, const std::string &title,
+         const std::string &yLabel)
+{
+    FigureData fig;
+    fig.title = title;
+    fig.xLabel = "downtime shift (orders of magnitude)";
+    fig.yLabel = yLabel;
+    fig.xs = linspace(-1.0, 1.0, points);
+    fig.labels = {"1S", "2S", "1L", "2L"};
+    fig.ys.assign(4, std::vector<double>(points));
+
+    topology::DeploymentTopology small =
+        topology::smallTopology(catalog.roles().size());
+    topology::DeploymentTopology large =
+        topology::largeTopology(catalog.roles().size());
+    struct Option
+    {
+        const topology::DeploymentTopology *topo;
+        model::SupervisorPolicy policy;
+    };
+    const Option options[4] = {
+        {&small, model::SupervisorPolicy::NotRequired},
+        {&small, model::SupervisorPolicy::Required},
+        {&large, model::SupervisorPolicy::NotRequired},
+        {&large, model::SupervisorPolicy::Required},
+    };
+    for (std::size_t opt = 0; opt < 4; ++opt) {
+        model::SwAvailabilityModel swmodel(catalog, *options[opt].topo,
+                                           options[opt].policy);
+        for (std::size_t i = 0; i < points; ++i) {
+            model::SwParams params = base.withDowntimeShift(fig.xs[i]);
+            fig.ys[opt][i] = swmodel.planeAvailability(params, plane);
+        }
+    }
+    return fig;
+}
+
+} // anonymous namespace
+
+FigureData
+figure4(const fmea::ControllerCatalog &catalog,
+        const model::SwParams &base, std::size_t points)
+{
+    return swFigure(catalog, base, points, fmea::Plane::ControlPlane,
+                    "Figure 4. SDN CP availability A_CP (SW-centric)",
+                    "A_CP");
+}
+
+FigureData
+figure5(const fmea::ControllerCatalog &catalog,
+        const model::SwParams &base, std::size_t points)
+{
+    return swFigure(catalog, base, points, fmea::Plane::DataPlane,
+                    "Figure 5. Host DP availability A_DP (SW-centric)",
+                    "A_DP");
+}
+
+} // namespace sdnav::analysis

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Generators for the paper's evaluation figures as labeled data
+ * series (printable as text tables or CSV for external plotting).
+ *
+ * - Figure 3: HW-centric controller availability vs role availability
+ *   A_C for the Small / Medium / Large topologies.
+ * - Figure 4: SW-centric SDN control-plane availability vs process
+ *   availability (x-axis in orders of magnitude of downtime) for
+ *   options 1S / 2S / 1L / 2L.
+ * - Figure 5: SW-centric host data-plane availability, same sweep.
+ */
+
+#ifndef SDNAV_ANALYSIS_FIGURES_HH
+#define SDNAV_ANALYSIS_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/textTable.hh"
+#include "fmea/catalog.hh"
+#include "model/params.hh"
+
+namespace sdnav::analysis
+{
+
+/** A set of y-series over a common x grid. */
+struct FigureData
+{
+    /** Figure title. */
+    std::string title;
+
+    /** x-axis label. */
+    std::string xLabel;
+
+    /** y-axis label. */
+    std::string yLabel;
+
+    /** The common x grid. */
+    std::vector<double> xs;
+
+    /** Series labels, one per series. */
+    std::vector<std::string> labels;
+
+    /** ys[series][point]. */
+    std::vector<std::vector<double>> ys;
+
+    /** Render as an aligned text table (x + one column per series). */
+    TextTable toTable(int precision = 7) const;
+
+    /** Render as CSV. */
+    CsvWriter toCsv(int precision = 10) const;
+
+    /** y value of a labeled series at an x (exact match required). */
+    double valueAt(const std::string &label, double x) const;
+};
+
+/**
+ * Figure 3: sweep A_C over [lo, hi]; series "Small", "Medium",
+ * "Large" from the HW-centric closed forms.
+ */
+FigureData figure3(const model::HwParams &base, double lo = 0.999,
+                   double hi = 1.0, std::size_t points = 21);
+
+/**
+ * Figure 4: sweep the process-availability downtime shift over
+ * [-1, +1] orders of magnitude; series "1S", "2S", "1L", "2L" of SDN
+ * CP availability from the SW-centric engine.
+ */
+FigureData figure4(const fmea::ControllerCatalog &catalog,
+                   const model::SwParams &base,
+                   std::size_t points = 21);
+
+/** Figure 5: same sweep for total per-host DP availability. */
+FigureData figure5(const fmea::ControllerCatalog &catalog,
+                   const model::SwParams &base,
+                   std::size_t points = 21);
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_FIGURES_HH

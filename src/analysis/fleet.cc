@@ -1,0 +1,100 @@
+#include "analysis/fleet.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "prob/kofn.hh"
+
+namespace sdnav::analysis
+{
+
+void
+FleetModel::validate() const
+{
+    require(sites >= 1, "fleet needs at least one site");
+    requireProbability(siteAvailability, "siteAvailability");
+    requireNonNegative(siteOutagesPerHour, "siteOutagesPerHour");
+}
+
+double
+FleetModel::expectedSitesDown() const
+{
+    validate();
+    return static_cast<double>(sites) * (1.0 - siteAvailability);
+}
+
+double
+FleetModel::probabilityAnySiteDown() const
+{
+    validate();
+    return 1.0 - std::pow(siteAvailability,
+                          static_cast<double>(sites));
+}
+
+double
+FleetModel::probabilityAtLeastUp(std::size_t k) const
+{
+    validate();
+    return prob::kOfN(static_cast<unsigned>(k),
+                      static_cast<unsigned>(sites), siteAvailability);
+}
+
+double
+FleetModel::fleetOutagesPerYear() const
+{
+    validate();
+    return static_cast<double>(sites) * siteOutagesPerHour *
+           hoursPerYear;
+}
+
+double
+FleetModel::probabilityOutageWithin(double horizonHours) const
+{
+    validate();
+    requireNonNegative(horizonHours, "horizonHours");
+    double rate = static_cast<double>(sites) * siteOutagesPerHour;
+    return 1.0 - std::exp(-rate * horizonHours);
+}
+
+double
+FleetModel::meanTimeBetweenFleetOutagesHours() const
+{
+    validate();
+    double rate = static_cast<double>(sites) * siteOutagesPerHour;
+    if (rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / rate;
+}
+
+FleetModel
+fleetFromProfile(std::size_t sites, const OutageProfile &profile)
+{
+    FleetModel fleet;
+    fleet.sites = sites;
+    fleet.siteAvailability = profile.availability;
+    fleet.siteOutagesPerHour = profile.outagesPerHour;
+    fleet.validate();
+    return fleet;
+}
+
+TextTable
+fleetTable(const std::string &title, const FleetModel &fleet)
+{
+    fleet.validate();
+    TextTable table;
+    table.title(title);
+    table.header({"sites", "E[sites down]", "P[any down]",
+                  "fleet outages/year", "P[outage within 1y]"});
+    table.addRow({std::to_string(fleet.sites),
+                  formatGeneral(fleet.expectedSitesDown(), 4),
+                  formatGeneral(fleet.probabilityAnySiteDown(), 4),
+                  formatFixed(fleet.fleetOutagesPerYear(), 2),
+                  formatFixed(
+                      fleet.probabilityOutageWithin(hoursPerYear),
+                      4)});
+    return table;
+}
+
+} // namespace sdnav::analysis

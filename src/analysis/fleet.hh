@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fleet-level analysis: many independent edge sites.
+ *
+ * The paper's rack-separation argument is a fleet argument: "for a
+ * network or content or video service provider with 500 edge sites,
+ * a yearly outage may be unacceptable." These helpers lift per-site
+ * availability and outage frequency to fleet-level quantities:
+ * expected sites down, the probability that any site is down, k-of-N
+ * fleet availability, and the probability of experiencing at least
+ * one site outage within a horizon (Poisson superposition of the
+ * sites' outage processes).
+ */
+
+#ifndef SDNAV_ANALYSIS_FLEET_HH
+#define SDNAV_ANALYSIS_FLEET_HH
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/outage.hh"
+#include "common/textTable.hh"
+
+namespace sdnav::analysis
+{
+
+/** A fleet of independent, identical sites. */
+struct FleetModel
+{
+    /** Number of sites, >= 1. */
+    std::size_t sites = 1;
+
+    /** Steady-state availability of one site. */
+    double siteAvailability = 1.0;
+
+    /** One site's outage frequency, per hour (>= 0). */
+    double siteOutagesPerHour = 0.0;
+
+    /** @throws ModelError on invalid fields. */
+    void validate() const;
+
+    /** Expected number of sites down at a random instant. */
+    double expectedSitesDown() const;
+
+    /** Probability that at least one site is down right now. */
+    double probabilityAnySiteDown() const;
+
+    /** Probability that at least k of the sites are up. */
+    double probabilityAtLeastUp(std::size_t k) const;
+
+    /** Expected fleet-wide outage events per year. */
+    double fleetOutagesPerYear() const;
+
+    /**
+     * Probability of at least one site outage within the given
+     * horizon (Poisson arrivals at the fleet rate).
+     *
+     * @param horizonHours Horizon length in hours, >= 0.
+     */
+    double probabilityOutageWithin(double horizonHours) const;
+
+    /**
+     * Mean time between fleet outage events (hours); infinity when
+     * sites never fail.
+     */
+    double meanTimeBetweenFleetOutagesHours() const;
+};
+
+/** Build a fleet model from a site's outage profile. */
+FleetModel fleetFromProfile(std::size_t sites,
+                            const OutageProfile &profile);
+
+/** Render fleet statistics as a table. */
+TextTable fleetTable(const std::string &title, const FleetModel &fleet);
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_FLEET_HH

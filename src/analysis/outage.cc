@@ -1,0 +1,171 @@
+#include "analysis/outage.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace sdnav::analysis
+{
+
+double
+OutageProfile::outagesPerYear() const
+{
+    return outagesPerHour * hoursPerYear;
+}
+
+double
+OutageProfile::meanOutageHours() const
+{
+    if (outagesPerHour <= 0.0)
+        return 0.0;
+    return (1.0 - availability) / outagesPerHour;
+}
+
+double
+OutageProfile::meanTimeBetweenOutagesHours() const
+{
+    if (outagesPerHour <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return availability / outagesPerHour;
+}
+
+double
+OutageProfile::downtimeMinutesPerYear() const
+{
+    return availabilityToDowntimeMinutesPerYear(availability);
+}
+
+namespace
+{
+
+/**
+ * Shared worker: Birnbaum importances from one BDD compilation, then
+ * the frequency-duration algebra.
+ */
+OutageProfile
+profileImpl(const rbd::RbdSystem &system,
+            const std::vector<double> &mtbf_hours,
+            std::vector<OutageContribution> *contributions)
+{
+    require(mtbf_hours.size() == system.componentCount(),
+            "need one MTBF per component");
+
+    bdd::BddManager manager;
+    bdd::NodeRef f = system.compile(manager);
+
+    std::vector<double> probs;
+    probs.reserve(system.componentCount());
+    for (rbd::ComponentId id = 0; id < system.componentCount(); ++id)
+        probs.push_back(system.componentAvailability(id));
+
+    OutageProfile profile;
+    profile.availability = manager.probability(f, probs);
+
+    double nu = 0.0;
+    for (rbd::ComponentId id = 0; id < system.componentCount(); ++id) {
+        requirePositive(mtbf_hours[id], "mtbfHours");
+        double a = probs[id];
+        unsigned var = static_cast<unsigned>(id);
+        double up = manager.probability(manager.restrict(f, var, true),
+                                        probs);
+        double down = manager.probability(
+            manager.restrict(f, var, false), probs);
+        double birnbaum = up - down;
+        // Unconditional component failure frequency: the component
+        // completes one up-down cycle every MTBF + MTTR hours, and
+        // MTTR = MTBF (1 - a) / a, so the cycle time is MTBF / a.
+        double frequency = a > 0.0 ? a / mtbf_hours[id] : 0.0;
+        double rate = birnbaum * frequency;
+        nu += rate;
+        if (contributions) {
+            contributions->push_back(
+                {id, system.componentName(id), rate * hoursPerYear,
+                 0.0});
+        }
+    }
+    profile.outagesPerHour = nu;
+    if (contributions && nu > 0.0) {
+        for (OutageContribution &c : *contributions)
+            c.share = c.outagesPerYear / (nu * hoursPerYear);
+        std::sort(contributions->begin(), contributions->end(),
+                  [](const OutageContribution &a,
+                     const OutageContribution &b) {
+                      return a.outagesPerYear > b.outagesPerYear;
+                  });
+    }
+    return profile;
+}
+
+} // anonymous namespace
+
+OutageProfile
+outageProfile(const rbd::RbdSystem &system, double mtbfHours)
+{
+    std::vector<double> mtbfs(system.componentCount(), mtbfHours);
+    return profileImpl(system, mtbfs, nullptr);
+}
+
+OutageProfile
+outageProfile(const rbd::RbdSystem &system,
+              const std::vector<double> &mtbfHours)
+{
+    return profileImpl(system, mtbfHours, nullptr);
+}
+
+std::vector<OutageContribution>
+outageContributions(const rbd::RbdSystem &system, double mtbfHours)
+{
+    std::vector<double> mtbfs(system.componentCount(), mtbfHours);
+    std::vector<OutageContribution> contributions;
+    profileImpl(system, mtbfs, &contributions);
+    return contributions;
+}
+
+std::vector<OutageContribution>
+outageContributions(const rbd::RbdSystem &system,
+                    const std::vector<double> &mtbfHours)
+{
+    std::vector<OutageContribution> contributions;
+    profileImpl(system, mtbfHours, &contributions);
+    return contributions;
+}
+
+TextTable
+outageProfileTable(const std::string &title, const OutageProfile &profile)
+{
+    TextTable table;
+    table.title(title);
+    table.header({"availability", "downtime m/y", "outages/year",
+                  "mean outage (h)", "MTBO (h)"});
+    table.addRow({formatFixed(profile.availability, 8),
+                  formatFixed(profile.downtimeMinutesPerYear(), 2),
+                  formatFixed(profile.outagesPerYear(), 4),
+                  formatFixed(profile.meanOutageHours(), 3),
+                  formatGeneral(profile.meanTimeBetweenOutagesHours(),
+                                6)});
+    return table;
+}
+
+std::vector<double>
+classifyMtbfs(const rbd::RbdSystem &system, const MtbfClasses &classes)
+{
+    std::vector<double> mtbfs;
+    mtbfs.reserve(system.componentCount());
+    for (rbd::ComponentId id = 0; id < system.componentCount(); ++id) {
+        const std::string &name = system.componentName(id);
+        double mtbf = classes.processHours;
+        if (name.rfind("rack", 0) == 0)
+            mtbf = classes.rackHours;
+        else if (name.rfind("host", 0) == 0)
+            mtbf = classes.hostHours;
+        else if (name.rfind("vm", 0) == 0)
+            mtbf = classes.vmHours;
+        mtbfs.push_back(mtbf);
+    }
+    return mtbfs;
+}
+
+} // namespace sdnav::analysis

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Analytic outage frequency and duration.
+ *
+ * The paper stresses that availability alone hides outage *texture*:
+ * "the single-rack topology may experience no rack-related downtime
+ * for many years followed by a highly-publicized extended outage."
+ * For a system of independently repairable components, the classic
+ * frequency-duration relations make that texture analytic:
+ *
+ *   system unavailability      U = 1 - A_sys
+ *   system outage frequency    nu = sum_i I_B(i) * w_i
+ *   mean outage duration       MDT = U / nu
+ *   mean time between outages  MTBO = A_sys / nu
+ *
+ * where I_B(i) is component i's Birnbaum importance (the probability
+ * the system is critical in i) and w_i = 1 / (MTBF_i + MTTR_i) is the
+ * component's unconditional failure frequency. The discrete-event
+ * simulator (sim/renewalSim) measures the same quantities empirically
+ * and the tests hold the two together.
+ */
+
+#ifndef SDNAV_ANALYSIS_OUTAGE_HH
+#define SDNAV_ANALYSIS_OUTAGE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/textTable.hh"
+#include "rbd/system.hh"
+
+namespace sdnav::analysis
+{
+
+/** Frequency-duration profile of a system. */
+struct OutageProfile
+{
+    /** Steady-state system availability. */
+    double availability = 1.0;
+
+    /** System outage frequency, per hour. */
+    double outagesPerHour = 0.0;
+
+    /** Expected outages per (365-day) year. */
+    double outagesPerYear() const;
+
+    /** Mean outage duration in hours (0 if no outages). */
+    double meanOutageHours() const;
+
+    /** Mean up time between outages in hours (inf if none). */
+    double meanTimeBetweenOutagesHours() const;
+
+    /** Expected downtime, minutes per year. */
+    double downtimeMinutesPerYear() const;
+};
+
+/**
+ * Per-component contribution to the system outage frequency: how many
+ * system outages per year are *initiated* by this component failing
+ * while critical.
+ */
+struct OutageContribution
+{
+    rbd::ComponentId component;
+    std::string name;
+
+    /** Outages per year initiated by this component. */
+    double outagesPerYear;
+
+    /** Share of the total outage frequency. */
+    double share;
+};
+
+/**
+ * Compute the frequency-duration profile of an RBD system whose
+ * components all have the given MTBF (their MTTRs follow from the
+ * component availabilities, as in sim::exponentialTimingsFor).
+ *
+ * @param system The structure and component availabilities.
+ * @param mtbfHours Common per-component MTBF.
+ */
+OutageProfile outageProfile(const rbd::RbdSystem &system,
+                            double mtbfHours);
+
+/**
+ * Compute the profile with per-component MTBFs.
+ *
+ * @param system The structure and component availabilities.
+ * @param mtbfHours One MTBF per component.
+ */
+OutageProfile outageProfile(const rbd::RbdSystem &system,
+                            const std::vector<double> &mtbfHours);
+
+/**
+ * Per-component outage initiation ranking (descending), with the
+ * given common MTBF.
+ */
+std::vector<OutageContribution> outageContributions(
+    const rbd::RbdSystem &system, double mtbfHours);
+
+/** Ranking with per-component MTBFs. */
+std::vector<OutageContribution> outageContributions(
+    const rbd::RbdSystem &system,
+    const std::vector<double> &mtbfHours);
+
+/** Render a profile as a short table. */
+TextTable outageProfileTable(const std::string &title,
+                             const OutageProfile &profile);
+
+/**
+ * Per-class MTBF defaults for systems built by model::buildExactSystem
+ * (components are classified by name: "rack*", "host*", "vm*",
+ * everything else is a process or supervisor). Defaults follow the
+ * paper's discussion: processes 5000 h, VMs ~1 year, hosts ~5 years,
+ * racks ~500 years.
+ */
+struct MtbfClasses
+{
+    double processHours = 5000.0;
+    double vmHours = 8760.0;
+    double hostHours = 43800.0;
+    double rackHours = 4380000.0;
+};
+
+/** Build the per-component MTBF vector for a system by name class. */
+std::vector<double> classifyMtbfs(const rbd::RbdSystem &system,
+                                  const MtbfClasses &classes = {});
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_OUTAGE_HH

@@ -1,0 +1,118 @@
+#include "analysis/rejuvenation.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+#include "prob/special.hh"
+
+namespace sdnav::analysis
+{
+
+namespace
+{
+
+/** Weibull scale realizing the model's mean at its shape. */
+double
+weibullScale(double shape, double mean)
+{
+    return mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+/** Weibull survival S(t). */
+double
+survival(double shape, double scale, double t)
+{
+    if (t <= 0.0)
+        return 1.0;
+    return std::exp(-std::pow(t / scale, shape));
+}
+
+/**
+ * integral_0^T S(t) dt, exactly, via the regularized incomplete
+ * gamma function (see prob/special.hh).
+ */
+double
+expectedUptime(double shape, double scale, double period)
+{
+    return prob::weibullTruncatedMean(shape, scale, period);
+}
+
+} // anonymous namespace
+
+void
+RejuvenationModel::validate() const
+{
+    requirePositive(weibullShape, "weibullShape");
+    requirePositive(mtbfHours, "mtbfHours");
+    requirePositive(failureRepairHours, "failureRepairHours");
+    requireNonNegative(restartHours, "restartHours");
+}
+
+double
+RejuvenationModel::availability(double periodHours) const
+{
+    validate();
+    if (periodHours <= 0.0 || std::isinf(periodHours))
+        return baselineAvailability();
+    double scale = weibullScale(weibullShape, mtbfHours);
+    double up = expectedUptime(weibullShape, scale, periodHours);
+    double fail_prob =
+        1.0 - survival(weibullShape, scale, periodHours);
+    double down = fail_prob * failureRepairHours +
+                  (1.0 - fail_prob) * restartHours;
+    return up / (up + down);
+}
+
+double
+RejuvenationModel::baselineAvailability() const
+{
+    validate();
+    // Without rejuvenation every cycle ends in failure: the classic
+    // MTBF / (MTBF + R).
+    return mtbfHours / (mtbfHours + failureRepairHours);
+}
+
+double
+RejuvenationModel::optimalPeriodHours() const
+{
+    validate();
+    // Golden-section search on log-period over a wide bracket.
+    double lo = std::log(std::max(restartHours, 1e-3));
+    double hi = std::log(mtbfHours * 100.0);
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    double a = lo, b = hi;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    auto value = [this](double log_t) {
+        return availability(std::exp(log_t));
+    };
+    double fc = value(c), fd = value(d);
+    for (int i = 0; i < 200; ++i) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = value(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = value(d);
+        }
+    }
+    double best_period = std::exp(0.5 * (a + b));
+    double best = availability(best_period);
+    // Accept a finite optimum only for a meaningful improvement
+    // (relative to the baseline's unavailability) so numerical
+    // integration noise cannot manufacture one in the memoryless
+    // case.
+    double baseline = baselineAvailability();
+    if (best - baseline <= 1e-6 * (1.0 - baseline))
+        return std::numeric_limits<double>::infinity();
+    return best_period;
+}
+
+} // namespace sdnav::analysis

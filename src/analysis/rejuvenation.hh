@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Software rejuvenation analysis.
+ *
+ * The paper closes by suggesting "automation to reduce downtime and
+ * improve vRouter availability". One classic such automation is
+ * *rejuvenation*: proactively restarting a process every T hours to
+ * reset age-related degradation. Whether that helps depends entirely
+ * on the failure-time distribution's shape:
+ *
+ * - increasing hazard (Weibull shape > 1, wear-out): restarting
+ *   young processes avoids the dangerous old age; an optimal finite
+ *   period exists when restarts are cheaper than repairs.
+ * - exponential (shape = 1, memoryless) or decreasing hazard:
+ *   rejuvenation only adds restart downtime and can never help —
+ *   the classic negative result, reproduced by the tests.
+ *
+ * The model is an alternating renewal process: a cycle runs until
+ * the process fails (repair time R_f) or reaches age T (planned
+ * restart downtime R_p), whichever comes first.
+ *
+ *   E[uptime per cycle]  = integral_0^T S(t) dt
+ *   E[downtime per cycle] = F(T) R_f + S(T) R_p
+ *   A(T) = E[up] / (E[up] + E[down])
+ *
+ * with S the survival function and F = 1 - S.
+ */
+
+#ifndef SDNAV_ANALYSIS_REJUVENATION_HH
+#define SDNAV_ANALYSIS_REJUVENATION_HH
+
+#include <functional>
+
+namespace sdnav::analysis
+{
+
+/** Parameters of a rejuvenation policy evaluation. */
+struct RejuvenationModel
+{
+    /** Weibull shape of the time-to-failure (1 = exponential). */
+    double weibullShape = 1.0;
+
+    /** Mean time to failure (hours). */
+    double mtbfHours = 5000.0;
+
+    /** Repair downtime after an (unplanned) failure, hours. */
+    double failureRepairHours = 1.0;
+
+    /** Downtime of a planned rejuvenation restart, hours. */
+    double restartHours = 0.05;
+
+    /** @throws ModelError on invalid fields. */
+    void validate() const;
+
+    /**
+     * Steady-state availability under rejuvenation period T (hours).
+     * T = infinity (or <= 0 treated as "never") gives the
+     * no-rejuvenation baseline.
+     */
+    double availability(double periodHours) const;
+
+    /** The no-rejuvenation baseline availability. */
+    double baselineAvailability() const;
+
+    /**
+     * The rejuvenation period minimizing unavailability, found by
+     * golden-section search over [restartHours, horizon]; returns
+     * +infinity when no finite period beats the baseline (the
+     * memoryless / infant-mortality case).
+     */
+    double optimalPeriodHours() const;
+};
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_REJUVENATION_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parametric sensitivity analysis: how much each input availability
+ * moves the system availability. This is the paper's stated purpose
+ * of the framework — "quantify sensitivity to underlying platform and
+ * process resiliency" — made explicit.
+ *
+ * Two measures per parameter:
+ * - the partial derivative dA_system / dA_parameter (Birnbaum-style
+ *   importance at the model level), and
+ * - the yearly downtime saved if the parameter's own downtime were
+ *   reduced by one order of magnitude (the actionable form).
+ */
+
+#ifndef SDNAV_ANALYSIS_SENSITIVITY_HH
+#define SDNAV_ANALYSIS_SENSITIVITY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/textTable.hh"
+#include "fmea/catalog.hh"
+#include "model/params.hh"
+#include "topology/deployment.hh"
+
+namespace sdnav::analysis
+{
+
+/** One parameter's sensitivity results. */
+struct SensitivityRow
+{
+    /** Parameter name (e.g. "A_H (host)"). */
+    std::string parameter;
+
+    /** The parameter's base value. */
+    double baseValue = 0.0;
+
+    /** dA_system / dA_parameter (central finite difference). */
+    double derivative = 0.0;
+
+    /** System availability with this parameter's downtime cut 10x. */
+    double improvedAvailability = 0.0;
+
+    /** Yearly downtime saved by that 10x improvement (minutes). */
+    double downtimeSavedMinutes = 0.0;
+};
+
+/**
+ * Generic sensitivity sweep: for each named parameter (accessed via
+ * getter/setter pairs on a parameter block P), compute the derivative
+ * and the 10x-improvement effect of `evaluate`.
+ */
+template <typename P>
+std::vector<SensitivityRow> parameterSensitivity(
+    const P &base,
+    const std::vector<std::pair<std::string, double P::*>> &fields,
+    const std::function<double(const P &)> &evaluate);
+
+/** HW-centric sensitivity for a reference topology. */
+std::vector<SensitivityRow> hwSensitivity(
+    topology::ReferenceKind kind, const model::HwParams &params);
+
+/** SW-centric sensitivity for a catalog/topology/policy/plane. */
+std::vector<SensitivityRow> swSensitivity(
+    const fmea::ControllerCatalog &catalog,
+    const topology::DeploymentTopology &topo,
+    model::SupervisorPolicy policy, const model::SwParams &params,
+    fmea::Plane plane);
+
+/** Render sensitivity rows as a table. */
+TextTable sensitivityTable(const std::string &title,
+                           const std::vector<SensitivityRow> &rows);
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_SENSITIVITY_HH

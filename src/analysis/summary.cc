@@ -1,0 +1,42 @@
+#include "analysis/summary.hh"
+
+#include <sstream>
+
+#include "common/units.hh"
+
+namespace sdnav::analysis
+{
+
+TextTable
+availabilitySummary(const std::string &title,
+                    const std::vector<SummaryEntry> &entries)
+{
+    TextTable table;
+    table.title(title);
+    table.header({"configuration", "availability", "unavailability",
+                  "downtime (m/y)", "nines"});
+    for (const SummaryEntry &entry : entries) {
+        table.addRow(
+            {entry.label, formatFixed(entry.availability, 8),
+             formatGeneral(1.0 - entry.availability, 4),
+             formatFixed(
+                 availabilityToDowntimeMinutesPerYear(entry.availability),
+                 2),
+             formatFixed(availabilityNines(entry.availability), 2)});
+    }
+    return table;
+}
+
+std::string
+summaryLine(const std::string &label, double availability)
+{
+    std::ostringstream os;
+    os << label << ": A=" << formatFixed(availability, 8) << " ("
+       << formatFixed(
+              availabilityToDowntimeMinutesPerYear(availability), 2)
+       << " m/y, " << formatFixed(availabilityNines(availability), 2)
+       << " nines)";
+    return os.str();
+}
+
+} // namespace sdnav::analysis

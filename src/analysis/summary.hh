@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Availability summary rendering: the paper quotes every result as an
+ * availability, a downtime in minutes/year, and implicitly a count of
+ * nines; these helpers format all three consistently.
+ */
+
+#ifndef SDNAV_ANALYSIS_SUMMARY_HH
+#define SDNAV_ANALYSIS_SUMMARY_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/textTable.hh"
+
+namespace sdnav::analysis
+{
+
+/** One labeled availability result. */
+struct SummaryEntry
+{
+    std::string label;
+    double availability;
+};
+
+/**
+ * Render labeled availabilities as a table with availability,
+ * unavailability, downtime (minutes/year), and nines columns.
+ */
+TextTable availabilitySummary(const std::string &title,
+                              const std::vector<SummaryEntry> &entries);
+
+/** One-line rendering: "label: A=0.99998873 (5.92 m/y, 4.9 nines)". */
+std::string summaryLine(const std::string &label, double availability);
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_SUMMARY_HH

@@ -1,0 +1,102 @@
+#include "analysis/transient.hh"
+
+#include <cmath>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+
+namespace sdnav::analysis
+{
+
+double
+componentTransient(double availability, double mtbfHours, double tHours,
+                   InitialCondition initial)
+{
+    requireProbability(availability, "availability");
+    requirePositive(mtbfHours, "mtbfHours");
+    requireNonNegative(tHours, "tHours");
+    if (availability >= 1.0) {
+        // Never fails; from down it also never repairs (MTTR = 0
+        // means instant), treat as up immediately.
+        return 1.0;
+    }
+    // Combined rate lambda + mu = 1 / (MTBF (1 - A)).
+    double combined = 1.0 / (mtbfHours * (1.0 - availability));
+    double decay = std::exp(-combined * tHours);
+    if (initial == InitialCondition::AllUp)
+        return availability + (1.0 - availability) * decay;
+    return availability * (1.0 - decay);
+}
+
+std::vector<double>
+systemTransient(const rbd::RbdSystem &system, double mtbfHours,
+                const std::vector<double> &timesHours,
+                InitialCondition initial)
+{
+    bdd::BddManager manager;
+    bdd::NodeRef f = system.compile(manager);
+
+    std::vector<double> result;
+    result.reserve(timesHours.size());
+    std::vector<double> probs(system.componentCount());
+    for (double t : timesHours) {
+        for (rbd::ComponentId id = 0; id < system.componentCount();
+             ++id) {
+            probs[id] = componentTransient(
+                system.componentAvailability(id), mtbfHours, t,
+                initial);
+        }
+        result.push_back(manager.probability(f, probs));
+    }
+    return result;
+}
+
+double
+timeToSteadyState(const rbd::RbdSystem &system, double mtbfHours,
+                  InitialCondition initial, double tolerance)
+{
+    requirePositive(tolerance, "tolerance");
+    double steady = system.availabilityExact();
+    auto deviation = [&](double t) {
+        return std::fabs(
+            systemTransient(system, mtbfHours, {t}, initial)[0] -
+            steady);
+    };
+    if (deviation(0.0) <= tolerance)
+        return 0.0;
+    // Geometric scan for an upper bracket. Component relaxation
+    // times are MTBF (1 - A) hours, so this converges quickly.
+    double hi = 1e-3;
+    while (deviation(hi) > tolerance) {
+        hi *= 2.0;
+        require(hi < 1e12, "system does not reach steady state");
+    }
+    double lo = hi / 2.0;
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (deviation(mid) > tolerance)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+TextTable
+transientTable(const std::string &title,
+               const std::vector<double> &timesHours,
+               const std::vector<double> &availability)
+{
+    require(timesHours.size() == availability.size(),
+            "times and availabilities must align");
+    TextTable table;
+    table.title(title);
+    table.header({"t (hours)", "A_sys(t)"});
+    for (std::size_t i = 0; i < timesHours.size(); ++i) {
+        table.addRow({formatGeneral(timesHours[i], 6),
+                      formatFixed(availability[i], 8)});
+    }
+    return table;
+}
+
+} // namespace sdnav::analysis

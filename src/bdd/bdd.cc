@@ -1,0 +1,279 @@
+#include "bdd/bdd.hh"
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/error.hh"
+
+namespace sdnav::bdd
+{
+
+BddManager::BddManager()
+{
+    // Reserve slots 0 and 1 for the terminals. Their contents are
+    // never dereferenced; var is a sentinel beyond any real variable.
+    nodes_.push_back({std::numeric_limits<unsigned>::max(), 0, 0});
+    nodes_.push_back({std::numeric_limits<unsigned>::max(), 1, 1});
+}
+
+unsigned
+BddManager::topVar(NodeRef f) const
+{
+    return nodes_[f].var;
+}
+
+NodeRef
+BddManager::makeNode(unsigned var, NodeRef low, NodeRef high)
+{
+    if (low == high)
+        return low; // Reduction rule: redundant test.
+    NodeKey key{var, low, high};
+    auto it = unique_.find(key);
+    if (it != unique_.end())
+        return it->second;
+    require(nodes_.size() < std::numeric_limits<NodeRef>::max(),
+            "BDD node capacity exhausted");
+    NodeRef ref = static_cast<NodeRef>(nodes_.size());
+    nodes_.push_back({var, low, high});
+    unique_.emplace(key, ref);
+    return ref;
+}
+
+NodeRef
+BddManager::var(unsigned index)
+{
+    if (index >= variable_count_)
+        variable_count_ = index + 1;
+    return makeNode(index, falseNode, trueNode);
+}
+
+NodeRef
+BddManager::nvar(unsigned index)
+{
+    if (index >= variable_count_)
+        variable_count_ = index + 1;
+    return makeNode(index, trueNode, falseNode);
+}
+
+NodeRef
+BddManager::ite(NodeRef f, NodeRef g, NodeRef h)
+{
+    // Terminal cases.
+    if (f == trueNode)
+        return g;
+    if (f == falseNode)
+        return h;
+    if (g == h)
+        return g;
+    if (g == trueNode && h == falseNode)
+        return f;
+
+    IteKey key{f, g, h};
+    auto it = ite_cache_.find(key);
+    if (it != ite_cache_.end())
+        return it->second;
+
+    // Shannon expansion around the smallest top variable.
+    unsigned v = topVar(f);
+    if (!isTerminal(g))
+        v = std::min(v, topVar(g));
+    if (!isTerminal(h))
+        v = std::min(v, topVar(h));
+
+    auto cofactor = [this, v](NodeRef x, bool positive) -> NodeRef {
+        if (isTerminal(x) || topVar(x) != v)
+            return x;
+        return positive ? nodes_[x].high : nodes_[x].low;
+    };
+
+    NodeRef high = ite(cofactor(f, true), cofactor(g, true),
+                       cofactor(h, true));
+    NodeRef low = ite(cofactor(f, false), cofactor(g, false),
+                      cofactor(h, false));
+    NodeRef result = makeNode(v, low, high);
+    ite_cache_.emplace(key, result);
+    return result;
+}
+
+NodeRef
+BddManager::notOp(NodeRef f)
+{
+    return ite(f, falseNode, trueNode);
+}
+
+NodeRef
+BddManager::andOp(NodeRef f, NodeRef g)
+{
+    return ite(f, g, falseNode);
+}
+
+NodeRef
+BddManager::orOp(NodeRef f, NodeRef g)
+{
+    return ite(f, trueNode, g);
+}
+
+NodeRef
+BddManager::xorOp(NodeRef f, NodeRef g)
+{
+    return ite(f, notOp(g), g);
+}
+
+NodeRef
+BddManager::andAll(std::span<const NodeRef> fs)
+{
+    NodeRef acc = trueNode;
+    for (NodeRef f : fs)
+        acc = andOp(acc, f);
+    return acc;
+}
+
+NodeRef
+BddManager::orAll(std::span<const NodeRef> fs)
+{
+    NodeRef acc = falseNode;
+    for (NodeRef f : fs)
+        acc = orOp(acc, f);
+    return acc;
+}
+
+NodeRef
+BddManager::atLeast(std::span<const NodeRef> fs, unsigned m)
+{
+    if (m == 0)
+        return trueNode;
+    if (m > fs.size())
+        return falseNode;
+    // reach[j] = "at least j of the functions seen so far are true".
+    // Process one function at a time:
+    //   reach'[j] = f ? reach[j-1] : reach[j]
+    // keeping only counts up to m.
+    std::vector<NodeRef> reach(m + 1, falseNode);
+    reach[0] = trueNode;
+    for (NodeRef f : fs) {
+        for (unsigned j = m; j >= 1; --j)
+            reach[j] = ite(f, reach[j - 1], reach[j]);
+    }
+    return reach[m];
+}
+
+NodeRef
+BddManager::restrict(NodeRef f, unsigned index, bool value)
+{
+    std::unordered_map<NodeRef, NodeRef> memo;
+    return restrictRec(f, index, value, memo);
+}
+
+NodeRef
+BddManager::restrictRec(NodeRef f, unsigned index, bool value,
+                        std::unordered_map<NodeRef, NodeRef> &memo)
+{
+    if (isTerminal(f))
+        return f;
+    auto it = memo.find(f);
+    if (it != memo.end())
+        return it->second;
+    // Copy the node: the recursive calls below may grow nodes_ and
+    // would invalidate a reference into it.
+    Node node = nodes_[f];
+    NodeRef result;
+    if (node.var > index) {
+        result = f; // Variable cannot appear below (ordered).
+    } else if (node.var == index) {
+        result = value ? node.high : node.low;
+    } else {
+        NodeRef low = restrictRec(node.low, index, value, memo);
+        NodeRef high = restrictRec(node.high, index, value, memo);
+        result = makeNode(node.var, low, high);
+    }
+    memo.emplace(f, result);
+    return result;
+}
+
+double
+BddManager::probability(NodeRef f, std::span<const double> probs) const
+{
+    std::unordered_map<NodeRef, double> memo;
+    // Explicit stack to avoid deep recursion on long chains.
+    std::vector<NodeRef> stack{f};
+    memo.emplace(falseNode, 0.0);
+    memo.emplace(trueNode, 1.0);
+    while (!stack.empty()) {
+        NodeRef cur = stack.back();
+        if (memo.count(cur)) {
+            stack.pop_back();
+            continue;
+        }
+        const Node &node = nodes_[cur];
+        require(node.var < probs.size(),
+                "probability(): probs does not cover all BDD variables");
+        auto lo = memo.find(node.low);
+        auto hi = memo.find(node.high);
+        if (lo != memo.end() && hi != memo.end()) {
+            double p = probs[node.var];
+            memo.emplace(cur,
+                         p * hi->second + (1.0 - p) * lo->second);
+            stack.pop_back();
+        } else {
+            if (hi == memo.end())
+                stack.push_back(node.high);
+            if (lo == memo.end())
+                stack.push_back(node.low);
+        }
+    }
+    return memo.at(f);
+}
+
+bool
+BddManager::evaluate(NodeRef f, const std::vector<bool> &assignment) const
+{
+    while (!isTerminal(f)) {
+        const Node &node = nodes_[f];
+        require(node.var < assignment.size(),
+                "evaluate(): assignment does not cover all variables");
+        f = assignment[node.var] ? node.high : node.low;
+    }
+    return f == trueNode;
+}
+
+std::size_t
+BddManager::nodeCount(NodeRef f) const
+{
+    std::unordered_set<NodeRef> seen;
+    std::vector<NodeRef> stack{f};
+    while (!stack.empty()) {
+        NodeRef cur = stack.back();
+        stack.pop_back();
+        if (isTerminal(cur) || !seen.insert(cur).second)
+            continue;
+        stack.push_back(nodes_[cur].low);
+        stack.push_back(nodes_[cur].high);
+    }
+    return seen.size();
+}
+
+unsigned
+BddManager::nodeVariable(NodeRef f) const
+{
+    require(!terminal(f) && f < nodes_.size(),
+            "nodeVariable() needs a non-terminal node");
+    return nodes_[f].var;
+}
+
+NodeRef
+BddManager::nodeLow(NodeRef f) const
+{
+    require(!terminal(f) && f < nodes_.size(),
+            "nodeLow() needs a non-terminal node");
+    return nodes_[f].low;
+}
+
+NodeRef
+BddManager::nodeHigh(NodeRef f) const
+{
+    require(!terminal(f) && f < nodes_.size(),
+            "nodeHigh() needs a non-terminal node");
+    return nodes_[f].high;
+}
+
+} // namespace sdnav::bdd

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * A small reduced ordered binary decision diagram (ROBDD) engine.
+ *
+ * The availability models in this library are probabilities of Boolean
+ * *structure functions* over independent components (processes,
+ * supervisors, VMs, hosts, racks). When components are shared between
+ * blocks — a host failure takes down every role VM placed on it — the
+ * blocks are no longer independent and naive products are wrong. An
+ * ROBDD represents the structure function exactly; the probability of
+ * the function being true under independent per-variable probabilities
+ * is then a single linear-time traversal (Shannon decomposition).
+ *
+ * This engine provides exactly what the library needs: a unique table
+ * with hash-consing, an ITE-based apply with memoization, threshold
+ * ("at least m of these variables") builders, and probability
+ * evaluation. No complement edges, no dynamic reordering — callers
+ * control variable order (group components of a node/rack together for
+ * compact diagrams).
+ */
+
+#ifndef SDNAV_BDD_BDD_HH
+#define SDNAV_BDD_BDD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sdnav::bdd
+{
+
+/** Handle to a BDD node within a BddManager. */
+using NodeRef = std::uint32_t;
+
+/** The constant-false terminal. */
+constexpr NodeRef falseNode = 0;
+
+/** The constant-true terminal. */
+constexpr NodeRef trueNode = 1;
+
+/**
+ * Owns all BDD nodes and implements the BDD algebra.
+ *
+ * Nodes are immutable and hash-consed: structurally equal functions
+ * share a single node, so equality of functions is pointer (ref)
+ * equality. All NodeRefs returned by a manager are valid for the
+ * manager's lifetime; there is no garbage collection (sizes here stay
+ * small: tens of thousands of nodes).
+ */
+class BddManager
+{
+  public:
+    BddManager();
+
+    /** The projection function for variable `index` (x_index). */
+    NodeRef var(unsigned index);
+
+    /** Negation of the projection function (!x_index). */
+    NodeRef nvar(unsigned index);
+
+    /** Logical NOT. */
+    NodeRef notOp(NodeRef f);
+
+    /** Logical AND. */
+    NodeRef andOp(NodeRef f, NodeRef g);
+
+    /** Logical OR. */
+    NodeRef orOp(NodeRef f, NodeRef g);
+
+    /** Logical XOR. */
+    NodeRef xorOp(NodeRef f, NodeRef g);
+
+    /** If-then-else: f ? g : h, the universal ternary connective. */
+    NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+
+    /** AND of a sequence of functions (true for empty input). */
+    NodeRef andAll(std::span<const NodeRef> fs);
+
+    /** OR of a sequence of functions (false for empty input). */
+    NodeRef orAll(std::span<const NodeRef> fs);
+
+    /**
+     * Threshold function: true iff at least `m` of the given functions
+     * are true. Built by dynamic programming over partial counts, so
+     * the inputs may be arbitrary functions (not just variables).
+     *
+     * @param fs The functions to count.
+     * @param m The required number of true functions (0 gives the
+     *          constant true; m > fs.size() gives constant false,
+     *          matching the paper's eq. (1) conventions).
+     */
+    NodeRef atLeast(std::span<const NodeRef> fs, unsigned m);
+
+    /** Cofactor: f with variable `index` fixed to `value`. */
+    NodeRef restrict(NodeRef f, unsigned index, bool value);
+
+    /**
+     * Probability that the function is true when each variable i is
+     * independently true with probability probs[i].
+     *
+     * @param f The function to evaluate.
+     * @param probs Per-variable probabilities; must cover every
+     *              variable appearing in f.
+     */
+    double probability(NodeRef f, std::span<const double> probs) const;
+
+    /** Evaluate the function on a concrete assignment. */
+    bool evaluate(NodeRef f, const std::vector<bool> &assignment) const;
+
+    /** Number of (non-terminal) nodes reachable from f. */
+    std::size_t nodeCount(NodeRef f) const;
+
+    /** True for the constant nodes. */
+    static bool
+    terminal(NodeRef f)
+    {
+        return f <= trueNode;
+    }
+
+    /** Top variable index of a non-terminal node. */
+    unsigned nodeVariable(NodeRef f) const;
+
+    /** Low child (variable false) of a non-terminal node. */
+    NodeRef nodeLow(NodeRef f) const;
+
+    /** High child (variable true) of a non-terminal node. */
+    NodeRef nodeHigh(NodeRef f) const;
+
+    /** Total nodes allocated in the manager (diagnostics). */
+    std::size_t totalNodes() const { return nodes_.size(); }
+
+    /** Highest variable index created so far, plus one. */
+    unsigned variableCount() const { return variable_count_; }
+
+  private:
+    struct Node
+    {
+        unsigned var;
+        NodeRef low;
+        NodeRef high;
+    };
+
+    struct NodeKey
+    {
+        unsigned var;
+        NodeRef low;
+        NodeRef high;
+
+        bool
+        operator==(const NodeKey &other) const
+        {
+            return var == other.var && low == other.low &&
+                   high == other.high;
+        }
+    };
+
+    struct NodeKeyHash
+    {
+        std::size_t
+        operator()(const NodeKey &k) const
+        {
+            std::uint64_t h = k.var;
+            h = h * 0x9e3779b97f4a7c15ULL + k.low;
+            h = h * 0x9e3779b97f4a7c15ULL + k.high;
+            h ^= h >> 32;
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    struct IteKey
+    {
+        NodeRef f, g, h;
+
+        bool
+        operator==(const IteKey &other) const
+        {
+            return f == other.f && g == other.g && h == other.h;
+        }
+    };
+
+    struct IteKeyHash
+    {
+        std::size_t
+        operator()(const IteKey &k) const
+        {
+            std::uint64_t h = k.f;
+            h = h * 0x9e3779b97f4a7c15ULL + k.g;
+            h = h * 0x9e3779b97f4a7c15ULL + k.h;
+            h ^= h >> 32;
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    /** Variable index of a node; terminals sort after all variables. */
+    unsigned topVar(NodeRef f) const;
+
+    /** Create or find the canonical node (var, low, high). */
+    NodeRef makeNode(unsigned var, NodeRef low, NodeRef high);
+
+    /** Memoized worker behind restrict(). */
+    NodeRef restrictRec(NodeRef f, unsigned index, bool value,
+                        std::unordered_map<NodeRef, NodeRef> &memo);
+
+    bool isTerminal(NodeRef f) const { return f <= trueNode; }
+
+    std::vector<Node> nodes_;
+    std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
+    std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
+    unsigned variable_count_ = 0;
+};
+
+} // namespace sdnav::bdd
+
+#endif // SDNAV_BDD_BDD_HH

@@ -1,0 +1,83 @@
+#include "common/csv.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/textTable.hh"
+
+namespace sdnav
+{
+
+void
+CsvWriter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+CsvWriter::addRow(const std::string &label,
+                  const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatFixed(v, precision));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::emitRow(std::ostream &os, const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << escape(cells[i]);
+    }
+    os << '\n';
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream os;
+    if (!header_.empty())
+        emitRow(os, header_);
+    for (const auto &row : rows_)
+        emitRow(os, row);
+    return os.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << str();
+    return static_cast<bool>(out);
+}
+
+} // namespace sdnav

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal CSV emission for bench outputs, so figure series can be fed
+ * straight into external plotting tools.
+ */
+
+#ifndef SDNAV_COMMON_CSV_HH
+#define SDNAV_COMMON_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdnav
+{
+
+/**
+ * A CSV document built row by row.
+ *
+ * Cells containing commas, quotes, or newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter() = default;
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row of a label followed by numeric cells. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 10);
+
+    /** Render the document to a string. */
+    std::string str() const;
+
+    /** Write the document to a file. @return true on success. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    static void emitRow(std::ostream &os,
+                        const std::vector<std::string> &cells);
+    static std::string escape(const std::string &cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sdnav
+
+#endif // SDNAV_COMMON_CSV_HH

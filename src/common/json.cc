@@ -1,0 +1,598 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sdnav::json
+{
+
+Value::Value(bool value) : type_(Type::Bool), bool_(value) {}
+
+Value::Value(double value) : type_(Type::Number), number_(value) {}
+
+Value::Value(int value)
+    : type_(Type::Number), number_(static_cast<double>(value))
+{}
+
+Value::Value(const char *value)
+    : type_(Type::String), string_(value)
+{}
+
+Value::Value(std::string value)
+    : type_(Type::String), string_(std::move(value))
+{}
+
+Value::Value(Array value) : type_(Type::Array), array_(std::move(value))
+{}
+
+Value::Value(Object value)
+    : type_(Type::Object), object_(std::move(value))
+{}
+
+bool
+Value::asBool() const
+{
+    require(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    require(type_ == Type::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+Value::asString() const
+{
+    require(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+const Value::Array &
+Value::asArray() const
+{
+    require(type_ == Type::Array, "JSON value is not an array");
+    return array_;
+}
+
+const Value::Object &
+Value::asObject() const
+{
+    require(type_ == Type::Object, "JSON value is not an object");
+    return object_;
+}
+
+Value::Array &
+Value::array()
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    require(type_ == Type::Array, "JSON value is not an array");
+    return array_;
+}
+
+Value::Object &
+Value::object()
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    require(type_ == Type::Object, "JSON value is not an object");
+    return object_;
+}
+
+void
+Value::push(Value value)
+{
+    array().push_back(std::move(value));
+}
+
+void
+Value::set(const std::string &key, Value value)
+{
+    Object &members = object();
+    for (auto &member : members) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return;
+        }
+    }
+    members.emplace_back(key, std::move(value));
+}
+
+bool
+Value::contains(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return false;
+    for (const auto &member : object_) {
+        if (member.first == key)
+            return true;
+    }
+    return false;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    require(type_ == Type::Object, "JSON value is not an object");
+    for (const auto &member : object_) {
+        if (member.first == key)
+            return member.second;
+    }
+    throw ModelError("JSON object has no member '" + key + "'");
+}
+
+double
+Value::numberOr(const std::string &key, double fallback) const
+{
+    return contains(key) ? at(key).asNumber() : fallback;
+}
+
+std::string
+Value::stringOr(const std::string &key, std::string fallback) const
+{
+    return contains(key) ? at(key).asString() : std::move(fallback);
+}
+
+bool
+Value::boolOr(const std::string &key, bool fallback) const
+{
+    return contains(key) ? at(key).asBool() : fallback;
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return bool_ == other.bool_;
+      case Type::Number:
+        return number_ == other.number_;
+      case Type::String:
+        return string_ == other.string_;
+      case Type::Array:
+        return array_ == other.array_;
+      case Type::Object:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double value)
+{
+    require(std::isfinite(value),
+            "JSON cannot represent non-finite numbers");
+    if (value == static_cast<double>(static_cast<long long>(value)) &&
+        std::fabs(value) < 1e15) {
+        out += std::to_string(static_cast<long long>(value));
+        return;
+    }
+    // Shortest representation that round-trips exactly.
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::ostringstream os;
+        os.precision(precision);
+        os << value;
+        if (std::stod(os.str()) == value) {
+            out += os.str();
+            return;
+        }
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    out += os.str();
+}
+
+} // anonymous namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&out, indent, depth](int extra) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * (depth + extra)),
+                   ' ');
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        formatNumber(out, number_);
+        break;
+      case Type::String:
+        escapeString(out, string_);
+        break;
+      case Type::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Value &item : array_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(1);
+            item.dumpTo(out, indent, depth + 1);
+        }
+        newline(0);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &member : object_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(1);
+            escapeString(out, member.first);
+            out += indent > 0 ? ": " : ":";
+            member.second.dumpTo(out, indent, depth + 1);
+        }
+        newline(0);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser with offset-bearing errors. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        skipWhitespace();
+        Value value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing content after JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        std::ostringstream os;
+        os << "JSON parse error at offset " << pos_ << ": " << message;
+        throw ModelError(os.str());
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    char
+    take()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_++];
+    }
+
+    void
+    expect(char c)
+    {
+        if (take() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        std::size_t len = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > 128)
+            fail("nesting too deep");
+        skipWhitespace();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            return Value(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Value(true);
+            fail("invalid literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Value(false);
+            fail("invalid literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Value();
+            fail("invalid literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject(int depth)
+    {
+        expect('{');
+        Value result = Value::makeObject();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return result;
+        }
+        for (;;) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            Value value = parseValue(depth + 1);
+            if (result.contains(key))
+                fail("duplicate object key '" + key + "'");
+            result.set(key, std::move(value));
+            skipWhitespace();
+            char c = take();
+            if (c == '}')
+                return result;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value
+    parseArray(int depth)
+    {
+        expect('[');
+        Value result = Value::makeArray();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return result;
+        }
+        for (;;) {
+            result.push(parseValue(depth + 1));
+            skipWhitespace();
+            char c = take();
+            if (c == ']')
+                return result;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            char c = take();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = take();
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = take();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += 10 + h - 'a';
+                    else if (h >= 'A' && h <= 'F')
+                        code += 10 + h - 'A';
+                    else
+                        fail("invalid \\u escape");
+                }
+                // Encode as UTF-8 (basic multilingual plane only;
+                // surrogate pairs are rejected as out of scope).
+                if (code >= 0xd800 && code <= 0xdfff)
+                    fail("surrogate pairs are not supported");
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("invalid escape sequence");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit required after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit required in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return Value(std::stod(text_.substr(start, pos_ - start)));
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+Value
+parse(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parseDocument();
+}
+
+Value
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    require(static_cast<bool>(in), "cannot open JSON file: " + path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    return parse(content);
+}
+
+} // namespace sdnav::json

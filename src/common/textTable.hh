@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simple aligned text-table formatter used by benches and examples to
+ * print the paper's tables and figure data series.
+ */
+
+#ifndef SDNAV_COMMON_TEXT_TABLE_HH
+#define SDNAV_COMMON_TEXT_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdnav
+{
+
+/**
+ * An aligned, monospace text table.
+ *
+ * Rows are added as vectors of preformatted cells; column widths are
+ * computed at render time. A header row (if set) is separated from the
+ * body by a rule.
+ */
+class TextTable
+{
+  public:
+    TextTable() = default;
+
+    /** Set the optional table title, printed above the header. */
+    void title(std::string text) { title_ = std::move(text); }
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a body row. Rows may have differing cell counts. */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Append a body row built from doubles formatted with the given
+     * precision, prefixed by a label cell.
+     */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 7);
+
+    /** Number of body rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (used for availability values). */
+std::string formatFixed(double value, int precision);
+
+/** Format a double in general (shortest reasonable) notation. */
+std::string formatGeneral(double value, int significantDigits = 8);
+
+} // namespace sdnav
+
+#endif // SDNAV_COMMON_TEXT_TABLE_HH

@@ -1,0 +1,70 @@
+#include "common/units.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace sdnav
+{
+
+double
+availabilityToDowntimeMinutesPerYear(double availability)
+{
+    requireProbability(availability, "availability");
+    return (1.0 - availability) * minutesPerYear;
+}
+
+double
+downtimeMinutesPerYearToAvailability(double minutes)
+{
+    requireNonNegative(minutes, "minutes");
+    require(minutes <= minutesPerYear,
+            "downtime cannot exceed one year per year");
+    return 1.0 - minutes / minutesPerYear;
+}
+
+double
+availabilityNines(double availability)
+{
+    requireProbability(availability, "availability");
+    if (availability >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return -std::log10(1.0 - availability);
+}
+
+double
+ninesToAvailability(double nines)
+{
+    requireNonNegative(nines, "nines");
+    return 1.0 - std::pow(10.0, -nines);
+}
+
+double
+shiftAvailabilityDowntime(double base, double shift)
+{
+    requireProbability(base, "base");
+    double unavailability = (1.0 - base) * std::pow(10.0, -shift);
+    if (unavailability > 1.0)
+        unavailability = 1.0;
+    return 1.0 - unavailability;
+}
+
+double
+availabilityFromMtbfMttr(double mtbf, double mttr)
+{
+    requirePositive(mtbf, "mtbf");
+    requireNonNegative(mttr, "mttr");
+    return mtbf / (mtbf + mttr);
+}
+
+double
+mttrFromAvailability(double availability, double mtbf)
+{
+    requireProbability(availability, "availability");
+    requirePositive(availability, "availability");
+    requirePositive(mtbf, "mtbf");
+    return mtbf * (1.0 - availability) / availability;
+}
+
+} // namespace sdnav

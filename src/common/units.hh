@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Availability unit conversions.
+ *
+ * The paper quotes every result both as a steady-state availability
+ * (e.g. 0.999989) and as expected downtime in minutes per year (m/y).
+ * Figures 4 and 5 use an x-axis measured in "orders of magnitude of
+ * downtime" relative to a default availability; these helpers implement
+ * all of those conversions in one place.
+ */
+
+#ifndef SDNAV_COMMON_UNITS_HH
+#define SDNAV_COMMON_UNITS_HH
+
+namespace sdnav
+{
+
+/** Minutes in a (365-day) year, the paper's downtime normalization. */
+constexpr double minutesPerYear = 365.0 * 24.0 * 60.0;
+
+/** Hours in a (365-day) year. */
+constexpr double hoursPerYear = 365.0 * 24.0;
+
+/**
+ * Convert a steady-state availability to expected downtime.
+ *
+ * @param availability Steady-state availability in [0, 1].
+ * @return Expected downtime in minutes per year.
+ */
+double availabilityToDowntimeMinutesPerYear(double availability);
+
+/**
+ * Convert expected downtime back to availability.
+ *
+ * @param minutes Expected downtime in minutes per year (within one
+ *                year's worth of minutes).
+ * @return Steady-state availability in [0, 1].
+ */
+double downtimeMinutesPerYearToAvailability(double minutes);
+
+/**
+ * The "number of nines" of an availability: -log10(1 - A).
+ *
+ * For example 0.999 has 3 nines and 0.99999 has 5 nines. Returns
+ * +infinity for A == 1.
+ *
+ * @param availability Steady-state availability in [0, 1).
+ */
+double availabilityNines(double availability);
+
+/** Inverse of availabilityNines: A = 1 - 10^(-nines). */
+double ninesToAvailability(double nines);
+
+/**
+ * Scale an availability's *downtime* by a power of ten, the x-axis
+ * transform of the paper's Figures 4 and 5.
+ *
+ * An order-of-magnitude shift of `shift` multiplies unavailability by
+ * 10^(-shift): shift = -1 means 10x more downtime (less reliable),
+ * shift = +1 means 10x less downtime (more reliable), shift = 0 returns
+ * the base availability unchanged.
+ *
+ * @param base Base availability in [0, 1].
+ * @param shift Orders of magnitude of downtime reduction.
+ * @return The shifted availability, clamped to [0, 1].
+ */
+double shiftAvailabilityDowntime(double base, double shift);
+
+/**
+ * Availability of a component from its failure/restore times, the
+ * classic A = MTBF / (MTBF + MTTR).
+ *
+ * @param mtbf Mean time between failures (any time unit, > 0).
+ * @param mttr Mean time to restore (same unit, >= 0).
+ */
+double availabilityFromMtbfMttr(double mtbf, double mttr);
+
+/**
+ * Mean time to restore implied by an availability at a given MTBF,
+ * inverting A = F/(F+R): R = F(1-A)/A.
+ *
+ * @param availability Steady-state availability in (0, 1].
+ * @param mtbf Mean time between failures (> 0).
+ */
+double mttrFromAvailability(double availability, double mtbf);
+
+} // namespace sdnav
+
+#endif // SDNAV_COMMON_UNITS_HH

@@ -1,0 +1,192 @@
+#include "fmea/catalog.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sdnav::fmea
+{
+
+unsigned
+requiredCount(QuorumClass quorum, unsigned clusterSize)
+{
+    require(clusterSize >= 1, "cluster size must be >= 1");
+    switch (quorum) {
+      case QuorumClass::None:
+        return 0;
+      case QuorumClass::AnyOne:
+        return 1;
+      case QuorumClass::Majority:
+        return clusterSize / 2 + 1;
+    }
+    return 0; // Unreachable.
+}
+
+std::string
+quorumNotation(QuorumClass quorum, unsigned clusterSize)
+{
+    std::ostringstream os;
+    os << requiredCount(quorum, clusterSize) << " of " << clusterSize;
+    return os.str();
+}
+
+ControllerCatalog::ControllerCatalog(std::string name)
+    : name_(std::move(name))
+{}
+
+std::size_t
+ControllerCatalog::addRole(RoleSpec role)
+{
+    require(!role.name.empty(), "role name must not be empty");
+    roles_.push_back(std::move(role));
+    return roles_.size() - 1;
+}
+
+void
+ControllerCatalog::addHostProcess(HostProcessSpec process)
+{
+    require(!process.name.empty(), "host process name must not be empty");
+    host_processes_.push_back(std::move(process));
+}
+
+const RoleSpec &
+ControllerCatalog::role(std::size_t index) const
+{
+    require(index < roles_.size(), "role index out of range");
+    return roles_[index];
+}
+
+unsigned
+ControllerCatalog::requiredHostProcessCount() const
+{
+    unsigned count = 0;
+    for (const HostProcessSpec &p : host_processes_) {
+        if (p.requiredForDp)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<QuorumBlock>
+ControllerCatalog::planeBlocks(std::size_t roleIndex, Plane plane) const
+{
+    const RoleSpec &r = role(roleIndex);
+    std::vector<QuorumBlock> blocks;
+    // Preserve declaration order: named shared blocks appear at the
+    // position of their first member.
+    std::map<std::string, std::size_t> shared_index;
+    for (std::size_t p = 0; p < r.processes.size(); ++p) {
+        const ProcessSpec &proc = r.processes[p];
+        QuorumClass quorum = plane == Plane::ControlPlane
+            ? proc.cpQuorum : proc.dpQuorum;
+        const std::string &block_name = plane == Plane::ControlPlane
+            ? proc.cpBlock : proc.dpBlock;
+        if (quorum == QuorumClass::None)
+            continue;
+        if (block_name.empty()) {
+            blocks.push_back({proc.name, roleIndex, quorum, {p}});
+            continue;
+        }
+        auto it = shared_index.find(block_name);
+        if (it == shared_index.end()) {
+            shared_index.emplace(block_name, blocks.size());
+            blocks.push_back({block_name, roleIndex, quorum, {p}});
+        } else {
+            QuorumBlock &block = blocks[it->second];
+            require(block.quorum == quorum,
+                    "processes in block '" + block_name +
+                        "' disagree on quorum class");
+            block.memberProcesses.push_back(p);
+        }
+    }
+    return blocks;
+}
+
+std::vector<QuorumBlock>
+ControllerCatalog::allPlaneBlocks(Plane plane) const
+{
+    std::vector<QuorumBlock> all;
+    for (std::size_t r = 0; r < roles_.size(); ++r) {
+        auto blocks = planeBlocks(r, plane);
+        all.insert(all.end(), blocks.begin(), blocks.end());
+    }
+    return all;
+}
+
+RestartCounts
+ControllerCatalog::restartCounts(std::size_t roleIndex) const
+{
+    const RoleSpec &r = role(roleIndex);
+    RestartCounts counts;
+    for (const ProcessSpec &proc : r.processes) {
+        if (proc.restart == RestartMode::Auto)
+            ++counts.autoRestart;
+        else
+            ++counts.manualRestart;
+    }
+    return counts;
+}
+
+QuorumCounts
+ControllerCatalog::quorumCounts(std::size_t roleIndex, Plane plane) const
+{
+    QuorumCounts counts;
+    for (const QuorumBlock &block : planeBlocks(roleIndex, plane)) {
+        if (block.quorum == QuorumClass::Majority)
+            ++counts.majority;
+        else if (block.quorum == QuorumClass::AnyOne)
+            ++counts.anyOne;
+    }
+    return counts;
+}
+
+unsigned
+ControllerCatalog::totalMajorityBlocks(Plane plane) const
+{
+    unsigned total = 0;
+    for (std::size_t r = 0; r < roles_.size(); ++r)
+        total += quorumCounts(r, plane).majority;
+    return total;
+}
+
+unsigned
+ControllerCatalog::totalAnyOneBlocks(Plane plane) const
+{
+    unsigned total = 0;
+    for (std::size_t r = 0; r < roles_.size(); ++r)
+        total += quorumCounts(r, plane).anyOne;
+    return total;
+}
+
+void
+ControllerCatalog::validate() const
+{
+    require(!roles_.empty(), "catalog has no roles");
+    std::set<std::string> role_names;
+    for (const RoleSpec &r : roles_) {
+        require(role_names.insert(r.name).second,
+                "duplicate role name: " + r.name);
+        std::set<std::string> process_names;
+        for (const ProcessSpec &p : r.processes) {
+            require(!p.name.empty(), "process name must not be empty");
+            require(process_names.insert(p.name).second,
+                    "duplicate process name in role " + r.name + ": " +
+                        p.name);
+        }
+    }
+    std::set<std::string> host_names;
+    for (const HostProcessSpec &p : host_processes_) {
+        require(host_names.insert(p.name).second,
+                "duplicate host process name: " + p.name);
+    }
+    // Force block construction for both planes so inconsistent shared
+    // blocks are caught here.
+    for (std::size_t r = 0; r < roles_.size(); ++r) {
+        (void)planeBlocks(r, Plane::ControlPlane);
+        (void)planeBlocks(r, Plane::DataPlane);
+    }
+}
+
+} // namespace sdnav::fmea

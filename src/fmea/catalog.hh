@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Controller software catalogs: the failure-mode encapsulation of
+ * paper sections II-III.
+ *
+ * The paper's key framework claim is that a distributed SDN controller
+ * implementation is fully captured, for availability purposes, by two
+ * tables: process counts by restart mode per role (Table II) and
+ * process counts by quorum requirement per role and plane (Table III).
+ * A ControllerCatalog is the in-code form of those tables — declare
+ * the roles, their processes, each process's restart mode and per-
+ * plane quorum class, and every model in src/model derives the rest.
+ *
+ * Quorum requirements are expressed as *classes* rather than literal
+ * "m of 3" counts so that catalogs generalize to any 2N+1 cluster
+ * size: AnyOne is "1 of n", Majority is "N+1 of 2N+1", None is "0 of
+ * n" (not availability-critical).
+ */
+
+#ifndef SDNAV_FMEA_CATALOG_HH
+#define SDNAV_FMEA_CATALOG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdnav::fmea
+{
+
+/** Which service plane a requirement applies to. */
+enum class Plane
+{
+    ControlPlane, ///< The SDN control plane (paper "SDN CP").
+    DataPlane     ///< The per-host vRouter data plane ("Host DP").
+};
+
+/** How a failed process gets restarted. */
+enum class RestartMode
+{
+    Auto,  ///< Auto-restarted by the node-role supervisor (time R).
+    Manual ///< Requires manual operator restart (time R_S).
+};
+
+/** Cluster-size-independent quorum requirement classes. */
+enum class QuorumClass
+{
+    None,    ///< "0 of n": not required for the plane at all.
+    AnyOne,  ///< "1 of n": at least one instance anywhere suffices.
+    Majority ///< "N+1 of 2N+1": strict quorum (Database processes).
+};
+
+/** The literal required count for a quorum class at a cluster size. */
+unsigned requiredCount(QuorumClass quorum, unsigned clusterSize);
+
+/** Render a quorum requirement as the paper's "m of n" notation. */
+std::string quorumNotation(QuorumClass quorum, unsigned clusterSize);
+
+/** One controller process within a role (one row of Table I). */
+struct ProcessSpec
+{
+    /** Process name, e.g. "config-api". */
+    std::string name;
+
+    /** Restart mode (Table II column membership). */
+    RestartMode restart = RestartMode::Auto;
+
+    /** Control-plane quorum requirement. */
+    QuorumClass cpQuorum = QuorumClass::None;
+
+    /** Data-plane quorum requirement. */
+    QuorumClass dpQuorum = QuorumClass::None;
+
+    /**
+     * Data-plane block this process belongs to. Processes sharing a
+     * block name must all be up *on the same node* for that node's
+     * block instance to count (the paper's {control+dns+named} "1 of
+     * 3" block, modeled as a single process of availability A^3).
+     * Empty means the process is its own single-member block.
+     */
+    std::string dpBlock;
+
+    /** Control-plane block, mirroring dpBlock (unused by OpenContrail). */
+    std::string cpBlock;
+
+    /** FMEA effect-of-failure prose for reports. */
+    std::string failureEffect;
+};
+
+/** A controller role (node type): Config, Control, Analytics, ... */
+struct RoleSpec
+{
+    /** Role name, e.g. "Config". */
+    std::string name;
+
+    /** One-letter tag used in formulas: G, C, A, D. */
+    char tag = '?';
+
+    /** The role's processes (Table I rows for this role). */
+    std::vector<ProcessSpec> processes;
+};
+
+/** A per-compute-host process (the vRouter data-plane role). */
+struct HostProcessSpec
+{
+    /** Process name, e.g. "vrouter-agent". */
+    std::string name;
+
+    /** Restart mode. */
+    RestartMode restart = RestartMode::Auto;
+
+    /** Whether the host data plane requires this process ("1 of 1"). */
+    bool requiredForDp = true;
+
+    /** FMEA effect-of-failure prose. */
+    std::string failureEffect;
+};
+
+/**
+ * A quorum block derived from a catalog: the unit the availability
+ * formulas iterate over. Each node contributes one *instance* of the
+ * block (the AND of its member processes on that node); the plane
+ * requires `quorum` of the cluster's instances.
+ */
+struct QuorumBlock
+{
+    /** Block name (process name, or the shared block name). */
+    std::string name;
+
+    /** Owning role index within the catalog. */
+    std::size_t roleIndex;
+
+    /** Quorum class across cluster nodes. */
+    QuorumClass quorum = QuorumClass::None;
+
+    /** Indices into the role's process list. */
+    std::vector<std::size_t> memberProcesses;
+};
+
+/** One row of the paper's Table II. */
+struct RestartCounts
+{
+    unsigned autoRestart = 0;
+    unsigned manualRestart = 0;
+};
+
+/** One role/plane cell pair of the paper's Table III. */
+struct QuorumCounts
+{
+    /** M_R: number of blocks requiring a strict majority. */
+    unsigned majority = 0;
+
+    /** N_R: number of blocks requiring at least one instance. */
+    unsigned anyOne = 0;
+};
+
+/**
+ * A complete controller software catalog: roles, processes, restart
+ * modes, quorum requirements, and per-host data-plane processes.
+ *
+ * Every role implicitly carries the common `supervisor` (manual
+ * restart, quorum None) and `nodemgr` (auto restart, quorum None)
+ * processes the paper describes in section III; they are tracked
+ * separately because the supervisor's role in the availability model
+ * is scenario-dependent rather than quorum-driven.
+ */
+class ControllerCatalog
+{
+  public:
+    /** Construct an empty catalog with the given name. */
+    explicit ControllerCatalog(std::string name);
+
+    /** Catalog (controller implementation) name. */
+    const std::string &name() const { return name_; }
+
+    /** Append a role; returns its index. */
+    std::size_t addRole(RoleSpec role);
+
+    /** Append a per-host data-plane process. */
+    void addHostProcess(HostProcessSpec process);
+
+    /** All roles. */
+    const std::vector<RoleSpec> &roles() const { return roles_; }
+
+    /** A single role. */
+    const RoleSpec &role(std::size_t index) const;
+
+    /** All per-host processes. */
+    const std::vector<HostProcessSpec> &hostProcesses() const
+    {
+        return host_processes_;
+    }
+
+    /** Number of per-host processes the DP requires (the paper's K). */
+    unsigned requiredHostProcessCount() const;
+
+    /**
+     * The quorum blocks of a role for a plane, grouping processes
+     * that share a block name. Processes with quorum None for the
+     * plane produce no block.
+     *
+     * @throws ModelError if block members disagree on quorum class.
+     */
+    std::vector<QuorumBlock> planeBlocks(std::size_t roleIndex,
+                                         Plane plane) const;
+
+    /** All blocks of all roles for a plane. */
+    std::vector<QuorumBlock> allPlaneBlocks(Plane plane) const;
+
+    /** Table II row for a role. */
+    RestartCounts restartCounts(std::size_t roleIndex) const;
+
+    /** Table III cells (M_R, N_R) for a role and plane. */
+    QuorumCounts quorumCounts(std::size_t roleIndex, Plane plane) const;
+
+    /** Sum of Table III M_R over all roles for a plane. */
+    unsigned totalMajorityBlocks(Plane plane) const;
+
+    /** Sum of Table III N_R over all roles for a plane. */
+    unsigned totalAnyOneBlocks(Plane plane) const;
+
+    /**
+     * Validate internal consistency (unique names, consistent block
+     * definitions). @throws ModelError on problems.
+     */
+    void validate() const;
+
+  private:
+    std::string name_;
+    std::vector<RoleSpec> roles_;
+    std::vector<HostProcessSpec> host_processes_;
+};
+
+} // namespace sdnav::fmea
+
+#endif // SDNAV_FMEA_CATALOG_HH

@@ -1,0 +1,167 @@
+#include "fmea/catalogIo.hh"
+
+#include <fstream>
+
+#include "common/error.hh"
+
+namespace sdnav::fmea
+{
+
+RestartMode
+restartModeFromString(const std::string &text)
+{
+    if (text == "auto")
+        return RestartMode::Auto;
+    if (text == "manual")
+        return RestartMode::Manual;
+    throw ModelError("unknown restart mode: '" + text +
+                     "' (expected \"auto\" or \"manual\")");
+}
+
+std::string
+restartModeToString(RestartMode mode)
+{
+    return mode == RestartMode::Auto ? "auto" : "manual";
+}
+
+QuorumClass
+quorumClassFromString(const std::string &text)
+{
+    if (text == "none")
+        return QuorumClass::None;
+    if (text == "any-one")
+        return QuorumClass::AnyOne;
+    if (text == "majority")
+        return QuorumClass::Majority;
+    throw ModelError("unknown quorum class: '" + text +
+                     "' (expected \"none\", \"any-one\", or "
+                     "\"majority\")");
+}
+
+std::string
+quorumClassToString(QuorumClass quorum)
+{
+    switch (quorum) {
+      case QuorumClass::None:
+        return "none";
+      case QuorumClass::AnyOne:
+        return "any-one";
+      case QuorumClass::Majority:
+        return "majority";
+    }
+    return "none";
+}
+
+json::Value
+catalogToJson(const ControllerCatalog &catalog)
+{
+    json::Value root = json::Value::makeObject();
+    root.set("name", catalog.name());
+
+    json::Value roles = json::Value::makeArray();
+    for (const RoleSpec &role : catalog.roles()) {
+        json::Value role_value = json::Value::makeObject();
+        role_value.set("name", role.name);
+        role_value.set("tag", std::string(1, role.tag));
+        json::Value processes = json::Value::makeArray();
+        for (const ProcessSpec &proc : role.processes) {
+            json::Value p = json::Value::makeObject();
+            p.set("name", proc.name);
+            p.set("restart", restartModeToString(proc.restart));
+            p.set("cp", quorumClassToString(proc.cpQuorum));
+            p.set("dp", quorumClassToString(proc.dpQuorum));
+            if (!proc.cpBlock.empty())
+                p.set("cpBlock", proc.cpBlock);
+            if (!proc.dpBlock.empty())
+                p.set("dpBlock", proc.dpBlock);
+            if (!proc.failureEffect.empty())
+                p.set("effect", proc.failureEffect);
+            processes.push(std::move(p));
+        }
+        role_value.set("processes", std::move(processes));
+        roles.push(std::move(role_value));
+    }
+    root.set("roles", std::move(roles));
+
+    json::Value host_processes = json::Value::makeArray();
+    for (const HostProcessSpec &proc : catalog.hostProcesses()) {
+        json::Value p = json::Value::makeObject();
+        p.set("name", proc.name);
+        p.set("restart", restartModeToString(proc.restart));
+        p.set("requiredForDp", proc.requiredForDp);
+        if (!proc.failureEffect.empty())
+            p.set("effect", proc.failureEffect);
+        host_processes.push(std::move(p));
+    }
+    root.set("hostProcesses", std::move(host_processes));
+    return root;
+}
+
+ControllerCatalog
+catalogFromJson(const json::Value &value)
+{
+    require(value.isObject(), "catalog document must be an object");
+    ControllerCatalog catalog(value.stringOr("name", "unnamed"));
+
+    require(value.contains("roles"),
+            "catalog document needs a \"roles\" array");
+    for (const json::Value &role_value : value.at("roles").asArray()) {
+        RoleSpec role;
+        role.name = role_value.at("name").asString();
+        std::string tag = role_value.stringOr("tag", "?");
+        require(!tag.empty(), "role tag must not be empty");
+        role.tag = tag[0];
+        if (role_value.contains("processes")) {
+            for (const json::Value &p :
+                 role_value.at("processes").asArray()) {
+                ProcessSpec proc;
+                proc.name = p.at("name").asString();
+                proc.restart = restartModeFromString(
+                    p.stringOr("restart", "auto"));
+                proc.cpQuorum = quorumClassFromString(
+                    p.stringOr("cp", "none"));
+                proc.dpQuorum = quorumClassFromString(
+                    p.stringOr("dp", "none"));
+                proc.cpBlock = p.stringOr("cpBlock", "");
+                proc.dpBlock = p.stringOr("dpBlock", "");
+                proc.failureEffect = p.stringOr("effect", "");
+                role.processes.push_back(std::move(proc));
+            }
+        }
+        catalog.addRole(std::move(role));
+    }
+
+    if (value.contains("hostProcesses")) {
+        for (const json::Value &p :
+             value.at("hostProcesses").asArray()) {
+            HostProcessSpec proc;
+            proc.name = p.at("name").asString();
+            proc.restart =
+                restartModeFromString(p.stringOr("restart", "auto"));
+            proc.requiredForDp = p.boolOr("requiredForDp", true);
+            proc.failureEffect = p.stringOr("effect", "");
+            catalog.addHostProcess(std::move(proc));
+        }
+    }
+
+    catalog.validate();
+    return catalog;
+}
+
+ControllerCatalog
+loadCatalog(const std::string &path)
+{
+    return catalogFromJson(json::parseFile(path));
+}
+
+void
+saveCatalog(const ControllerCatalog &catalog, const std::string &path)
+{
+    std::ofstream out(path);
+    require(static_cast<bool>(out),
+            "cannot open file for writing: " + path);
+    out << catalogToJson(catalog).dump(2) << "\n";
+    require(static_cast<bool>(out), "failed writing " + path);
+}
+
+} // namespace sdnav::fmea

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * JSON serialization for controller catalogs, so controllers can be
+ * declared in data files and analyzed without recompiling.
+ *
+ * Document shape:
+ *
+ * ```json
+ * {
+ *   "name": "OpenContrail 3.x",
+ *   "roles": [
+ *     { "name": "Config", "tag": "G",
+ *       "processes": [
+ *         { "name": "config-api", "restart": "auto",
+ *           "cp": "any-one", "dp": "none",
+ *           "cpBlock": "", "dpBlock": "",
+ *           "effect": "..." } ] } ],
+ *   "hostProcesses": [
+ *     { "name": "vrouter-agent", "restart": "auto",
+ *       "requiredForDp": true, "effect": "..." } ]
+ * }
+ * ```
+ *
+ * Quorum classes: "none", "any-one", "majority". Restart modes:
+ * "auto", "manual". Optional fields (blocks, effects, tag) may be
+ * omitted.
+ */
+
+#ifndef SDNAV_FMEA_CATALOG_IO_HH
+#define SDNAV_FMEA_CATALOG_IO_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "fmea/catalog.hh"
+
+namespace sdnav::fmea
+{
+
+/** Serialize a catalog to a JSON value. */
+json::Value catalogToJson(const ControllerCatalog &catalog);
+
+/**
+ * Build a catalog from a JSON value. The result is validated.
+ * @throws ModelError on malformed documents.
+ */
+ControllerCatalog catalogFromJson(const json::Value &value);
+
+/** Load and validate a catalog from a JSON file. */
+ControllerCatalog loadCatalog(const std::string &path);
+
+/** Write a catalog to a JSON file. @throws ModelError on I/O error. */
+void saveCatalog(const ControllerCatalog &catalog,
+                 const std::string &path);
+
+/** Parse "auto"/"manual". */
+RestartMode restartModeFromString(const std::string &text);
+
+/** Render RestartMode as "auto"/"manual". */
+std::string restartModeToString(RestartMode mode);
+
+/** Parse "none"/"any-one"/"majority". */
+QuorumClass quorumClassFromString(const std::string &text);
+
+/** Render QuorumClass as "none"/"any-one"/"majority". */
+std::string quorumClassToString(QuorumClass quorum);
+
+} // namespace sdnav::fmea
+
+#endif // SDNAV_FMEA_CATALOG_IO_HH

@@ -1,0 +1,192 @@
+#include "fmea/openContrail.hh"
+
+namespace sdnav::fmea
+{
+
+ControllerCatalog
+openContrail3()
+{
+    ControllerCatalog catalog("OpenContrail 3.x");
+
+    RoleSpec config;
+    config.name = "Config";
+    config.tag = 'G';
+    config.processes = {
+        {"config-api", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Northbound API unavailable on this node; CP create/read/"
+         "update/delete requests served by surviving instances."},
+        {"discovery", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "", "",
+         "Service location lookups fail on this node; both CP and "
+         "host DP need at least one discovery instance."},
+        {"schema", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "High-level to low-level object transformation stalls until "
+         "another schema transformer picks up."},
+        {"svc-monitor", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Service-chain monitoring lost on this node."},
+        {"ifmap", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Southbound push of low-level config to Control nodes "
+         "unavailable from this node."},
+        {"device-manager", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Physical device configuration management lost on this node."},
+    };
+    catalog.addRole(std::move(config));
+
+    RoleSpec control;
+    control.name = "Control";
+    control.tag = 'C';
+    control.processes = {
+        {"control", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "control+dns+named", "",
+         "vrouter-agents connected to this instance rediscover a "
+         "surviving control process (~1 minute); if no control "
+         "process survives, BGP forwarding tables are flushed and "
+         "every host DP goes down."},
+        {"dns", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "control+dns+named", "",
+         "VM DNS requests served by this node fail over; the DP "
+         "needs {control+dns+named} co-located on one node."},
+        {"named", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "control+dns+named", "",
+         "Companion DNS daemon; same block requirement as dns."},
+    };
+    catalog.addRole(std::move(control));
+
+    RoleSpec analytics;
+    analytics.name = "Analytics";
+    analytics.tag = 'A';
+    analytics.processes = {
+        {"analytics-api", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Operational data queries fail on this node."},
+        {"alarm-gen", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Alarm generation paused on this node."},
+        {"collector", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Data generators fail over to surviving collectors."},
+        {"query-engine", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Historical analytics queries fail on this node."},
+        {"redis", RestartMode::Manual, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Real-time analytics cache lost; not under supervisor "
+         "control, requires manual restart."},
+    };
+    catalog.addRole(std::move(analytics));
+
+    RoleSpec database;
+    database.name = "Database";
+    database.tag = 'D';
+    database.processes = {
+        {"cassandra-config", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "Config persistence quorum member; losing the majority halts "
+         "CP configuration operations."},
+        {"cassandra-analytics", RestartMode::Manual,
+         QuorumClass::Majority, QuorumClass::None, "", "",
+         "Analytics persistence quorum member."},
+        {"kafka", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "Event/alarm streaming bus quorum member."},
+        {"zookeeper", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "ID-uniqueness ensemble member; majority loss halts CP "
+         "object creation."},
+    };
+    catalog.addRole(std::move(database));
+
+    catalog.addHostProcess(
+        {"vrouter-agent", RestartMode::Auto, true,
+         "Policy evaluation for the host's flows stops; prefixes of "
+         "VMs on the host disappear from routing advertisements; the "
+         "entire host DP is down until restart."});
+    catalog.addHostProcess(
+        {"vrouter-dpdk", RestartMode::Auto, true,
+         "User-space forwarding path stops; the vRouter function "
+         "cannot execute and the host DP is down."});
+
+    catalog.validate();
+    return catalog;
+}
+
+ControllerCatalog
+raftStyleController()
+{
+    ControllerCatalog catalog("Raft-style monolithic controller");
+
+    RoleSpec core;
+    core.name = "Core";
+    core.tag = 'R';
+    core.processes = {
+        {"raft-consensus", RestartMode::Auto, QuorumClass::Majority,
+         QuorumClass::Majority, "", "",
+         "Cluster leader election and replicated store; majority "
+         "loss halts both planes."},
+        {"flow-manager", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "", "",
+         "Flow programming service."},
+        {"northbound-api", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "REST/NETCONF front end."},
+        {"topology-store", RestartMode::Auto, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "Replicated topology view."},
+    };
+    catalog.addRole(std::move(core));
+
+    RoleSpec apps;
+    apps.name = "Apps";
+    apps.tag = 'P';
+    apps.processes = {
+        {"l2-switch-app", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "", "Learning-switch application."},
+        {"stats-app", RestartMode::Manual, QuorumClass::AnyOne,
+         QuorumClass::None, "", "", "Statistics collection."},
+    };
+    catalog.addRole(std::move(apps));
+
+    catalog.addHostProcess(
+        {"openflow-agent", RestartMode::Auto, true,
+         "Host switch loses its controller session; DP down for the "
+         "host until restart."});
+
+    catalog.validate();
+    return catalog;
+}
+
+ControllerCatalog
+fragileController()
+{
+    ControllerCatalog catalog("Fragile singleton controller");
+
+    RoleSpec brain;
+    brain.name = "Brain";
+    brain.tag = 'B';
+    brain.processes = {
+        {"scheduler", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::Majority, "", "",
+         "Quorum-based scheduler, manual restart."},
+        {"state-db", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::Majority, "", "",
+         "Quorum state store, manual restart."},
+        {"api", RestartMode::Manual, QuorumClass::AnyOne,
+         QuorumClass::None, "", "", "Manual-restart API server."},
+    };
+    catalog.addRole(std::move(brain));
+
+    catalog.addHostProcess(
+        {"forwarder", RestartMode::Manual, true,
+         "Manual-restart host forwarder: a per-host single point of "
+         "failure with slow recovery."});
+
+    catalog.validate();
+    return catalog;
+}
+
+} // namespace sdnav::fmea

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference controller catalogs.
+ *
+ * openContrail3() transcribes the paper's Tables I-III for
+ * OpenContrail 3.x. The other catalogs demonstrate the framework's
+ * extensibility claim: different process inventories, restart modes,
+ * and quorum mixes, analyzed by exactly the same models.
+ */
+
+#ifndef SDNAV_FMEA_OPEN_CONTRAIL_HH
+#define SDNAV_FMEA_OPEN_CONTRAIL_HH
+
+#include "fmea/catalog.hh"
+
+namespace sdnav::fmea
+{
+
+/**
+ * The OpenContrail 3.x catalog (paper Table I):
+ *
+ * - Config: config-api, discovery, schema, svc-monitor, ifmap,
+ *   device-manager — all auto-restarted, all "1 of 3" for the CP;
+ *   discovery is also "1 of 3" for the DP.
+ * - Control: control ("1 of 3" CP), dns and named ("0 of 3" CP); for
+ *   the DP, {control + dns + named} forms a single "1 of 3" block
+ *   that must be co-located on one node.
+ * - Analytics: analytics-api, alarm-gen, collector, query-engine
+ *   (auto) and redis (manual) — all "1 of 3" CP only.
+ * - Database: cassandra-config, cassandra-analytics, kafka, zookeeper
+ *   — all manual restart, all "2 of 3" (majority) CP only.
+ * - Per host: vrouter-agent and vrouter-dpdk, both required ("1 of
+ *   1") for that host's DP.
+ */
+ControllerCatalog openContrail3();
+
+/**
+ * A hypothetical monolithic Raft-style controller (ODL/ONOS-like
+ * shape): one consensus process plus a small set of app processes,
+ * every availability-critical process requiring a majority quorum.
+ * Used by examples and ablations to show how quorum-heavy designs
+ * trade against OpenContrail's mostly-"1 of 3" design.
+ */
+ControllerCatalog raftStyleController();
+
+/**
+ * A deliberately fragile single-plane controller with several manual-
+ * restart singleton processes; exercises the framework's weak-link
+ * identification on an easy target.
+ */
+ControllerCatalog fragileController();
+
+} // namespace sdnav::fmea
+
+#endif // SDNAV_FMEA_OPEN_CONTRAIL_HH

@@ -1,0 +1,108 @@
+#include "fmea/otherControllers.hh"
+
+namespace sdnav::fmea
+{
+
+ControllerCatalog
+openDaylightLike()
+{
+    ControllerCatalog catalog("OpenDaylight-like controller");
+
+    RoleSpec controller;
+    controller.name = "Controller";
+    controller.tag = 'K';
+    controller.processes = {
+        {"karaf", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "node-core", "",
+         "The OSGi container hosting every feature on the node; its "
+         "failure downs the node's controller instance."},
+        {"mdsal-shard", RestartMode::Auto, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "Replicated MD-SAL datastore shard; losing the majority "
+         "halts configuration and most applications."},
+        {"openflow-plugin", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "node-core", "",
+         "Southbound session endpoint; switches fail over to another "
+         "cluster member's plugin, so any one serving node suffices — "
+         "but only together with its karaf (co-located block)."},
+    };
+    catalog.addRole(std::move(controller));
+
+    RoleSpec frontend;
+    frontend.name = "Frontend";
+    frontend.tag = 'F';
+    frontend.processes = {
+        {"restconf", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Northbound REST API endpoint."},
+        {"aaa", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Authentication/authorization service."},
+    };
+    catalog.addRole(std::move(frontend));
+
+    catalog.addHostProcess(
+        {"ovs-vswitchd", RestartMode::Auto, true,
+         "Host Open vSwitch datapath; its failure downs the host's "
+         "data plane."});
+    catalog.addHostProcess(
+        {"ovsdb-server", RestartMode::Auto, true,
+         "OVS configuration database on the host; required for "
+         "datapath reconfiguration and session keepalive."});
+
+    catalog.validate();
+    return catalog;
+}
+
+ControllerCatalog
+onosLike()
+{
+    ControllerCatalog catalog("ONOS-like controller");
+
+    RoleSpec atomix;
+    atomix.name = "Atomix";
+    atomix.tag = 'X';
+    atomix.processes = {
+        {"atomix", RestartMode::Auto, QuorumClass::Majority,
+         QuorumClass::None, "", "",
+         "Raft consensus and replicated primitives; majority loss "
+         "halts mastership election and the CP."},
+    };
+    catalog.addRole(std::move(atomix));
+
+    RoleSpec core;
+    core.name = "Core";
+    core.tag = 'O';
+    core.processes = {
+        {"onos-core", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::AnyOne, "", "",
+         "Device mastership holder; on failure another instance "
+         "takes mastership of the affected switches."},
+        {"gui-cli", RestartMode::Manual, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Operator front end; manual restart in many deployments."},
+    };
+    catalog.addRole(std::move(core));
+
+    RoleSpec apps;
+    apps.name = "Apps";
+    apps.tag = 'P';
+    apps.processes = {
+        {"intent-service", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Intent compilation and reconciliation."},
+        {"fwd-app", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "",
+         "Reactive forwarding application."},
+    };
+    catalog.addRole(std::move(apps));
+
+    catalog.addHostProcess(
+        {"ovs-vswitchd", RestartMode::Auto, true,
+         "Host Open vSwitch datapath."});
+
+    catalog.validate();
+    return catalog;
+}
+
+} // namespace sdnav::fmea

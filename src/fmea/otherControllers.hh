@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Catalogs for other distributed SDN controllers the paper's
+ * introduction names (OpenDaylight, ONOS), modeled at the same
+ * process granularity as the OpenContrail reference.
+ *
+ * These catalogs are *illustrative reconstructions* from the public
+ * architecture documentation of each project (process inventories
+ * and clustering behavior), not vendor-validated availability data.
+ * Their purpose is to exercise the paper's extensibility claim on
+ * realistic shapes: ODL's app-in-controller karaf monolith with a
+ * replicated MD-SAL datastore, and ONOS's Atomix-backed partitioned
+ * core with separated app processes.
+ */
+
+#ifndef SDNAV_FMEA_OTHER_CONTROLLERS_HH
+#define SDNAV_FMEA_OTHER_CONTROLLERS_HH
+
+#include "fmea/catalog.hh"
+
+namespace sdnav::fmea
+{
+
+/**
+ * OpenDaylight-like controller:
+ * - Controller role: the karaf container process (everything runs
+ *   inside it — its failure downs the node's controller entirely),
+ *   plus the MD-SAL datastore shards requiring a majority, plus the
+ *   OpenFlow southbound plugin ("1 of n" for the DP since switches
+ *   fail over between cluster members).
+ * - Infra role: AAA and RESTCONF front ends ("1 of n", CP only).
+ * - Per host: an OVS switch process whose failure downs that host's
+ *   data plane.
+ */
+ControllerCatalog openDaylightLike();
+
+/**
+ * ONOS-like controller:
+ * - Atomix role: the consensus/storage nodes (majority quorum, CP).
+ * - Core role: the ONOS core process (mastership-based, "1 of n" for
+ *   both planes via device mastership handoff) and the CLI/GUI front
+ *   end ("1 of n", CP only).
+ * - Apps role: fwd/intent apps ("1 of n", CP only).
+ * - Per host: an OVS switch process.
+ */
+ControllerCatalog onosLike();
+
+} // namespace sdnav::fmea
+
+#endif // SDNAV_FMEA_OTHER_CONTROLLERS_HH

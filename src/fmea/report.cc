@@ -1,0 +1,116 @@
+#include "fmea/report.hh"
+
+#include <sstream>
+
+namespace sdnav::fmea
+{
+
+TextTable
+nodeProcessTable(const ControllerCatalog &catalog, unsigned clusterSize)
+{
+    TextTable table;
+    table.title("Table I. " + catalog.name() +
+                " node process and failure modes");
+    table.header({"Role", "Process Name", "SDN CP", "Host DP"});
+    for (const RoleSpec &role : catalog.roles()) {
+        for (const ProcessSpec &proc : role.processes) {
+            table.addRow({role.name, proc.name,
+                          quorumNotation(proc.cpQuorum, clusterSize),
+                          quorumNotation(proc.dpQuorum, clusterSize)});
+        }
+    }
+    for (const HostProcessSpec &proc : catalog.hostProcesses()) {
+        table.addRow({"vRouter", proc.name,
+                      "0 of 1",
+                      proc.requiredForDp ? "1 of 1" : "0 of 1"});
+    }
+    return table;
+}
+
+TextTable
+restartModeTable(const ControllerCatalog &catalog)
+{
+    TextTable table;
+    table.title("Table II. Counts of processes by restart mode by role");
+    std::vector<std::string> header{"Restart Mode"};
+    for (const RoleSpec &role : catalog.roles())
+        header.push_back(role.name);
+    table.header(std::move(header));
+
+    std::vector<std::string> auto_row{"Auto"};
+    std::vector<std::string> manual_row{"Manual"};
+    for (std::size_t r = 0; r < catalog.roles().size(); ++r) {
+        RestartCounts counts = catalog.restartCounts(r);
+        auto_row.push_back(std::to_string(counts.autoRestart));
+        manual_row.push_back(std::to_string(counts.manualRestart));
+    }
+    table.addRow(std::move(auto_row));
+    table.addRow(std::move(manual_row));
+    return table;
+}
+
+TextTable
+quorumTypeTable(const ControllerCatalog &catalog)
+{
+    TextTable table;
+    table.title("Table III. Counts of processes by quorum type by role "
+                "(M = majority, N = any-one)");
+    table.header({"Role", "CP M", "CP N", "DP M", "DP N"});
+    unsigned cp_m = 0, cp_n = 0, dp_m = 0, dp_n = 0;
+    for (std::size_t r = 0; r < catalog.roles().size(); ++r) {
+        QuorumCounts cp = catalog.quorumCounts(r, Plane::ControlPlane);
+        QuorumCounts dp = catalog.quorumCounts(r, Plane::DataPlane);
+        table.addRow({catalog.role(r).name + " " +
+                          std::string(1, catalog.role(r).tag),
+                      std::to_string(cp.majority),
+                      std::to_string(cp.anyOne),
+                      std::to_string(dp.majority),
+                      std::to_string(dp.anyOne)});
+        cp_m += cp.majority;
+        cp_n += cp.anyOne;
+        dp_m += dp.majority;
+        dp_n += dp.anyOne;
+    }
+    table.addRow({"Sums", std::to_string(cp_m), std::to_string(cp_n),
+                  std::to_string(dp_m), std::to_string(dp_n)});
+    return table;
+}
+
+std::string
+fmeaReport(const ControllerCatalog &catalog, unsigned clusterSize)
+{
+    std::ostringstream os;
+    os << "FMEA report: " << catalog.name() << "\n";
+    os << std::string(72, '=') << "\n";
+    for (const RoleSpec &role : catalog.roles()) {
+        os << "\nRole " << role.name << " (" << role.tag << ")\n";
+        os << std::string(72, '-') << "\n";
+        for (const ProcessSpec &proc : role.processes) {
+            os << "  " << proc.name << " ["
+               << (proc.restart == RestartMode::Auto ? "auto" : "manual")
+               << " restart; CP "
+               << quorumNotation(proc.cpQuorum, clusterSize) << ", DP "
+               << quorumNotation(proc.dpQuorum, clusterSize);
+            if (!proc.dpBlock.empty())
+                os << ", DP block '" << proc.dpBlock << "'";
+            os << "]\n";
+            if (!proc.failureEffect.empty())
+                os << "      effect: " << proc.failureEffect << "\n";
+        }
+    }
+    if (!catalog.hostProcesses().empty()) {
+        os << "\nPer-host vRouter processes\n";
+        os << std::string(72, '-') << "\n";
+        for (const HostProcessSpec &proc : catalog.hostProcesses()) {
+            os << "  " << proc.name << " ["
+               << (proc.restart == RestartMode::Auto ? "auto" : "manual")
+               << " restart; DP "
+               << (proc.requiredForDp ? "1 of 1" : "0 of 1") << "]\n";
+            if (!proc.failureEffect.empty())
+                os << "      effect: " << proc.failureEffect << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace sdnav::fmea

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Renderers that regenerate the paper's Tables I-III (plus a full
+ * FMEA effects report) from any ControllerCatalog.
+ */
+
+#ifndef SDNAV_FMEA_REPORT_HH
+#define SDNAV_FMEA_REPORT_HH
+
+#include <string>
+
+#include "common/textTable.hh"
+#include "fmea/catalog.hh"
+
+namespace sdnav::fmea
+{
+
+/**
+ * Paper Table I: per-process failure modes — role, process name, and
+ * the "m of n" CP and DP requirements at the given cluster size.
+ */
+TextTable nodeProcessTable(const ControllerCatalog &catalog,
+                           unsigned clusterSize = 3);
+
+/** Paper Table II: counts of processes by restart mode by role. */
+TextTable restartModeTable(const ControllerCatalog &catalog);
+
+/**
+ * Paper Table III: counts of quorum blocks by quorum type (M = strict
+ * majority, N = any-one) by role, for both planes, with the summary
+ * row of sums.
+ */
+TextTable quorumTypeTable(const ControllerCatalog &catalog);
+
+/**
+ * Full FMEA report: every process and host process with its restart
+ * mode, requirements, and failure-effect prose.
+ */
+std::string fmeaReport(const ControllerCatalog &catalog,
+                       unsigned clusterSize = 3);
+
+} // namespace sdnav::fmea
+
+#endif // SDNAV_FMEA_REPORT_HH

@@ -1,0 +1,224 @@
+#include "markov/ctmc.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sdnav::markov
+{
+
+StateId
+Ctmc::addState(std::string name, bool up)
+{
+    names_.push_back(std::move(name));
+    up_.push_back(up);
+    return up_.size() - 1;
+}
+
+void
+Ctmc::addTransition(StateId from, StateId to, double rate)
+{
+    require(from < up_.size() && to < up_.size(),
+            "transition references unknown state");
+    require(from != to, "self-transitions are not meaningful in a CTMC");
+    requirePositive(rate, "rate");
+    transitions_.push_back({from, to, rate});
+}
+
+const std::string &
+Ctmc::stateName(StateId id) const
+{
+    require(id < names_.size(), "unknown state id");
+    return names_[id];
+}
+
+bool
+Ctmc::stateUp(StateId id) const
+{
+    require(id < up_.size(), "unknown state id");
+    return up_[id];
+}
+
+Matrix
+Ctmc::generator() const
+{
+    require(stateCount() > 0, "CTMC has no states");
+    Matrix q(stateCount(), stateCount());
+    for (const Transition &t : transitions_) {
+        q.at(t.from, t.to) += t.rate;
+        q.at(t.from, t.from) -= t.rate;
+    }
+    return q;
+}
+
+std::vector<double>
+Ctmc::steadyState() const
+{
+    std::size_t n = stateCount();
+    require(n > 0, "CTMC has no states");
+    if (n == 1)
+        return {1.0};
+
+    // Solve pi Q = 0 with the normalization sum(pi) = 1 by replacing
+    // the last balance equation: A = Q^T with last row set to ones,
+    // b = (0, ..., 0, 1).
+    Matrix a = generator().transposed();
+    for (std::size_t j = 0; j < n; ++j)
+        a.at(n - 1, j) = 1.0;
+    std::vector<double> b(n, 0.0);
+    b[n - 1] = 1.0;
+    std::vector<double> pi = solveLinearSystem(a, b);
+
+    // Clamp tiny negatives from rounding and renormalize.
+    double total = 0.0;
+    for (double &p : pi) {
+        if (p < 0.0 && p > -1e-12)
+            p = 0.0;
+        require(p >= 0.0, "steady state solution is not a distribution "
+                          "(chain may be reducible)");
+        total += p;
+    }
+    require(total > 0.0, "steady state mass vanished");
+    for (double &p : pi)
+        p /= total;
+    return pi;
+}
+
+double
+Ctmc::steadyStateAvailability() const
+{
+    std::vector<double> pi = steadyState();
+    double up = 0.0;
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+        if (up_[i])
+            up += pi[i];
+    }
+    return up;
+}
+
+std::vector<double>
+Ctmc::transientDistribution(const std::vector<double> &initial, double t,
+                            double tolerance) const
+{
+    std::size_t n = stateCount();
+    require(initial.size() == n, "initial distribution size mismatch");
+    requireNonNegative(t, "t");
+    requirePositive(tolerance, "tolerance");
+    if (t == 0.0)
+        return initial;
+
+    // Uniformization: P(t) = sum_k Poisson(k; Lambda t) P^k where
+    // P = I + Q / Lambda and Lambda >= max exit rate.
+    Matrix q = generator();
+    double lambda = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        lambda = std::max(lambda, -q.at(i, i));
+    if (lambda == 0.0)
+        return initial; // No transitions at all.
+    lambda *= 1.02; // Headroom keeps the DTMC aperiodic.
+
+    Matrix p = q;
+    p.scale(1.0 / lambda);
+    p.add(Matrix::identity(n));
+
+    double mean = lambda * t;
+    std::vector<double> term = initial; // initial * P^k, k = 0.
+    std::vector<double> result(n, 0.0);
+
+    // Poisson weights by stable recurrence; start from the mode to
+    // avoid underflow for very large mean is unnecessary here since we
+    // accumulate forward with scaled weights.
+    double log_weight = -mean; // log Poisson(0).
+    double accumulated = 0.0;
+    std::size_t k = 0;
+    // Cap iterations generously: mean + 12 sqrt(mean) + 64.
+    std::size_t max_k = static_cast<std::size_t>(
+        mean + 12.0 * std::sqrt(mean + 1.0) + 64.0);
+    for (;;) {
+        double weight = std::exp(log_weight);
+        for (std::size_t i = 0; i < n; ++i)
+            result[i] += weight * term[i];
+        accumulated += weight;
+        if (1.0 - accumulated < tolerance || k >= max_k)
+            break;
+        ++k;
+        log_weight += std::log(mean / static_cast<double>(k));
+        term = p.leftMultiply(term);
+    }
+
+    // The truncated tail mass is redistributed by normalization.
+    double total = 0.0;
+    for (double v : result)
+        total += v;
+    if (total > 0.0) {
+        for (double &v : result)
+            v /= total;
+    }
+    return result;
+}
+
+double
+Ctmc::transientAvailability(const std::vector<double> &initial,
+                            double t) const
+{
+    std::vector<double> dist = transientDistribution(initial, t);
+    double up = 0.0;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        if (up_[i])
+            up += dist[i];
+    }
+    return up;
+}
+
+double
+Ctmc::intervalAvailability(const std::vector<double> &initial,
+                           double horizon, std::size_t steps) const
+{
+    requirePositive(horizon, "horizon");
+    require(steps >= 2 && steps % 2 == 0,
+            "Simpson integration needs an even step count >= 2");
+    double h = horizon / static_cast<double>(steps);
+    double sum = transientAvailability(initial, 0.0) +
+                 transientAvailability(initial, horizon);
+    for (std::size_t i = 1; i < steps; ++i) {
+        double weight = (i % 2 == 1) ? 4.0 : 2.0;
+        sum += weight *
+               transientAvailability(initial, h * static_cast<double>(i));
+    }
+    return sum * h / 3.0 / horizon;
+}
+
+double
+Ctmc::meanTimeToFirstFailure(const std::vector<double> &initial) const
+{
+    std::size_t n = stateCount();
+    require(initial.size() == n, "initial distribution size mismatch");
+
+    std::vector<std::size_t> up_states;
+    for (StateId s = 0; s < n; ++s) {
+        if (up_[s])
+            up_states.push_back(s);
+        else
+            require(initial[s] == 0.0,
+                    "initial distribution must start in up states");
+    }
+    require(!up_states.empty(), "chain has no up states");
+
+    // Solve Q_UU t = -1 for the expected hitting times of the down
+    // set from each up state.
+    Matrix q = generator();
+    std::size_t m = up_states.size();
+    Matrix quu(m, m);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            quu.at(i, j) = q.at(up_states[i], up_states[j]);
+    std::vector<double> rhs(m, -1.0);
+    std::vector<double> hitting = solveLinearSystem(quu, rhs);
+
+    double mttf = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        mttf += initial[up_states[i]] * hitting[i];
+    return mttf;
+}
+
+} // namespace sdnav::markov

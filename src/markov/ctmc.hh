@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Continuous-time Markov chain (CTMC) availability models.
+ *
+ * The paper's process-availability arguments (section VI.A) are
+ * renewal/Markov arguments: A = F/(F+R) is the steady-state up
+ * probability of a two-state repairable component, and the supervisor
+ * coupling results follow from competing exponential failure causes.
+ * This module lets those arguments be *derived* rather than assumed:
+ * build the chain, solve pi Q = 0, and read off the availability.
+ */
+
+#ifndef SDNAV_MARKOV_CTMC_HH
+#define SDNAV_MARKOV_CTMC_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "markov/matrix.hh"
+
+namespace sdnav::markov
+{
+
+/** Identifier of a CTMC state. */
+using StateId = std::size_t;
+
+/**
+ * A finite-state continuous-time Markov chain with named states and a
+ * per-state "system up" flag.
+ */
+class Ctmc
+{
+  public:
+    Ctmc() = default;
+
+    /**
+     * Add a state.
+     *
+     * @param name Diagnostic name.
+     * @param up Whether the modeled system is up in this state.
+     * @return The new state's id.
+     */
+    StateId addState(std::string name, bool up);
+
+    /**
+     * Add a transition with the given exponential rate. Multiple
+     * transitions between the same pair accumulate.
+     *
+     * @param from Source state.
+     * @param to Destination state (distinct from source).
+     * @param rate Transition rate, > 0 (per unit time).
+     */
+    void addTransition(StateId from, StateId to, double rate);
+
+    /** Number of states. */
+    std::size_t stateCount() const { return up_.size(); }
+
+    /** Name of a state. */
+    const std::string &stateName(StateId id) const;
+
+    /** Whether the system is up in a state. */
+    bool stateUp(StateId id) const;
+
+    /** The infinitesimal generator matrix Q. */
+    Matrix generator() const;
+
+    /**
+     * Steady-state distribution pi solving pi Q = 0, sum(pi) = 1.
+     * Requires the chain to be irreducible (a single recurrent class);
+     * throws ModelError if the resulting system is singular.
+     */
+    std::vector<double> steadyState() const;
+
+    /** Steady-state availability: sum of pi over up states. */
+    double steadyStateAvailability() const;
+
+    /**
+     * Transient state distribution at time t from an initial
+     * distribution, computed by uniformization (stable for the
+     * stiff rates typical of availability models).
+     *
+     * @param initial Initial distribution (sums to 1).
+     * @param t Elapsed time, >= 0.
+     * @param tolerance Truncation tolerance of the Poisson sum.
+     */
+    std::vector<double> transientDistribution(
+        const std::vector<double> &initial, double t,
+        double tolerance = 1e-12) const;
+
+    /** Transient availability: up-state mass at time t. */
+    double transientAvailability(const std::vector<double> &initial,
+                                 double t) const;
+
+    /**
+     * Expected interval availability over [0, horizon]: the time
+     * average of transient availability, integrated numerically with
+     * the given number of steps (Simpson's rule).
+     */
+    double intervalAvailability(const std::vector<double> &initial,
+                                double horizon,
+                                std::size_t steps = 128) const;
+
+    /**
+     * Mean time to first failure: the expected time until the chain
+     * first enters any down state, starting from the given
+     * distribution (which must place all its mass on up states).
+     * Computed by solving the absorbing-chain equations
+     * Q_UU t = -1 over the up states.
+     *
+     * @throws ModelError if the chain cannot reach a down state from
+     *         some up state (singular system), or if the initial
+     *         distribution has mass on down states.
+     */
+    double meanTimeToFirstFailure(
+        const std::vector<double> &initial) const;
+
+  private:
+    struct Transition
+    {
+        StateId from;
+        StateId to;
+        double rate;
+    };
+
+    std::vector<std::string> names_;
+    std::vector<bool> up_;
+    std::vector<Transition> transitions_;
+};
+
+} // namespace sdnav::markov
+
+#endif // SDNAV_MARKOV_CTMC_HH

@@ -1,0 +1,186 @@
+#include "markov/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sdnav::markov
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+    require(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix
+Matrix::identity(std::size_t order)
+{
+    Matrix m(order, order);
+    for (std::size_t i = 0; i < order; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t row, std::size_t col)
+{
+    require(row < rows_ && col < cols_, "matrix index out of range");
+    return data_[row * cols_ + col];
+}
+
+double
+Matrix::at(std::size_t row, std::size_t col) const
+{
+    require(row < rows_ && col < cols_, "matrix index out of range");
+    return data_[row * cols_ + col];
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    require(cols_ == other.rows_, "matrix product dimension mismatch");
+    Matrix result(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double v = data_[i * cols_ + k];
+            if (v == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                result.data_[i * other.cols_ + j] +=
+                    v * other.data_[k * other.cols_ + j];
+        }
+    }
+    return result;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &vec) const
+{
+    require(vec.size() == cols_, "matrix-vector dimension mismatch");
+    std::vector<double> result(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            sum += data_[i * cols_ + j] * vec[j];
+        result[i] = sum;
+    }
+    return result;
+}
+
+std::vector<double>
+Matrix::leftMultiply(const std::vector<double> &vec) const
+{
+    require(vec.size() == rows_, "vector-matrix dimension mismatch");
+    std::vector<double> result(cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double v = vec[i];
+        if (v == 0.0)
+            continue;
+        for (std::size_t j = 0; j < cols_; ++j)
+            result[j] += v * data_[i * cols_ + j];
+    }
+    return result;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix result(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            result.at(j, i) = data_[i * cols_ + j];
+    return result;
+}
+
+void
+Matrix::scale(double factor)
+{
+    for (double &v : data_)
+        v *= factor;
+}
+
+void
+Matrix::add(const Matrix &other)
+{
+    require(rows_ == other.rows_ && cols_ == other.cols_,
+            "matrix addition shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (double v : data_)
+        best = std::max(best, std::fabs(v));
+    return best;
+}
+
+std::string
+Matrix::str(int precision) const
+{
+    std::ostringstream os;
+    os << std::setprecision(precision);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        os << "[";
+        for (std::size_t j = 0; j < cols_; ++j) {
+            if (j > 0)
+                os << ", ";
+            os << data_[i * cols_ + j];
+        }
+        os << "]\n";
+    }
+    return os.str();
+}
+
+std::vector<double>
+solveLinearSystem(const Matrix &a, const std::vector<double> &b)
+{
+    require(a.rows() == a.cols(), "linear solve requires a square matrix");
+    require(b.size() == a.rows(), "right-hand side size mismatch");
+    std::size_t n = a.rows();
+
+    // Augmented working copy.
+    std::vector<std::vector<double>> work(n, std::vector<double>(n + 1));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            work[i][j] = a.at(i, j);
+        work[i][n] = b[i];
+    }
+
+    // Forward elimination with partial pivoting.
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(work[row][col]) > std::fabs(work[pivot][col]))
+                pivot = row;
+        }
+        require(std::fabs(work[pivot][col]) > 1e-300,
+                "linear system is singular");
+        std::swap(work[col], work[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            double factor = work[row][col] / work[col][col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t j = col; j <= n; ++j)
+                work[row][j] -= factor * work[col][j];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = work[i][n];
+        for (std::size_t j = i + 1; j < n; ++j)
+            sum -= work[i][j] * x[j];
+        x[i] = sum / work[i][i];
+    }
+    return x;
+}
+
+} // namespace sdnav::markov

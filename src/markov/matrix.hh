@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dense row-major matrix with the operations the CTMC solvers need.
+ * Deliberately minimal: this is numeric plumbing, not a linear algebra
+ * library.
+ */
+
+#ifndef SDNAV_MARKOV_MATRIX_HH
+#define SDNAV_MARKOV_MATRIX_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdnav::markov
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Construct a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** The identity matrix of the given order. */
+    static Matrix identity(std::size_t order);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Element access. */
+    double &at(std::size_t row, std::size_t col);
+    double at(std::size_t row, std::size_t col) const;
+
+    /** Matrix product; dimensions must agree. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Matrix-vector product; vec.size() must equal cols(). */
+    std::vector<double> multiply(const std::vector<double> &vec) const;
+
+    /** Row-vector times matrix: result_j = sum_i vec_i * M(i, j). */
+    std::vector<double> leftMultiply(const std::vector<double> &vec) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Scale every element in place. */
+    void scale(double factor);
+
+    /** this += other (same shape). */
+    void add(const Matrix &other);
+
+    /** Maximum absolute element. */
+    double maxAbs() const;
+
+    /** Multiline text rendering for diagnostics. */
+    std::string str(int precision = 6) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the linear system A x = b by Gaussian elimination with partial
+ * pivoting. A is copied; the caller's matrix is untouched.
+ *
+ * @param a Square coefficient matrix.
+ * @param b Right-hand side (size == a.rows()).
+ * @return The solution vector.
+ * @throws ModelError if the matrix is singular to working precision.
+ */
+std::vector<double> solveLinearSystem(const Matrix &a,
+                                      const std::vector<double> &b);
+
+} // namespace sdnav::markov
+
+#endif // SDNAV_MARKOV_MATRIX_HH

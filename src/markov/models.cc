@@ -1,0 +1,100 @@
+#include "markov/models.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace sdnav::markov
+{
+
+Ctmc
+twoStateModel(double mtbfHours, double mttrHours)
+{
+    requirePositive(mtbfHours, "mtbfHours");
+    requirePositive(mttrHours, "mttrHours");
+    Ctmc chain;
+    StateId up = chain.addState("up", true);
+    StateId down = chain.addState("down", false);
+    chain.addTransition(up, down, 1.0 / mtbfHours);
+    chain.addTransition(down, up, 1.0 / mttrHours);
+    return chain;
+}
+
+Ctmc
+supervisorCoupledModel(const prob::ProcessTimings &timings,
+                       double supervisorMtbfHours)
+{
+    timings.validate();
+    requirePositive(supervisorMtbfHours, "supervisorMtbfHours");
+    requirePositive(timings.autoRestartHours, "autoRestartHours");
+    requirePositive(timings.manualRestartHours, "manualRestartHours");
+
+    Ctmc chain;
+    StateId up = chain.addState("up", true);
+    StateId auto_restart = chain.addState("auto-restart", false);
+    StateId node_restart = chain.addState("node-role-restart", false);
+    chain.addTransition(up, auto_restart, 1.0 / timings.mtbfHours);
+    chain.addTransition(auto_restart, up,
+                        1.0 / timings.autoRestartHours);
+    chain.addTransition(up, node_restart, 1.0 / supervisorMtbfHours);
+    chain.addTransition(node_restart, up,
+                        1.0 / timings.manualRestartHours);
+    return chain;
+}
+
+Ctmc
+kOfNRepairableModel(unsigned n, unsigned m, double mtbfHours,
+                    double mttrHours, unsigned repairCrews)
+{
+    require(n >= 1, "k-of-n model needs at least one element");
+    require(m >= 1 && m <= n, "required count must be in [1, n]");
+    requirePositive(mtbfHours, "mtbfHours");
+    requirePositive(mttrHours, "mttrHours");
+    require(repairCrews >= 1, "need at least one repair crew");
+
+    double failure_rate = 1.0 / mtbfHours;
+    double repair_rate = 1.0 / mttrHours;
+
+    Ctmc chain;
+    for (unsigned failed = 0; failed <= n; ++failed) {
+        bool up = (n - failed) >= m;
+        chain.addState("failed=" + std::to_string(failed), up);
+    }
+    for (unsigned failed = 0; failed < n; ++failed) {
+        // failed -> failed + 1: each of the (n - failed) working
+        // elements can fail.
+        chain.addTransition(failed, failed + 1,
+                            static_cast<double>(n - failed) *
+                                failure_rate);
+        // failed + 1 -> failed: repairs proceed in parallel up to the
+        // crew limit.
+        unsigned active = std::min(failed + 1, repairCrews);
+        chain.addTransition(failed + 1, failed,
+                            static_cast<double>(active) * repair_rate);
+    }
+    return chain;
+}
+
+std::vector<double>
+birthDeathSteadyState(const std::vector<double> &birthRates,
+                      const std::vector<double> &deathRates)
+{
+    require(birthRates.size() == deathRates.size(),
+            "birth/death rate vectors must match in size");
+    std::size_t n = birthRates.size() + 1;
+    std::vector<double> pi(n, 0.0);
+    pi[0] = 1.0;
+    for (std::size_t i = 1; i < n; ++i) {
+        requirePositive(birthRates[i - 1], "birthRates");
+        requirePositive(deathRates[i - 1], "deathRates");
+        pi[i] = pi[i - 1] * birthRates[i - 1] / deathRates[i - 1];
+    }
+    double total = 0.0;
+    for (double p : pi)
+        total += p;
+    for (double &p : pi)
+        p /= total;
+    return pi;
+}
+
+} // namespace sdnav::markov

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Canonical CTMC availability models: the two-state repairable
+ * component behind A = F/(F+R), the supervisor-coupled process of
+ * paper section VI.A, and repairable k-of-n blocks with limited
+ * repair crews (which reduce to the paper's eq. (1) when repairs are
+ * unconstrained).
+ */
+
+#ifndef SDNAV_MARKOV_MODELS_HH
+#define SDNAV_MARKOV_MODELS_HH
+
+#include "markov/ctmc.hh"
+#include "prob/processAvailability.hh"
+
+namespace sdnav::markov
+{
+
+/**
+ * Two-state repairable component: UP --(1/mtbf)--> DOWN --(1/mttr)-->
+ * UP. Steady-state availability is mtbf / (mtbf + mttr).
+ *
+ * @param mtbfHours Mean time between failures.
+ * @param mttrHours Mean time to restore, > 0 (a zero-restore
+ *                  component is trivially always up).
+ */
+Ctmc twoStateModel(double mtbfHours, double mttrHours);
+
+/**
+ * Scenario-2 supervisor-coupled process chain (paper section VI.A):
+ * the process goes down both when it fails itself (auto-restarted in
+ * R) and when its supervisor fails (node-role killed and manually
+ * restarted in R_S).
+ *
+ * States: UP; AUTO_RESTART; NODE_RESTART. Availability of the chain
+ * equals F* / (F* + R*) with F* = 1/(1/F + 1/F_s) and R* the
+ * rate-weighted restart time — the paper's claim, derived instead of
+ * assumed.
+ *
+ * @param timings Process timing parameters (F, R, R_S).
+ * @param supervisorMtbfHours Supervisor MTBF F_s.
+ */
+Ctmc supervisorCoupledModel(const prob::ProcessTimings &timings,
+                            double supervisorMtbfHours);
+
+/**
+ * Repairable k-of-n block as a birth-death chain on the number of
+ * failed elements. Element failures are exponential with the given
+ * MTBF; a limited pool of repair crews restores elements at rate
+ * 1/mttr each.
+ *
+ * With crews >= n the failed-count distribution is binomial and the
+ * availability equals the paper's eq. (1); with fewer crews repairs
+ * queue and availability drops — the repair-capacity ablation.
+ *
+ * @param n Total elements.
+ * @param m Required up elements (block up iff failed <= n - m).
+ * @param mtbfHours Per-element MTBF.
+ * @param mttrHours Per-element repair time.
+ * @param repairCrews Number of parallel repair crews, >= 1.
+ */
+Ctmc kOfNRepairableModel(unsigned n, unsigned m, double mtbfHours,
+                         double mttrHours, unsigned repairCrews);
+
+/**
+ * Closed-form steady-state distribution of a birth-death chain with
+ * per-state birth rates lambda[i] (i -> i+1) and death rates mu[i]
+ * (i+1 -> i). Sizes: lambda and mu both have n-1 entries for an
+ * n-state chain.
+ */
+std::vector<double> birthDeathSteadyState(
+    const std::vector<double> &birthRates,
+    const std::vector<double> &deathRates);
+
+} // namespace sdnav::markov
+
+#endif // SDNAV_MARKOV_MODELS_HH

@@ -1,0 +1,170 @@
+#include "model/exactModel.hh"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace sdnav::model
+{
+
+using fmea::Plane;
+using fmea::QuorumBlock;
+using fmea::RestartMode;
+
+rbd::RbdSystem
+buildExactSystem(const fmea::ControllerCatalog &catalog,
+                 const topology::DeploymentTopology &topo,
+                 SupervisorPolicy policy, const SwParams &params,
+                 Plane plane)
+{
+    catalog.validate();
+    topo.validate();
+    params.validate();
+    require(catalog.roles().size() == topo.roleCount(),
+            "catalog role count does not match topology role count");
+
+    rbd::RbdSystem system;
+    auto process_avail = [&params](RestartMode mode) {
+        return mode == RestartMode::Auto
+            ? params.processAvailability
+            : params.manualProcessAvailability;
+    };
+
+    // Shared infrastructure first: racks, hosts, VMs. Keeping shared
+    // variables early in the BDD order bounds the diagram width.
+    std::vector<rbd::ComponentId> racks;
+    for (std::size_t r = 0; r < topo.rackCount(); ++r)
+        racks.push_back(system.addComponent("rack" + std::to_string(r),
+                                            params.rackAvailability));
+    std::vector<rbd::ComponentId> hosts;
+    for (std::size_t h = 0; h < topo.hostCount(); ++h)
+        hosts.push_back(system.addComponent("host" + std::to_string(h),
+                                            params.hostAvailability));
+    std::vector<rbd::ComponentId> vms;
+    for (std::size_t v = 0; v < topo.vmCount(); ++v)
+        vms.push_back(system.addComponent("vm" + std::to_string(v),
+                                          params.vmAvailability));
+
+    // Per node-role supervisors (also effectively shared: every block
+    // of a role on a node depends on the same supervisor).
+    std::size_t n = topo.clusterSize();
+    std::size_t role_count = topo.roleCount();
+    std::vector<rbd::ComponentId> supervisors;
+    if (policy == SupervisorPolicy::Required) {
+        supervisors.resize(role_count * n);
+        for (std::size_t role = 0; role < role_count; ++role) {
+            for (std::size_t node = 0; node < n; ++node) {
+                supervisors[role * n + node] = system.addComponent(
+                    "supervisor-" + catalog.role(role).name + "-" +
+                        std::to_string(node),
+                    params.manualProcessAvailability);
+            }
+        }
+    }
+
+    // Per-process components. Variable order matters enormously for
+    // the BDD: group the plane's quorum-relevant processes by block
+    // (each block's counting structure then touches a contiguous
+    // variable range) rather than by node. Plane-irrelevant processes
+    // are appended afterwards; they never appear in the structure
+    // function but keep the component inventory complete.
+    constexpr std::size_t unassigned =
+        std::numeric_limits<std::size_t>::max();
+    std::vector<std::vector<rbd::ComponentId>> procs(role_count * n);
+    for (std::size_t role = 0; role < role_count; ++role) {
+        std::size_t count = catalog.role(role).processes.size();
+        for (std::size_t node = 0; node < n; ++node)
+            procs[role * n + node].assign(count, unassigned);
+    }
+    auto add_process = [&](std::size_t role, std::size_t node,
+                           std::size_t p) {
+        auto &slot = procs[role * n + node][p];
+        if (slot != unassigned)
+            return;
+        const fmea::ProcessSpec &proc = catalog.role(role).processes[p];
+        slot = system.addComponent(proc.name + "-" +
+                                       std::to_string(node),
+                                   process_avail(proc.restart));
+    };
+    for (std::size_t role = 0; role < role_count; ++role) {
+        for (const QuorumBlock &block :
+             catalog.planeBlocks(role, plane)) {
+            for (std::size_t node = 0; node < n; ++node) {
+                for (std::size_t p : block.memberProcesses)
+                    add_process(role, node, p);
+            }
+        }
+    }
+    for (std::size_t role = 0; role < role_count; ++role) {
+        for (std::size_t node = 0; node < n; ++node) {
+            for (std::size_t p = 0;
+                 p < catalog.role(role).processes.size(); ++p) {
+                add_process(role, node, p);
+            }
+        }
+    }
+
+    // Quorum blocks.
+    std::vector<rbd::Block> top;
+    for (std::size_t role = 0; role < role_count; ++role) {
+        for (const QuorumBlock &block : catalog.planeBlocks(role, plane)) {
+            std::vector<rbd::Block> instances;
+            instances.reserve(n);
+            for (std::size_t node = 0; node < n; ++node) {
+                std::vector<rbd::Block> parts;
+                for (std::size_t p : block.memberProcesses) {
+                    parts.push_back(rbd::component(
+                        procs[role * n + node][p]));
+                }
+                std::size_t vm = topo.vmOf(role, node);
+                std::size_t host = topo.hostOfVm(vm);
+                parts.push_back(rbd::component(vms[vm]));
+                parts.push_back(rbd::component(hosts[host]));
+                parts.push_back(
+                    rbd::component(racks[topo.rackOfHost(host)]));
+                if (policy == SupervisorPolicy::Required) {
+                    parts.push_back(rbd::component(
+                        supervisors[role * n + node]));
+                }
+                instances.push_back(rbd::series(std::move(parts)));
+            }
+            top.push_back(
+                rbd::kOfN(fmea::requiredCount(
+                              block.quorum, static_cast<unsigned>(n)),
+                          std::move(instances)));
+        }
+    }
+
+    // Local data-plane contribution: the per-host vRouter processes.
+    if (plane == Plane::DataPlane) {
+        for (const fmea::HostProcessSpec &proc : catalog.hostProcesses()) {
+            if (!proc.requiredForDp)
+                continue;
+            top.push_back(rbd::component(system.addComponent(
+                proc.name, process_avail(proc.restart))));
+        }
+        if (policy == SupervisorPolicy::Required) {
+            top.push_back(rbd::component(system.addComponent(
+                "supervisor-vrouter",
+                params.manualProcessAvailability)));
+        }
+    }
+
+    require(!top.empty(), "plane has no availability-relevant blocks");
+    system.setRoot(rbd::series(std::move(top)));
+    return system;
+}
+
+double
+exactPlaneAvailability(const fmea::ControllerCatalog &catalog,
+                       const topology::DeploymentTopology &topo,
+                       SupervisorPolicy policy, const SwParams &params,
+                       Plane plane)
+{
+    return buildExactSystem(catalog, topo, policy, params, plane)
+        .availabilityExact();
+}
+
+} // namespace sdnav::model

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exact process-level structure-function models.
+ *
+ * Builds the full reliability block diagram of a controller catalog
+ * deployed on a topology — every process, supervisor, VM, host, and
+ * rack as an explicit component — so that BDD compilation (or Monte
+ * Carlo sampling) yields the ground-truth plane availability against
+ * which the closed-form SW-centric engine is validated.
+ *
+ * Structure, per plane:
+ *
+ *   plane up  =  AND over quorum blocks b:
+ *                  at least m_b of the cluster's node instances of b,
+ *   instance of b on node i  =  AND of b's member processes on i
+ *                               AND node i's role VM, host, rack
+ *                               AND node i's role supervisor
+ *                                   (SupervisorPolicy::Required only).
+ *
+ * For the data plane the local vRouter processes (and the host
+ * supervisor under policy Required) are appended in series.
+ */
+
+#ifndef SDNAV_MODEL_EXACT_MODEL_HH
+#define SDNAV_MODEL_EXACT_MODEL_HH
+
+#include "fmea/catalog.hh"
+#include "model/params.hh"
+#include "rbd/system.hh"
+#include "topology/deployment.hh"
+
+namespace sdnav::model
+{
+
+/**
+ * Build the exact RBD for one plane of a catalog on a topology.
+ *
+ * Components are added in BDD-friendly order (shared infrastructure
+ * first, then per-node supervisors and processes grouped by node) so
+ * availabilityExact() stays cheap.
+ */
+rbd::RbdSystem buildExactSystem(const fmea::ControllerCatalog &catalog,
+                                const topology::DeploymentTopology &topo,
+                                SupervisorPolicy policy,
+                                const SwParams &params,
+                                fmea::Plane plane);
+
+/** Exact plane availability via BDD compilation of the full RBD. */
+double exactPlaneAvailability(const fmea::ControllerCatalog &catalog,
+                              const topology::DeploymentTopology &topo,
+                              SupervisorPolicy policy,
+                              const SwParams &params, fmea::Plane plane);
+
+} // namespace sdnav::model
+
+#endif // SDNAV_MODEL_EXACT_MODEL_HH

@@ -1,0 +1,216 @@
+#include "model/hwCentric.hh"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hh"
+#include "prob/kofn.hh"
+
+namespace sdnav::model
+{
+
+using prob::kOfN;
+
+double
+hwSmallAvailability(const HwParams &params)
+{
+    params.validate();
+    double ac = params.roleAvailability;
+    double av = params.vmAvailability;
+    double ah = params.hostAvailability;
+    double ar = params.rackAvailability;
+    double avh = av * ah;
+
+    // Eq. (3): condition on how many {VM+host} pairs are up. With all
+    // three up, the three "1 of 3" roles and one "2 of 3" role draw
+    // from 3 nodes; with two up, from 2 nodes; one node up violates
+    // the Database quorum.
+    double three_up = std::pow(kOfN(1, 3, ac), 3) * kOfN(2, 3, ac) * avh;
+    double two_up = 3.0 * std::pow(kOfN(1, 2, ac), 3) *
+                    kOfN(2, 2, ac) * (1.0 - avh);
+    return (three_up + two_up) * av * av * ah * ah * ar;
+}
+
+double
+hwMediumAvailability(const HwParams &params)
+{
+    params.validate();
+    double alpha = params.roleAvailability * params.vmAvailability;
+    double ah = params.hostAvailability;
+    double ar = params.rackAvailability;
+
+    // Eq. (6). The (4 - 3A_H - A_R) factor is the paper's first-order
+    // combination of the "two hosts up, both racks up" and "rack 2
+    // down" cases. Note: the paper's printed eq. (6) omits the A_R
+    // factor on the first (all-hosts-up) term; restoring it is
+    // required to reproduce the paper's own quoted A_M = 0.999989
+    // (and matches the exact RBD evaluation).
+    double three_up = std::pow(kOfN(1, 3, alpha), 3) *
+                      kOfN(2, 3, alpha) * ah * ar;
+    double degraded = std::pow(kOfN(1, 2, alpha), 3) *
+                      kOfN(2, 2, alpha) * (4.0 - 3.0 * ah - ar);
+    return (three_up + degraded) * ah * ah * ar;
+}
+
+double
+hwLargeAvailability(const HwParams &params)
+{
+    params.validate();
+    double alpha = params.roleAvailability * params.vmAvailability *
+                   params.hostAvailability;
+    double ar = params.rackAvailability;
+
+    // Eq. (8): condition on rack count; a single surviving rack
+    // violates the Database quorum.
+    double three_up = std::pow(kOfN(1, 3, alpha), 3) *
+                      kOfN(2, 3, alpha) * ar;
+    double two_up = std::pow(kOfN(1, 2, alpha), 3) * kOfN(2, 2, alpha) *
+                    3.0 * (1.0 - ar);
+    return (three_up + two_up) * ar * ar;
+}
+
+double
+hwAvailability(topology::ReferenceKind kind, const HwParams &params)
+{
+    switch (kind) {
+      case topology::ReferenceKind::Small:
+        return hwSmallAvailability(params);
+      case topology::ReferenceKind::Medium:
+        return hwMediumAvailability(params);
+      case topology::ReferenceKind::Large:
+        return hwLargeAvailability(params);
+    }
+    throw ModelError("unknown reference topology kind");
+}
+
+double
+hwSmallApproximation(const HwParams &params)
+{
+    params.validate();
+    double alpha = params.roleAvailability * params.vmAvailability *
+                   params.hostAvailability;
+    return kOfN(2, 3, alpha) * params.rackAvailability;
+}
+
+double
+hwMediumApproximation(const HwParams &params)
+{
+    return hwSmallApproximation(params);
+}
+
+double
+hwLargeApproximation(const HwParams &params)
+{
+    params.validate();
+    double alpha = params.roleAvailability * params.vmAvailability *
+                   params.hostAvailability * params.rackAvailability;
+    return kOfN(2, 3, alpha);
+}
+
+rbd::RbdSystem
+hwExactSystem(const topology::DeploymentTopology &topo,
+              const HwParams &params, const HwQuorumProfile &profile)
+{
+    params.validate();
+    topo.validate();
+    require(profile.roleCount() == topo.roleCount(),
+            "quorum profile role count does not match topology");
+
+    rbd::RbdSystem system;
+
+    // Shared infrastructure components, in BDD-friendly order
+    // (shared elements first).
+    std::vector<rbd::ComponentId> racks;
+    for (std::size_t r = 0; r < topo.rackCount(); ++r)
+        racks.push_back(system.addComponent("rack" + std::to_string(r),
+                                            params.rackAvailability));
+    std::vector<rbd::ComponentId> hosts;
+    for (std::size_t h = 0; h < topo.hostCount(); ++h)
+        hosts.push_back(system.addComponent("host" + std::to_string(h),
+                                            params.hostAvailability));
+    std::vector<rbd::ComponentId> vms;
+    for (std::size_t v = 0; v < topo.vmCount(); ++v)
+        vms.push_back(system.addComponent("vm" + std::to_string(v),
+                                          params.vmAvailability));
+
+    // One quorum block per role over its node instances, each
+    // instance in series with its VM / host / rack.
+    std::size_t n = topo.clusterSize();
+    std::vector<rbd::Block> role_blocks;
+    for (std::size_t role = 0; role < topo.roleCount(); ++role) {
+        std::vector<rbd::Block> instances;
+        for (std::size_t node = 0; node < n; ++node) {
+            rbd::ComponentId inst = system.addComponent(
+                "role" + std::to_string(role) + "-node" +
+                    std::to_string(node),
+                params.roleAvailability);
+            std::size_t vm = topo.vmOf(role, node);
+            std::size_t host = topo.hostOfVm(vm);
+            instances.push_back(rbd::series(
+                {rbd::component(inst), rbd::component(vms[vm]),
+                 rbd::component(hosts[host]),
+                 rbd::component(racks[topo.rackOfHost(host)])}));
+        }
+        unsigned m = role < profile.anyOneRoles
+            ? 1u : static_cast<unsigned>(n / 2 + 1);
+        role_blocks.push_back(rbd::kOfN(m, std::move(instances)));
+    }
+    system.setRoot(rbd::series(std::move(role_blocks)));
+    return system;
+}
+
+double
+hwExactAvailability(const topology::DeploymentTopology &topo,
+                    const HwParams &params,
+                    const HwQuorumProfile &profile)
+{
+    return hwExactSystem(topo, params, profile).availabilityExact();
+}
+
+} // namespace sdnav::model
+
+namespace sdnav::model
+{
+
+fmea::ControllerCatalog
+hwCentricCatalog(const HwQuorumProfile &profile)
+{
+    fmea::ControllerCatalog catalog("HW-centric atomic roles");
+    static const char *names[] = {"Config", "Control", "Analytics",
+                                  "Database"};
+    static const char tags[] = {'G', 'C', 'A', 'D'};
+    for (unsigned role = 0; role < profile.roleCount(); ++role) {
+        fmea::RoleSpec spec;
+        if (role < 4 && profile.roleCount() == 4) {
+            spec.name = names[role];
+            spec.tag = tags[role];
+        } else {
+            spec.name = "Role" + std::to_string(role);
+            spec.tag = static_cast<char>('0' + role % 10);
+        }
+        fmea::QuorumClass quorum = role < profile.anyOneRoles
+            ? fmea::QuorumClass::AnyOne : fmea::QuorumClass::Majority;
+        spec.processes.push_back({"role-" + spec.name,
+                                  fmea::RestartMode::Auto, quorum,
+                                  fmea::QuorumClass::None, "", "",
+                                  "Atomic role element."});
+        catalog.addRole(std::move(spec));
+    }
+    catalog.validate();
+    return catalog;
+}
+
+SwParams
+hwToSwParams(const HwParams &params)
+{
+    params.validate();
+    SwParams sw;
+    sw.processAvailability = params.roleAvailability;
+    sw.manualProcessAvailability = params.roleAvailability;
+    sw.vmAvailability = params.vmAvailability;
+    sw.hostAvailability = params.hostAvailability;
+    sw.rackAvailability = params.rackAvailability;
+    return sw;
+}
+
+} // namespace sdnav::model

@@ -1,0 +1,56 @@
+#include "model/params.hh"
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace sdnav::model
+{
+
+char
+supervisorPolicyTag(SupervisorPolicy policy)
+{
+    return policy == SupervisorPolicy::NotRequired ? '1' : '2';
+}
+
+void
+HwParams::validate() const
+{
+    requireProbability(roleAvailability, "roleAvailability");
+    requireProbability(vmAvailability, "vmAvailability");
+    requireProbability(hostAvailability, "hostAvailability");
+    requireProbability(rackAvailability, "rackAvailability");
+}
+
+void
+SwParams::validate() const
+{
+    requireProbability(processAvailability, "processAvailability");
+    requireProbability(manualProcessAvailability,
+                       "manualProcessAvailability");
+    requireProbability(vmAvailability, "vmAvailability");
+    requireProbability(hostAvailability, "hostAvailability");
+    requireProbability(rackAvailability, "rackAvailability");
+}
+
+SwParams
+SwParams::fromTimings(const prob::ProcessTimings &timings)
+{
+    SwParams params;
+    params.processAvailability = timings.supervisedAvailability();
+    params.manualProcessAvailability =
+        timings.unsupervisedAvailability();
+    return params;
+}
+
+SwParams
+SwParams::withDowntimeShift(double ordersOfMagnitude) const
+{
+    SwParams shifted = *this;
+    shifted.processAvailability =
+        shiftAvailabilityDowntime(processAvailability, ordersOfMagnitude);
+    shifted.manualProcessAvailability = shiftAvailabilityDowntime(
+        manualProcessAvailability, ordersOfMagnitude);
+    return shifted;
+}
+
+} // namespace sdnav::model

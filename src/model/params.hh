@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Model parameter sets with the paper's default values.
+ *
+ * HW-centric analysis (section V) treats each controller role as an
+ * atomic element of availability A_C; SW-centric analysis (section
+ * VI) works at process granularity with auto-restarted availability A
+ * and manually-restarted availability A_S. Both share the VM / host /
+ * rack platform availabilities.
+ */
+
+#ifndef SDNAV_MODEL_PARAMS_HH
+#define SDNAV_MODEL_PARAMS_HH
+
+#include "prob/processAvailability.hh"
+
+namespace sdnav::model
+{
+
+/**
+ * Whether the node-role supervisor process is required for continued
+ * operation (the paper's two analysis cases).
+ */
+enum class SupervisorPolicy
+{
+    /**
+     * Scenario 1 (optimistic upper bound): a supervisor failure
+     * leaves the node-role running unsupervised; the supervisor is
+     * restarted hitlessly in a later maintenance window.
+     */
+    NotRequired,
+
+    /**
+     * Scenario 2 (realistic lower bound): a supervisor failure forces
+     * an immediate kill-and-restart of its whole node-role.
+     */
+    Required,
+};
+
+/** Short option tag: "1"/"2" per the paper's 1S/2S/1L/2L naming. */
+char supervisorPolicyTag(SupervisorPolicy policy);
+
+/** Parameters of the HW-centric models (paper section V). */
+struct HwParams
+{
+    /** Per-role-instance availability A_C. */
+    double roleAvailability = 0.9995;
+
+    /** VM (including guest OS) availability A_V. */
+    double vmAvailability = 0.99995;
+
+    /** Host (including host OS and hypervisor) availability A_H. */
+    double hostAvailability = 0.9999;
+
+    /** Rack availability A_R. */
+    double rackAvailability = 0.99999;
+
+    /** @throws ModelError if any value is not a probability. */
+    void validate() const;
+};
+
+/** Parameters of the SW-centric models (paper section VI). */
+struct SwParams
+{
+    /** Supervised (auto-restarted) process availability A. */
+    double processAvailability = 0.99998;
+
+    /**
+     * Unsupervised (manually restarted) process availability A_S;
+     * also the availability of the supervisor process itself.
+     */
+    double manualProcessAvailability = 0.9998;
+
+    /** VM availability A_V. */
+    double vmAvailability = 0.99995;
+
+    /** Host availability A_H. */
+    double hostAvailability = 0.9999;
+
+    /** Rack availability A_R. */
+    double rackAvailability = 0.99999;
+
+    /** @throws ModelError if any value is not a probability. */
+    void validate() const;
+
+    /**
+     * Derive process availabilities from failure/restart timings:
+     * A = F/(F+R), A_S = F/(F+R_S). Platform availabilities keep
+     * their current values.
+     */
+    static SwParams fromTimings(const prob::ProcessTimings &timings);
+
+    /**
+     * The x-axis transform of the paper's Figures 4 and 5: shift the
+     * *downtime* of both A and A_S by the given number of orders of
+     * magnitude, in lock-step (positive = less downtime). Platform
+     * availabilities are unchanged.
+     */
+    SwParams withDowntimeShift(double ordersOfMagnitude) const;
+};
+
+} // namespace sdnav::model
+
+#endif // SDNAV_MODEL_PARAMS_HH

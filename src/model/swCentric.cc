@@ -1,0 +1,287 @@
+#include "model/swCentric.hh"
+
+#include <map>
+
+#include "common/error.hh"
+#include "prob/kofn.hh"
+
+namespace sdnav::model
+{
+
+using fmea::Plane;
+using fmea::QuorumBlock;
+using fmea::RestartMode;
+
+namespace
+{
+
+/** Availability of one process under the Table II distinction. */
+double
+processAvailability(RestartMode mode, const SwParams &params)
+{
+    return mode == RestartMode::Auto ? params.processAvailability
+                                     : params.manualProcessAvailability;
+}
+
+} // anonymous namespace
+
+SwAvailabilityModel::SwAvailabilityModel(
+    const fmea::ControllerCatalog &catalog,
+    const topology::DeploymentTopology &topo, SupervisorPolicy policy)
+    : catalog_(catalog), policy_(policy),
+      role_count_(topo.roleCount()), cluster_size_(topo.clusterSize())
+{
+    catalog.validate();
+    topo.validate();
+    require(catalog.roles().size() == topo.roleCount(),
+            "catalog role count does not match topology role count");
+
+    // Count role instances supported by each infrastructure element
+    // to split shared from dedicated.
+    std::vector<unsigned> vm_slots(topo.vmCount(), 0);
+    std::vector<unsigned> host_slots(topo.hostCount(), 0);
+    std::vector<unsigned> rack_slots(topo.rackCount(), 0);
+    for (std::size_t role = 0; role < role_count_; ++role) {
+        for (std::size_t node = 0; node < cluster_size_; ++node) {
+            std::size_t vm = topo.vmOf(role, node);
+            std::size_t host = topo.hostOfVm(vm);
+            ++vm_slots[vm];
+            ++host_slots[host];
+            ++rack_slots[topo.rackOfHost(host)];
+        }
+    }
+
+    std::map<std::pair<int, std::size_t>, std::size_t> shared_index;
+    auto shared_id = [this, &shared_index](ElementKind kind,
+                                           std::size_t index) {
+        auto key = std::make_pair(static_cast<int>(kind), index);
+        auto it = shared_index.find(key);
+        if (it != shared_index.end())
+            return it->second;
+        std::size_t id = shared_.size();
+        shared_.push_back({kind, index});
+        shared_index.emplace(key, id);
+        return id;
+    };
+
+    slots_.resize(role_count_ * cluster_size_);
+    for (std::size_t role = 0; role < role_count_; ++role) {
+        for (std::size_t node = 0; node < cluster_size_; ++node) {
+            SlotInfo &slot = slots_[role * cluster_size_ + node];
+            std::size_t vm = topo.vmOf(role, node);
+            std::size_t host = topo.hostOfVm(vm);
+            std::size_t rack = topo.rackOfHost(host);
+            if (vm_slots[vm] == 1) {
+                slot.vmDedicated = true;
+            } else {
+                slot.sharedElements.push_back(
+                    shared_id(ElementKind::Vm, vm));
+            }
+            if (host_slots[host] == 1) {
+                slot.hostDedicated = true;
+            } else {
+                slot.sharedElements.push_back(
+                    shared_id(ElementKind::Host, host));
+            }
+            if (rack_slots[rack] == 1) {
+                slot.rackDedicated = true;
+            } else {
+                slot.sharedElements.push_back(
+                    shared_id(ElementKind::Rack, rack));
+            }
+        }
+    }
+    require(shared_.size() <= 24,
+            "topology has too many shared infrastructure elements for "
+            "exact enumeration (limit 24)");
+}
+
+double
+SwAvailabilityModel::elementAvailability(const SharedElement &element,
+                                         const SwParams &params) const
+{
+    switch (element.kind) {
+      case ElementKind::Vm:
+        return params.vmAvailability;
+      case ElementKind::Host:
+        return params.hostAvailability;
+      case ElementKind::Rack:
+        return params.rackAvailability;
+    }
+    return 0.0; // Unreachable.
+}
+
+double
+SwAvailabilityModel::slotRho(const SlotInfo &slot,
+                             const SwParams &params) const
+{
+    double rho = 1.0;
+    if (slot.vmDedicated)
+        rho *= params.vmAvailability;
+    if (slot.hostDedicated)
+        rho *= params.hostAvailability;
+    if (slot.rackDedicated)
+        rho *= params.rackAvailability;
+    if (policy_ == SupervisorPolicy::Required)
+        rho *= params.manualProcessAvailability;
+    return rho;
+}
+
+double
+SwAvailabilityModel::sharedPlaneAvailability(const SwParams &params,
+                                             Plane plane) const
+{
+    params.validate();
+
+    // Per-role block structure: required count m_b and member product
+    // beta_b for every quorum block.
+    struct BlockEval
+    {
+        unsigned required;
+        double beta;
+    };
+    std::vector<std::vector<BlockEval>> role_blocks(role_count_);
+    unsigned n = static_cast<unsigned>(cluster_size_);
+    for (std::size_t role = 0; role < role_count_; ++role) {
+        for (const QuorumBlock &block :
+             catalog_.planeBlocks(role, plane)) {
+            double beta = 1.0;
+            for (std::size_t p : block.memberProcesses) {
+                beta *= processAvailability(
+                    catalog_.role(role).processes[p].restart, params);
+            }
+            role_blocks[role].push_back(
+                {fmea::requiredCount(block.quorum, n), beta});
+        }
+    }
+
+    // Given j usable node instances, the role availability term.
+    // Precompute for j = 0..n per role.
+    std::vector<std::vector<double>> role_avail(
+        role_count_, std::vector<double>(cluster_size_ + 1, 1.0));
+    for (std::size_t role = 0; role < role_count_; ++role) {
+        for (std::size_t j = 0; j <= cluster_size_; ++j) {
+            double product = 1.0;
+            for (const BlockEval &block : role_blocks[role]) {
+                product *= prob::kOfN(block.required,
+                                      static_cast<unsigned>(j),
+                                      block.beta);
+            }
+            role_avail[role][j] = product;
+        }
+    }
+
+    // Per-slot rho (independent, non-enumerated availability).
+    std::vector<double> rho(slots_.size());
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        rho[s] = slotRho(slots_[s], params);
+
+    // Enumerate shared-element states.
+    std::size_t state_count = std::size_t{1} << shared_.size();
+    std::vector<double> element_avail(shared_.size());
+    for (std::size_t e = 0; e < shared_.size(); ++e)
+        element_avail[e] = elementAvailability(shared_[e], params);
+
+    double total = 0.0;
+    std::vector<double> pbin(cluster_size_ + 1);
+    for (std::size_t state = 0; state < state_count; ++state) {
+        double weight = 1.0;
+        for (std::size_t e = 0; e < shared_.size(); ++e) {
+            bool up = (state >> e) & 1;
+            weight *= up ? element_avail[e] : 1.0 - element_avail[e];
+        }
+        if (weight == 0.0)
+            continue;
+
+        double conditional = 1.0;
+        for (std::size_t role = 0; role < role_count_; ++role) {
+            if (role_blocks[role].empty())
+                continue; // Role does not constrain this plane.
+            // Poisson-binomial over the reachable slots' rho:
+            // pbin[j] = P[j slots usable].
+            std::size_t reachable = 0;
+            pbin[0] = 1.0;
+            for (std::size_t node = 0; node < cluster_size_; ++node) {
+                const SlotInfo &slot =
+                    slots_[role * cluster_size_ + node];
+                bool alive = true;
+                for (std::size_t e : slot.sharedElements) {
+                    if (!((state >> e) & 1)) {
+                        alive = false;
+                        break;
+                    }
+                }
+                if (!alive)
+                    continue;
+                double r = rho[role * cluster_size_ + node];
+                ++reachable;
+                pbin[reachable] = 0.0;
+                for (std::size_t j = reachable; j >= 1; --j)
+                    pbin[j] = pbin[j] * (1.0 - r) + pbin[j - 1] * r;
+                pbin[0] *= (1.0 - r);
+            }
+            double term = 0.0;
+            for (std::size_t j = 0; j <= reachable; ++j)
+                term += pbin[j] * role_avail[role][j];
+            conditional *= term;
+        }
+        total += weight * conditional;
+    }
+    return total;
+}
+
+double
+SwAvailabilityModel::controlPlaneAvailability(const SwParams &params) const
+{
+    return sharedPlaneAvailability(params, Plane::ControlPlane);
+}
+
+double
+SwAvailabilityModel::sharedDataPlaneAvailability(
+    const SwParams &params) const
+{
+    return sharedPlaneAvailability(params, Plane::DataPlane);
+}
+
+double
+SwAvailabilityModel::localDataPlaneAvailability(
+    const SwParams &params) const
+{
+    params.validate();
+    double local = 1.0;
+    for (const fmea::HostProcessSpec &proc : catalog_.hostProcesses()) {
+        if (proc.requiredForDp)
+            local *= processAvailability(proc.restart, params);
+    }
+    if (policy_ == SupervisorPolicy::Required)
+        local *= params.manualProcessAvailability;
+    return local;
+}
+
+double
+SwAvailabilityModel::hostDataPlaneAvailability(const SwParams &params) const
+{
+    return sharedDataPlaneAvailability(params) *
+           localDataPlaneAvailability(params);
+}
+
+double
+SwAvailabilityModel::planeAvailability(const SwParams &params,
+                                       Plane plane) const
+{
+    return plane == Plane::ControlPlane
+        ? controlPlaneAvailability(params)
+        : hostDataPlaneAvailability(params);
+}
+
+double
+swAvailability(const fmea::ControllerCatalog &catalog,
+               const topology::DeploymentTopology &topo,
+               SupervisorPolicy policy, const SwParams &params,
+               Plane plane)
+{
+    SwAvailabilityModel model(catalog, topo, policy);
+    return model.planeAvailability(params, plane);
+}
+
+} // namespace sdnav::model

@@ -1,0 +1,51 @@
+#include "prob/combinatorics.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sdnav::prob
+{
+
+std::uint64_t
+binomialCoefficient(unsigned n, unsigned k)
+{
+    require(n <= 62, "binomialCoefficient supports n <= 62");
+    if (k > n)
+        return 0;
+    if (k > n - k)
+        k = n - k;
+    std::uint64_t result = 1;
+    for (unsigned i = 1; i <= k; ++i) {
+        // Multiply before divide; the running value is always an exact
+        // integer because C(n, i) is integral.
+        result = result * (n - k + i) / i;
+    }
+    return result;
+}
+
+double
+binomialPmf(unsigned n, unsigned k, double p)
+{
+    requireProbability(p, "p");
+    if (k > n)
+        return 0.0;
+    double coeff = static_cast<double>(binomialCoefficient(n, k));
+    return coeff * std::pow(p, static_cast<double>(k)) *
+           std::pow(1.0 - p, static_cast<double>(n - k));
+}
+
+double
+binomialTailAtLeast(unsigned n, unsigned m, double p)
+{
+    requireProbability(p, "p");
+    if (m > n)
+        return 0.0;
+    double sum = 0.0;
+    for (unsigned k = m; k <= n; ++k)
+        sum += binomialPmf(n, k, p);
+    // Guard against accumulated rounding slightly exceeding 1.
+    return sum > 1.0 ? 1.0 : sum;
+}
+
+} // namespace sdnav::prob

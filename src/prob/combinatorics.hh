@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exact small-number combinatorics used by the k-of-n availability
+ * algebra and the supervisor-conditioning sums (paper eqs. 1 and 14).
+ */
+
+#ifndef SDNAV_PROB_COMBINATORICS_HH
+#define SDNAV_PROB_COMBINATORICS_HH
+
+#include <cstdint>
+
+namespace sdnav::prob
+{
+
+/**
+ * Binomial coefficient C(n, k) computed exactly in unsigned 64-bit
+ * arithmetic (valid for the ranges used here, n <= 62).
+ *
+ * @param n Set size (0 <= n <= 62).
+ * @param k Subset size; returns 0 when k > n.
+ */
+std::uint64_t binomialCoefficient(unsigned n, unsigned k);
+
+/**
+ * Binomial probability mass: C(n, k) p^k (1-p)^(n-k).
+ *
+ * @param n Number of independent trials.
+ * @param k Number of successes.
+ * @param p Per-trial success probability in [0, 1].
+ */
+double binomialPmf(unsigned n, unsigned k, double p);
+
+/**
+ * Upper-tail binomial probability: P[X >= m] for X ~ Binomial(n, p).
+ *
+ * This is exactly the paper's eq. (1) block availability A_{m/n}(p)
+ * viewed as a tail sum; kept here as the probabilistic primitive.
+ */
+double binomialTailAtLeast(unsigned n, unsigned m, double p);
+
+} // namespace sdnav::prob
+
+#endif // SDNAV_PROB_COMBINATORICS_HH

@@ -1,0 +1,178 @@
+#include "prob/distributions.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sdnav::prob
+{
+
+ExponentialDistribution::ExponentialDistribution(double mean)
+    : mean_(requirePositive(mean, "mean"))
+{}
+
+double
+ExponentialDistribution::sample(Rng &rng) const
+{
+    return rng.exponential(mean_);
+}
+
+std::string
+ExponentialDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "exp(mean=" << mean_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+ExponentialDistribution::clone() const
+{
+    return std::make_unique<ExponentialDistribution>(*this);
+}
+
+DeterministicDistribution::DeterministicDistribution(double value)
+    : value_(requireNonNegative(value, "value"))
+{}
+
+double
+DeterministicDistribution::sample(Rng &) const
+{
+    return value_;
+}
+
+std::string
+DeterministicDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "det(" << value_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+DeterministicDistribution::clone() const
+{
+    return std::make_unique<DeterministicDistribution>(*this);
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(requireNonNegative(lo, "lo")), hi_(requireNonNegative(hi, "hi"))
+{
+    require(lo_ <= hi_, "UniformDistribution requires lo <= hi");
+}
+
+double
+UniformDistribution::sample(Rng &rng) const
+{
+    return rng.uniform(lo_, hi_);
+}
+
+std::string
+UniformDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "uniform(" << lo_ << ", " << hi_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+UniformDistribution::clone() const
+{
+    return std::make_unique<UniformDistribution>(*this);
+}
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(requirePositive(shape, "shape")),
+      scale_(requirePositive(scale, "scale"))
+{}
+
+WeibullDistribution
+WeibullDistribution::withMean(double shape, double mean)
+{
+    requirePositive(shape, "shape");
+    requirePositive(mean, "mean");
+    // mean = scale * Gamma(1 + 1/shape)  =>  scale = mean / Gamma(...).
+    double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+    return WeibullDistribution(shape, scale);
+}
+
+double
+WeibullDistribution::sample(Rng &rng) const
+{
+    // Inverse CDF: scale * (-ln(1 - U))^(1/shape).
+    double u = rng.uniform();
+    return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+double
+WeibullDistribution::mean() const
+{
+    return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::string
+WeibullDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+WeibullDistribution::clone() const
+{
+    return std::make_unique<WeibullDistribution>(*this);
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(requirePositive(sigma, "sigma"))
+{}
+
+LogNormalDistribution
+LogNormalDistribution::withMean(double mean, double coefficientOfVariation)
+{
+    requirePositive(mean, "mean");
+    requirePositive(coefficientOfVariation, "coefficientOfVariation");
+    double cv2 = coefficientOfVariation * coefficientOfVariation;
+    double sigma2 = std::log(1.0 + cv2);
+    double mu = std::log(mean) - 0.5 * sigma2;
+    return LogNormalDistribution(mu, std::sqrt(sigma2));
+}
+
+double
+LogNormalDistribution::sample(Rng &rng) const
+{
+    // Box-Muller on two uniforms; one normal variate per call is fine
+    // for simulation purposes.
+    double u1 = rng.uniform();
+    double u2 = rng.uniform();
+    // Avoid log(0).
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return std::exp(mu_ + sigma_ * z);
+}
+
+double
+LogNormalDistribution::mean() const
+{
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::string
+LogNormalDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+LogNormalDistribution::clone() const
+{
+    return std::make_unique<LogNormalDistribution>(*this);
+}
+
+} // namespace sdnav::prob

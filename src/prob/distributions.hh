@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sampling distributions for failure and repair times in the Monte
+ * Carlo simulator.
+ *
+ * Steady-state availability depends only on the *means* of the
+ * failure/repair time distributions (renewal reward theorem), so the
+ * paper's exponential assumption is not load-bearing for its results.
+ * Providing several shapes lets the simulator demonstrate that
+ * insensitivity empirically (see bench_simulation_validation).
+ */
+
+#ifndef SDNAV_PROB_DISTRIBUTIONS_HH
+#define SDNAV_PROB_DISTRIBUTIONS_HH
+
+#include <memory>
+#include <string>
+
+#include "prob/rng.hh"
+
+namespace sdnav::prob
+{
+
+/**
+ * A positive continuous distribution that can be sampled for event
+ * times and reports its analytic mean.
+ */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one variate. */
+    virtual double sample(Rng &rng) const = 0;
+
+    /** Analytic mean of the distribution. */
+    virtual double mean() const = 0;
+
+    /** Short human-readable description, e.g. "exp(mean=5000)". */
+    virtual std::string describe() const = 0;
+
+    /** Deep copy. */
+    virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/** Exponential distribution parameterized by its mean. */
+class ExponentialDistribution final : public Distribution
+{
+  public:
+    explicit ExponentialDistribution(double mean);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double mean_;
+};
+
+/** Degenerate distribution: always returns the same value. */
+class DeterministicDistribution final : public Distribution
+{
+  public:
+    explicit DeterministicDistribution(double value);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return value_; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double value_;
+};
+
+/** Continuous uniform on [lo, hi], 0 <= lo <= hi. */
+class UniformDistribution final : public Distribution
+{
+  public:
+    UniformDistribution(double lo, double hi);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double lo_;
+    double hi_;
+};
+
+/**
+ * Weibull distribution with shape k and scale lambda; models wear-out
+ * (k > 1) or infant-mortality (k < 1) failure behavior.
+ */
+class WeibullDistribution final : public Distribution
+{
+  public:
+    WeibullDistribution(double shape, double scale);
+
+    /** Construct a Weibull with the given shape whose mean is `mean`. */
+    static WeibullDistribution withMean(double shape, double mean);
+
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double shape_;
+    double scale_;
+};
+
+/** Lognormal distribution parameterized by mu and sigma of log-space. */
+class LogNormalDistribution final : public Distribution
+{
+  public:
+    LogNormalDistribution(double mu, double sigma);
+
+    /**
+     * Construct a lognormal with the given coefficient of variation
+     * and mean.
+     */
+    static LogNormalDistribution withMean(double mean,
+                                          double coefficientOfVariation);
+
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+} // namespace sdnav::prob
+
+#endif // SDNAV_PROB_DISTRIBUTIONS_HH

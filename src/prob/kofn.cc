@@ -1,0 +1,43 @@
+#include "prob/kofn.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "prob/combinatorics.hh"
+
+namespace sdnav::prob
+{
+
+double
+kOfN(unsigned m, unsigned n, double alpha)
+{
+    requireProbability(alpha, "alpha");
+    if (m > n)
+        return 0.0; // Paper eq. (1), m > n case.
+    if (m == 0)
+        return 1.0;
+    return binomialTailAtLeast(n, m, alpha);
+}
+
+double
+kOfNDerivative(unsigned m, unsigned n, double alpha)
+{
+    requireProbability(alpha, "alpha");
+    if (m > n || m == 0)
+        return 0.0;
+    // d/da P[X >= m] for X ~ Bin(n, a) has the closed form
+    // n * C(n-1, m-1) * a^(m-1) * (1-a)^(n-m).
+    double coeff = static_cast<double>(n) *
+        static_cast<double>(binomialCoefficient(n - 1, m - 1));
+    return coeff * std::pow(alpha, static_cast<double>(m - 1)) *
+           std::pow(1.0 - alpha, static_cast<double>(n - m));
+}
+
+double
+quorumAvailability(unsigned failuresTolerated, double alpha)
+{
+    return kOfN(quorumSize(failuresTolerated),
+                clusterSize(failuresTolerated), alpha);
+}
+
+} // namespace sdnav::prob

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's eq. (1): availability of an 'm of n' block of identical
+ * independent elements, plus the closed-form specializations the paper
+ * uses repeatedly (A_{1/2}, A_{2/2}, A_{1/3}, A_{2/3}) and quorum
+ * helpers for generalized 2N+1 clusters.
+ */
+
+#ifndef SDNAV_PROB_KOFN_HH
+#define SDNAV_PROB_KOFN_HH
+
+namespace sdnav::prob
+{
+
+/**
+ * Block availability A_{m/n}(alpha), paper eq. (1).
+ *
+ * Availability of a block that requires at least m of n identical,
+ * independent elements of availability alpha to be up. Returns 0 when
+ * m > n (the paper's convention), and 1 when m == 0.
+ *
+ * @param m Required number of up elements.
+ * @param n Total number of elements.
+ * @param alpha Per-element availability in [0, 1].
+ */
+double kOfN(unsigned m, unsigned n, double alpha);
+
+/**
+ * Derivative of A_{m/n}(alpha) with respect to alpha, used by
+ * sensitivity analysis. d/da sum_{i=0}^{n-m} C(n,i) a^{n-i}(1-a)^i.
+ */
+double kOfNDerivative(unsigned m, unsigned n, double alpha);
+
+/**
+ * Quorum size for a 2N+1 cluster tolerating N failures: N+1 up out of
+ * 2N+1 ("2 of 3" when N = 1).
+ *
+ * @param failuresTolerated N, the number of tolerated failures.
+ */
+constexpr unsigned
+quorumSize(unsigned failuresTolerated)
+{
+    return failuresTolerated + 1;
+}
+
+/** Cluster size of a 2N+1 deployment. */
+constexpr unsigned
+clusterSize(unsigned failuresTolerated)
+{
+    return 2 * failuresTolerated + 1;
+}
+
+/**
+ * Availability of the quorum of a 2N+1 cluster: A_{N+1 / 2N+1}(alpha).
+ */
+double quorumAvailability(unsigned failuresTolerated, double alpha);
+
+} // namespace sdnav::prob
+
+#endif // SDNAV_PROB_KOFN_HH

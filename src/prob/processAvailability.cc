@@ -1,0 +1,87 @@
+#include "prob/processAvailability.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace sdnav::prob
+{
+
+void
+ProcessTimings::validate() const
+{
+    requirePositive(mtbfHours, "mtbfHours");
+    requireNonNegative(autoRestartHours, "autoRestartHours");
+    requireNonNegative(manualRestartHours, "manualRestartHours");
+}
+
+double
+ProcessTimings::supervisedAvailability() const
+{
+    validate();
+    return availabilityFromMtbfMttr(mtbfHours, autoRestartHours);
+}
+
+double
+ProcessTimings::unsupervisedAvailability() const
+{
+    validate();
+    return availabilityFromMtbfMttr(mtbfHours, manualRestartHours);
+}
+
+double
+scenario1EffectiveRestartHours(const ProcessTimings &timings,
+                               double exposureWindowHours)
+{
+    timings.validate();
+    requireNonNegative(exposureWindowHours, "exposureWindowHours");
+    double p_exposed = 1.0 - std::exp(-exposureWindowHours /
+                                      timings.mtbfHours);
+    return (1.0 - p_exposed) * timings.autoRestartHours +
+           p_exposed * timings.manualRestartHours;
+}
+
+double
+scenario1EffectiveAvailability(const ProcessTimings &timings,
+                               double exposureWindowHours)
+{
+    double r_star = scenario1EffectiveRestartHours(timings,
+                                                   exposureWindowHours);
+    return availabilityFromMtbfMttr(timings.mtbfHours, r_star);
+}
+
+double
+scenario2EffectiveMtbfHours(double processMtbfHours,
+                            double supervisorMtbfHours)
+{
+    requirePositive(processMtbfHours, "processMtbfHours");
+    requirePositive(supervisorMtbfHours, "supervisorMtbfHours");
+    return 1.0 / (1.0 / processMtbfHours + 1.0 / supervisorMtbfHours);
+}
+
+double
+scenario2EffectiveRestartHours(const ProcessTimings &timings,
+                               double supervisorMtbfHours)
+{
+    timings.validate();
+    requirePositive(supervisorMtbfHours, "supervisorMtbfHours");
+    double rate_process = 1.0 / timings.mtbfHours;
+    double rate_supervisor = 1.0 / supervisorMtbfHours;
+    double total = rate_process + rate_supervisor;
+    return (rate_process * timings.autoRestartHours +
+            rate_supervisor * timings.manualRestartHours) / total;
+}
+
+double
+scenario2EffectiveAvailability(const ProcessTimings &timings,
+                               double supervisorMtbfHours)
+{
+    double f_star = scenario2EffectiveMtbfHours(timings.mtbfHours,
+                                                supervisorMtbfHours);
+    double r_star = scenario2EffectiveRestartHours(timings,
+                                                   supervisorMtbfHours);
+    return availabilityFromMtbfMttr(f_star, r_star);
+}
+
+} // namespace sdnav::prob

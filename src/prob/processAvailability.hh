@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Process-level availability derivations from MTBF / restart times,
+ * including the supervisor-coupling analysis of paper section VI.A.
+ *
+ * The paper distinguishes two restart paths for a failed process:
+ * auto-restart by its node-role supervisor (mean time R) and manual
+ * restart by an operator (mean time R_S). Two operational scenarios
+ * then govern what happens when the *supervisor itself* fails:
+ *
+ * - Scenario 1 ("supervisor not required"): the node-role keeps
+ *   running unsupervised; processes failing during the supervisor
+ *   outage window need manual restart, but the window is short so
+ *   process availability is essentially unchanged (A* ~= A).
+ * - Scenario 2 ("supervisor required"): a supervisor failure forces an
+ *   immediate restart of the whole node-role, so every process
+ *   effectively inherits the supervisor's availability (A* ~= A_S).
+ */
+
+#ifndef SDNAV_PROB_PROCESS_AVAILABILITY_HH
+#define SDNAV_PROB_PROCESS_AVAILABILITY_HH
+
+namespace sdnav::prob
+{
+
+/**
+ * Failure/restart timing parameters for a process class. All times are
+ * in hours (any consistent unit works; hours match the paper).
+ */
+struct ProcessTimings
+{
+    /** Mean time between failures, F. Paper default: 5000 h. */
+    double mtbfHours = 5000.0;
+
+    /** Mean time to auto-restart under supervisor control, R. 0.1 h. */
+    double autoRestartHours = 0.1;
+
+    /** Mean time to manually restart, R_S. Paper default: 1 h. */
+    double manualRestartHours = 1.0;
+
+    /** Throw ModelError if any field is out of range. */
+    void validate() const;
+
+    /** Supervised process availability A = F / (F + R). */
+    double supervisedAvailability() const;
+
+    /** Unsupervised process availability A_S = F / (F + R_S). */
+    double unsupervisedAvailability() const;
+};
+
+/**
+ * Scenario 1 effective restart time R*: a process failing during a
+ * supervisor outage (of the given mean exposure window) needs manual
+ * restart; otherwise it is auto-restarted.
+ *
+ * R* = e^(-w/F) R + (1 - e^(-w/F)) R_S, with w the exposure window
+ * (paper example: 10 h until the next maintenance window).
+ *
+ * @param timings Process timing parameters.
+ * @param exposureWindowHours Mean unsupervised exposure w, in hours.
+ */
+double scenario1EffectiveRestartHours(const ProcessTimings &timings,
+                                      double exposureWindowHours);
+
+/**
+ * Scenario 1 effective process availability A* = F / (F + R*).
+ */
+double scenario1EffectiveAvailability(const ProcessTimings &timings,
+                                      double exposureWindowHours);
+
+/**
+ * Scenario 2 effective failure interval F*: the process goes down when
+ * either it fails (rate 1/F) or its supervisor fails (rate 1/F_s), so
+ * F* = 1 / (1/F + 1/F_s). With equal rates this is the paper's F/2.
+ *
+ * @param processMtbfHours Process MTBF F.
+ * @param supervisorMtbfHours Supervisor MTBF F_s.
+ */
+double scenario2EffectiveMtbfHours(double processMtbfHours,
+                                   double supervisorMtbfHours);
+
+/**
+ * Scenario 2 effective restart time R*: the restart path is the
+ * process's own auto-restart R with probability proportional to its
+ * failure rate, and the manual node-role restart R_S otherwise. With
+ * equal rates this is the paper's (R + R_S) / 2.
+ */
+double scenario2EffectiveRestartHours(const ProcessTimings &timings,
+                                      double supervisorMtbfHours);
+
+/**
+ * Scenario 2 effective process availability A* = F* / (F* + R*).
+ * With the paper's defaults this is ~0.9998, i.e. the process inherits
+ * the supervisor availability A_S.
+ */
+double scenario2EffectiveAvailability(const ProcessTimings &timings,
+                                      double supervisorMtbfHours);
+
+} // namespace sdnav::prob
+
+#endif // SDNAV_PROB_PROCESS_AVAILABILITY_HH

@@ -1,0 +1,104 @@
+#include "prob/rng.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sdnav::prob
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+    : seed_(seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+    // All-zero state is invalid for xoshiro; SplitMix64 cannot emit
+    // four zeros in a row, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+        state_[0] = 1;
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    require(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::exponential(double mean)
+{
+    requirePositive(mean, "mean");
+    // -mean * log(1 - U); 1 - U in (0, 1] avoids log(0).
+    return -mean * std::log1p(-uniform());
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    require(bound > 0, "uniformInt bound must be > 0");
+    // Rejection sampling to remove modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) mod bound
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+Rng
+Rng::deriveStream(std::uint64_t streamIndex) const
+{
+    // Mix the master seed with the stream index through SplitMix64 so
+    // nearby indices give unrelated states.
+    std::uint64_t mix = seed_ ^ (0xd1b54a32d192ed03ULL * (streamIndex + 1));
+    std::uint64_t sm = mix;
+    return Rng(splitMix64(sm));
+}
+
+} // namespace sdnav::prob

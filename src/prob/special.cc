@@ -1,0 +1,89 @@
+#include "prob/special.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace sdnav::prob
+{
+
+namespace
+{
+
+/** Series expansion of P(a, x), convergent for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int n = 0; n < 500; ++n) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * 1e-16)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Lentz continued fraction for Q(a, x), for x >= a + 1. */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 500; ++i) {
+        double an = -static_cast<double>(i) *
+                    (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < 1e-16)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // anonymous namespace
+
+double
+regularizedLowerIncompleteGamma(double a, double x)
+{
+    requirePositive(a, "a");
+    if (std::isinf(x) && x > 0.0)
+        return 1.0;
+    requireNonNegative(x, "x");
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+weibullTruncatedMean(double shape, double scale, double period)
+{
+    requirePositive(shape, "shape");
+    requirePositive(scale, "scale");
+    requireNonNegative(period, "period");
+    if (period == 0.0)
+        return 0.0;
+    double a = 1.0 / shape;
+    double x = std::pow(period / scale, shape);
+    return scale / shape * std::tgamma(a) *
+           regularizedLowerIncompleteGamma(a, x);
+}
+
+} // namespace sdnav::prob

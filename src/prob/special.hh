@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Special functions needed by the analytic models: the regularized
+ * lower incomplete gamma function P(a, x) (series expansion for
+ * small x, Lentz continued fraction otherwise).
+ *
+ * P(a, x) = gamma(a, x) / Gamma(a) is, among other things, the CDF
+ * of the Gamma distribution and the exact form of the truncated
+ * Weibull mean used by the rejuvenation analysis:
+ *
+ *   integral_0^T exp(-(t/s)^k) dt = (s / k) Gamma(1/k) P(1/k, (T/s)^k)
+ */
+
+#ifndef SDNAV_PROB_SPECIAL_HH
+#define SDNAV_PROB_SPECIAL_HH
+
+namespace sdnav::prob
+{
+
+/**
+ * Regularized lower incomplete gamma P(a, x), for a > 0, x >= 0.
+ * Accurate to ~1e-14 over the ranges used here.
+ */
+double regularizedLowerIncompleteGamma(double a, double x);
+
+/**
+ * Expected value of min(X, T) for X ~ Weibull(shape, scale) — the
+ * truncated mean / expected uptime until failure-or-period-T:
+ * integral_0^T S(t) dt.
+ *
+ * @param shape Weibull shape k > 0.
+ * @param scale Weibull scale s > 0.
+ * @param period Truncation point T >= 0.
+ */
+double weibullTruncatedMean(double shape, double scale, double period);
+
+} // namespace sdnav::prob
+
+#endif // SDNAV_PROB_SPECIAL_HH

@@ -1,0 +1,132 @@
+#include "rbd/block.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sdnav::rbd
+{
+
+Block
+component(ComponentId id)
+{
+    auto node = std::make_shared<Block::Node>();
+    node->kind = Block::Kind::Component;
+    node->component = id;
+    return Block(std::move(node));
+}
+
+Block
+series(std::vector<Block> children)
+{
+    require(!children.empty(), "series block requires children");
+    auto node = std::make_shared<Block::Node>();
+    node->kind = Block::Kind::Series;
+    node->children = std::move(children);
+    return Block(std::move(node));
+}
+
+Block
+parallel(std::vector<Block> children)
+{
+    require(!children.empty(), "parallel block requires children");
+    auto node = std::make_shared<Block::Node>();
+    node->kind = Block::Kind::Parallel;
+    node->children = std::move(children);
+    return Block(std::move(node));
+}
+
+Block
+kOfN(unsigned m, std::vector<Block> children)
+{
+    auto node = std::make_shared<Block::Node>();
+    node->kind = Block::Kind::KOfN;
+    node->required = m;
+    node->children = std::move(children);
+    return Block(std::move(node));
+}
+
+void
+Block::collectComponents(std::vector<ComponentId> &out) const
+{
+    if (kind() == Kind::Component) {
+        out.push_back(componentId());
+        return;
+    }
+    for (const Block &child : children())
+        child.collectComponents(out);
+}
+
+bool
+Block::evaluate(const std::vector<bool> &componentUp) const
+{
+    switch (kind()) {
+      case Kind::Component:
+        require(componentId() < componentUp.size(),
+                "component state vector too small");
+        return componentUp[componentId()];
+      case Kind::Series:
+        for (const Block &child : children()) {
+            if (!child.evaluate(componentUp))
+                return false;
+        }
+        return true;
+      case Kind::Parallel:
+        for (const Block &child : children()) {
+            if (child.evaluate(componentUp))
+                return true;
+        }
+        return false;
+      case Kind::KOfN: {
+        unsigned up = 0;
+        unsigned remaining = static_cast<unsigned>(children().size());
+        for (const Block &child : children()) {
+            if (child.evaluate(componentUp))
+                ++up;
+            --remaining;
+            if (up >= required())
+                return true;
+            if (up + remaining < required())
+                return false;
+        }
+        return up >= required();
+      }
+    }
+    return false; // Unreachable.
+}
+
+std::string
+Block::describe(const std::vector<std::string> &names) const
+{
+    std::ostringstream os;
+    switch (kind()) {
+      case Kind::Component:
+        if (componentId() < names.size())
+            os << names[componentId()];
+        else
+            os << "c" << componentId();
+        break;
+      case Kind::Series:
+      case Kind::Parallel:
+      case Kind::KOfN: {
+        if (kind() == Kind::Series)
+            os << "series(";
+        else if (kind() == Kind::Parallel)
+            os << "parallel(";
+        else
+            os << required() << "of" << children().size() << "(";
+        bool first = true;
+        for (const Block &child : children()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << child.describe(names);
+        }
+        os << ")";
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace sdnav::rbd

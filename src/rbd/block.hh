@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reliability block diagram (RBD) structure AST.
+ *
+ * An RBD describes the Boolean structure function of a system: which
+ * combinations of up components leave the system up. Blocks compose as
+ * series ("all children required"), parallel ("any child suffices"),
+ * and k-of-n ("at least m children required" — the quorum pattern at
+ * the heart of the paper's models).
+ *
+ * Leaves reference components by index into an external component
+ * table (see RbdSystem). The same component may appear in several
+ * leaves — that is how shared infrastructure (a host under multiple
+ * role VMs, a rack under multiple hosts) is expressed — and the
+ * evaluation engines handle the induced dependence exactly.
+ */
+
+#ifndef SDNAV_RBD_BLOCK_HH
+#define SDNAV_RBD_BLOCK_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdnav::rbd
+{
+
+/** Index of a component within an RbdSystem's component table. */
+using ComponentId = std::size_t;
+
+/**
+ * A node of the RBD structure tree. Immutable and cheaply copyable
+ * (shared internally); build with the free factory functions below.
+ */
+class Block
+{
+  public:
+    /** The structural kind of a block. */
+    enum class Kind { Component, Series, Parallel, KOfN };
+
+    /** The kind of this block. */
+    Kind kind() const { return node_->kind; }
+
+    /** Component id (valid only for Kind::Component). */
+    ComponentId componentId() const { return node_->component; }
+
+    /** Required child count m (valid only for Kind::KOfN). */
+    unsigned required() const { return node_->required; }
+
+    /** Children (empty for Kind::Component). */
+    const std::vector<Block> &children() const { return node_->children; }
+
+    /** Collect every component id referenced under this block. */
+    void collectComponents(std::vector<ComponentId> &out) const;
+
+    /**
+     * Evaluate the structure function on a concrete component-state
+     * assignment.
+     *
+     * @param componentUp Per-component up/down states, indexed by
+     *                    ComponentId.
+     */
+    bool evaluate(const std::vector<bool> &componentUp) const;
+
+    /** Render a compact textual form, e.g. "2of3(c0, c1, c2)". */
+    std::string describe(const std::vector<std::string> &names) const;
+
+  private:
+    struct Node
+    {
+        Kind kind;
+        ComponentId component = 0;
+        unsigned required = 0;
+        std::vector<Block> children;
+    };
+
+    explicit Block(std::shared_ptr<const Node> node)
+        : node_(std::move(node))
+    {}
+
+    std::shared_ptr<const Node> node_;
+
+    friend Block component(ComponentId id);
+    friend Block series(std::vector<Block> children);
+    friend Block parallel(std::vector<Block> children);
+    friend Block kOfN(unsigned m, std::vector<Block> children);
+};
+
+/** Leaf block referencing one component. */
+Block component(ComponentId id);
+
+/** Series block: up iff every child is up. Requires >= 1 child. */
+Block series(std::vector<Block> children);
+
+/** Parallel block: up iff any child is up. Requires >= 1 child. */
+Block parallel(std::vector<Block> children);
+
+/**
+ * k-of-n block: up iff at least m children are up. m == 0 is constant
+ * up; m > n is constant down (the paper's eq. (1) conventions).
+ */
+Block kOfN(unsigned m, std::vector<Block> children);
+
+} // namespace sdnav::rbd
+
+#endif // SDNAV_RBD_BLOCK_HH

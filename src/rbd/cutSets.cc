@@ -1,0 +1,157 @@
+#include "rbd/cutSets.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+
+namespace sdnav::rbd
+{
+
+std::string
+CutSet::describe(const RbdSystem &system) const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (ComponentId id : components) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << system.componentName(id);
+    }
+    os << "}";
+    return os.str();
+}
+
+namespace
+{
+
+/** A family of sorted component-id sets. */
+using Family = std::vector<std::vector<unsigned>>;
+
+/** True if some member of `family` is a subset of `candidate`. */
+bool
+subsumed(const Family &family, const std::vector<unsigned> &candidate)
+{
+    for (const auto &member : family) {
+        if (member.size() <= candidate.size() &&
+            std::includes(candidate.begin(), candidate.end(),
+                          member.begin(), member.end())) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Recursive minimal cut set extraction over the (coherent) success
+ * BDD. Variables below a node all have larger indices, so sets from
+ * child families never contain the node's variable.
+ */
+class Extractor
+{
+  public:
+    Extractor(const bdd::BddManager &manager,
+              const CutSetOptions &options)
+        : manager_(manager), options_(options)
+    {}
+
+    const Family &
+    cuts(bdd::NodeRef f)
+    {
+        auto it = memo_.find(f);
+        if (it != memo_.end())
+            return it->second;
+
+        Family result;
+        if (f == bdd::trueNode) {
+            // A constant-true function cannot be failed.
+        } else if (f == bdd::falseNode) {
+            // Already failed: the empty set is the only minimal cut.
+            result.push_back({});
+        } else {
+            unsigned var = manager_.nodeVariable(f);
+            bdd::NodeRef high = manager_.nodeHigh(f);
+            bdd::NodeRef low = manager_.nodeLow(f);
+
+            const Family &f_high = cuts(high);
+            // Copy: the recursive call below may invalidate the
+            // reference via rehashing.
+            Family high_family = f_high;
+            const Family &f_low = cuts(low);
+
+            result = high_family;
+            for (const auto &base : f_low) {
+                if (base.size() + 1 > options_.maxOrder)
+                    continue;
+                if (subsumed(high_family, base))
+                    continue;
+                std::vector<unsigned> with_var;
+                with_var.reserve(base.size() + 1);
+                with_var.push_back(var);
+                with_var.insert(with_var.end(), base.begin(),
+                                base.end());
+                // var is smaller than everything in base: sorted.
+                result.push_back(std::move(with_var));
+            }
+            require(result.size() <= options_.maxSets,
+                    "cut set family exceeds the configured limit; "
+                    "lower maxOrder or raise maxSets");
+        }
+        return memo_.emplace(f, std::move(result)).first->second;
+    }
+
+  private:
+    const bdd::BddManager &manager_;
+    const CutSetOptions &options_;
+    std::unordered_map<bdd::NodeRef, Family> memo_;
+};
+
+} // anonymous namespace
+
+std::vector<CutSet>
+minimalCutSets(const RbdSystem &system, const CutSetOptions &options)
+{
+    require(options.maxOrder >= 1, "maxOrder must be at least 1");
+    bdd::BddManager manager;
+    bdd::NodeRef f = system.compile(manager);
+
+    Extractor extractor(manager, options);
+    const Family &family = extractor.cuts(f);
+
+    std::vector<CutSet> result;
+    result.reserve(family.size());
+    for (const auto &members : family) {
+        CutSet cut;
+        cut.probability = 1.0;
+        for (unsigned var : members) {
+            cut.components.push_back(var);
+            cut.probability *=
+                1.0 - system.componentAvailability(var);
+        }
+        result.push_back(std::move(cut));
+    }
+    std::sort(result.begin(), result.end(),
+              [](const CutSet &a, const CutSet &b) {
+                  if (a.probability != b.probability)
+                      return a.probability > b.probability;
+                  if (a.order() != b.order())
+                      return a.order() < b.order();
+                  return a.components < b.components;
+              });
+    return result;
+}
+
+double
+rareEventUnavailability(const std::vector<CutSet> &cutSets)
+{
+    double sum = 0.0;
+    for (const CutSet &cut : cutSets)
+        sum += cut.probability;
+    return sum;
+}
+
+} // namespace sdnav::rbd

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal cut set extraction.
+ *
+ * A *cut set* is a set of components whose simultaneous failure takes
+ * the system down even with every other component up; it is minimal
+ * if no proper subset is also a cut set. Minimal cut sets are the
+ * failure-mode-analysis view of a structure function: order-1 sets
+ * are single points of failure (the paper's vRouter processes), and
+ * low-order sets name the dominant combinations (the paper's "one
+ * Database supervisor plus a Database process on another node").
+ *
+ * Extraction walks the system's BDD once with memoization, combining
+ * child families with subsumption filtering (valid for the coherent
+ * structures RBDs produce). Enumeration can be truncated by order:
+ * high-order cut sets of highly available components contribute
+ * negligibly (their probability carries (1-A)^order).
+ */
+
+#ifndef SDNAV_RBD_CUT_SETS_HH
+#define SDNAV_RBD_CUT_SETS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rbd/system.hh"
+
+namespace sdnav::rbd
+{
+
+/** One minimal cut set with its rare-event probability. */
+struct CutSet
+{
+    /** Component ids in ascending order. */
+    std::vector<ComponentId> components;
+
+    /**
+     * Probability that exactly this set is failed (the product of the
+     * member unavailabilities) — the rare-event contribution of the
+     * cut set to system unavailability.
+     */
+    double probability = 0.0;
+
+    /** Cut set order (number of components). */
+    std::size_t order() const { return components.size(); }
+
+    /** Render as "{a, b}" using the system's component names. */
+    std::string describe(const RbdSystem &system) const;
+};
+
+/** Options controlling cut set extraction. */
+struct CutSetOptions
+{
+    /** Drop cut sets larger than this order. */
+    std::size_t maxOrder = 3;
+
+    /**
+     * Abort (throw ModelError) if intermediate families exceed this
+     * many sets — a guard against non-sparse structures.
+     */
+    std::size_t maxSets = 200000;
+};
+
+/**
+ * All minimal cut sets of the system up to the configured order,
+ * sorted by descending probability (ties by ascending order).
+ */
+std::vector<CutSet> minimalCutSets(const RbdSystem &system,
+                                   const CutSetOptions &options = {});
+
+/**
+ * Rare-event upper bound on system unavailability from a cut set
+ * family: the sum of cut set probabilities. For highly available
+ * components this is tight from above (inclusion-exclusion's first
+ * term).
+ */
+double rareEventUnavailability(const std::vector<CutSet> &cutSets);
+
+} // namespace sdnav::rbd
+
+#endif // SDNAV_RBD_CUT_SETS_HH

@@ -1,0 +1,277 @@
+#include "rbd/system.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hh"
+
+namespace sdnav::rbd
+{
+
+double
+MonteCarloResult::ci95Low() const
+{
+    return std::max(0.0, estimate - 1.96 * standardError);
+}
+
+double
+MonteCarloResult::ci95High() const
+{
+    return std::min(1.0, estimate + 1.96 * standardError);
+}
+
+bool
+MonteCarloResult::brackets(double value) const
+{
+    return value >= ci95Low() && value <= ci95High();
+}
+
+ComponentId
+RbdSystem::addComponent(std::string name, double availability)
+{
+    requireProbability(availability, "availability");
+    names_.push_back(std::move(name));
+    availabilities_.push_back(availability);
+    return availabilities_.size() - 1;
+}
+
+void
+RbdSystem::setRoot(Block root)
+{
+    std::vector<ComponentId> refs;
+    root.collectComponents(refs);
+    for (ComponentId id : refs) {
+        require(id < availabilities_.size(),
+                "structure tree references unknown component");
+    }
+    root_ = std::move(root);
+}
+
+const Block &
+RbdSystem::root() const
+{
+    require(root_.has_value(), "RbdSystem has no structure tree");
+    return *root_;
+}
+
+void
+RbdSystem::checkComponent(ComponentId id) const
+{
+    require(id < availabilities_.size(), "unknown component id");
+}
+
+const std::string &
+RbdSystem::componentName(ComponentId id) const
+{
+    checkComponent(id);
+    return names_[id];
+}
+
+double
+RbdSystem::componentAvailability(ComponentId id) const
+{
+    checkComponent(id);
+    return availabilities_[id];
+}
+
+void
+RbdSystem::setComponentAvailability(ComponentId id, double availability)
+{
+    checkComponent(id);
+    requireProbability(availability, "availability");
+    availabilities_[id] = availability;
+}
+
+bool
+RbdSystem::hasSharedComponents() const
+{
+    std::vector<ComponentId> refs;
+    root().collectComponents(refs);
+    std::unordered_set<ComponentId> seen;
+    for (ComponentId id : refs) {
+        if (!seen.insert(id).second)
+            return true;
+    }
+    return false;
+}
+
+double
+RbdSystem::formulaFor(const Block &block) const
+{
+    switch (block.kind()) {
+      case Block::Kind::Component:
+        return availabilities_[block.componentId()];
+      case Block::Kind::Series: {
+        double product = 1.0;
+        for (const Block &child : block.children())
+            product *= formulaFor(child);
+        return product;
+      }
+      case Block::Kind::Parallel: {
+        double down = 1.0;
+        for (const Block &child : block.children())
+            down *= 1.0 - formulaFor(child);
+        return 1.0 - down;
+      }
+      case Block::Kind::KOfN: {
+        const auto &children = block.children();
+        unsigned m = block.required();
+        if (m == 0)
+            return 1.0;
+        if (m > children.size())
+            return 0.0;
+        // Poisson-binomial tail by dynamic programming: up[j] is the
+        // probability exactly j of the children processed so far are
+        // up, with counts above m collapsed into bucket m.
+        std::vector<double> up(m + 1, 0.0);
+        up[0] = 1.0;
+        for (const Block &child : children) {
+            double a = formulaFor(child);
+            for (unsigned j = m; j >= 1; --j)
+                up[j] = up[j] * (1.0 - a) + up[j - 1] * a +
+                        (j == m ? up[j] * a : 0.0);
+            up[0] *= (1.0 - a);
+        }
+        return up[m];
+      }
+    }
+    return 0.0; // Unreachable.
+}
+
+double
+RbdSystem::availabilityFormula() const
+{
+    require(!hasSharedComponents(),
+            "availabilityFormula() requires tree-independent structure; "
+            "use availabilityExact() for shared components");
+    return formulaFor(root());
+}
+
+bdd::NodeRef
+RbdSystem::compileBlock(bdd::BddManager &manager, const Block &block) const
+{
+    switch (block.kind()) {
+      case Block::Kind::Component:
+        return manager.var(static_cast<unsigned>(block.componentId()));
+      case Block::Kind::Series: {
+        std::vector<bdd::NodeRef> refs;
+        refs.reserve(block.children().size());
+        for (const Block &child : block.children())
+            refs.push_back(compileBlock(manager, child));
+        return manager.andAll(refs);
+      }
+      case Block::Kind::Parallel: {
+        std::vector<bdd::NodeRef> refs;
+        refs.reserve(block.children().size());
+        for (const Block &child : block.children())
+            refs.push_back(compileBlock(manager, child));
+        return manager.orAll(refs);
+      }
+      case Block::Kind::KOfN: {
+        std::vector<bdd::NodeRef> refs;
+        refs.reserve(block.children().size());
+        for (const Block &child : block.children())
+            refs.push_back(compileBlock(manager, child));
+        return manager.atLeast(refs, block.required());
+      }
+    }
+    return bdd::falseNode; // Unreachable.
+}
+
+bdd::NodeRef
+RbdSystem::compile(bdd::BddManager &manager) const
+{
+    return compileBlock(manager, root());
+}
+
+double
+RbdSystem::availabilityExact() const
+{
+    bdd::BddManager manager;
+    bdd::NodeRef f = compile(manager);
+    return manager.probability(f, availabilities_);
+}
+
+MonteCarloResult
+RbdSystem::availabilityMonteCarlo(std::size_t samples,
+                                  prob::Rng &rng) const
+{
+    require(samples > 0, "Monte Carlo needs at least one sample");
+    const Block &tree = root();
+    std::vector<bool> state(availabilities_.size());
+    std::size_t up_count = 0;
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t i = 0; i < availabilities_.size(); ++i)
+            state[i] = rng.uniform() < availabilities_[i];
+        if (tree.evaluate(state))
+            ++up_count;
+    }
+    MonteCarloResult result;
+    result.samples = samples;
+    result.estimate =
+        static_cast<double>(up_count) / static_cast<double>(samples);
+    result.standardError =
+        std::sqrt(result.estimate * (1.0 - result.estimate) /
+                  static_cast<double>(samples));
+    return result;
+}
+
+double
+RbdSystem::birnbaumImportance(ComponentId id) const
+{
+    checkComponent(id);
+    bdd::BddManager manager;
+    bdd::NodeRef f = compile(manager);
+    unsigned var = static_cast<unsigned>(id);
+    double with_up =
+        manager.probability(manager.restrict(f, var, true),
+                            availabilities_);
+    double with_down =
+        manager.probability(manager.restrict(f, var, false),
+                            availabilities_);
+    return with_up - with_down;
+}
+
+double
+RbdSystem::criticalityImportance(ComponentId id) const
+{
+    checkComponent(id);
+    double system_unavailability = 1.0 - availabilityExact();
+    if (system_unavailability <= 0.0)
+        return 0.0;
+    double birnbaum = birnbaumImportance(id);
+    return birnbaum * (1.0 - availabilities_[id]) / system_unavailability;
+}
+
+std::vector<ImportanceEntry>
+RbdSystem::rankImportance() const
+{
+    // Compile once and reuse for all components.
+    bdd::BddManager manager;
+    bdd::NodeRef f = compile(manager);
+    double availability = manager.probability(f, availabilities_);
+    double system_unavailability = 1.0 - availability;
+
+    std::vector<ImportanceEntry> entries;
+    entries.reserve(availabilities_.size());
+    for (ComponentId id = 0; id < availabilities_.size(); ++id) {
+        unsigned var = static_cast<unsigned>(id);
+        double up = manager.probability(manager.restrict(f, var, true),
+                                        availabilities_);
+        double down = manager.probability(manager.restrict(f, var, false),
+                                          availabilities_);
+        double birnbaum = up - down;
+        double criticality = system_unavailability > 0.0
+            ? birnbaum * (1.0 - availabilities_[id]) / system_unavailability
+            : 0.0;
+        entries.push_back({id, names_[id], birnbaum, criticality});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const ImportanceEntry &a, const ImportanceEntry &b) {
+                  return a.criticality > b.criticality;
+              });
+    return entries;
+}
+
+} // namespace sdnav::rbd

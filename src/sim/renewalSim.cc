@@ -1,0 +1,175 @@
+#include "sim/renewalSim.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace sdnav::sim
+{
+
+double
+ComponentTimings::impliedAvailability() const
+{
+    double f = timeToFailure->mean();
+    double r = timeToRepair->mean();
+    return f / (f + r);
+}
+
+ComponentTimings
+exponentialTimings(double availability, double mtbfHours)
+{
+    requireProbability(availability, "availability");
+    requirePositive(availability, "availability");
+    requirePositive(mtbfHours, "mtbfHours");
+    ComponentTimings t;
+    t.timeToFailure =
+        std::make_unique<prob::ExponentialDistribution>(mtbfHours);
+    double mttr = mttrFromAvailability(availability, mtbfHours);
+    if (mttr <= 0.0) {
+        // Perfectly available component: model as an (effectively)
+        // never-failing one to keep the event loop simple.
+        t.timeToFailure = std::make_unique<prob::ExponentialDistribution>(
+            1e18);
+        mttr = 1.0;
+    }
+    t.timeToRepair =
+        std::make_unique<prob::ExponentialDistribution>(mttr);
+    return t;
+}
+
+ComponentTimings
+weibullTimings(double availability, double mtbfHours, double shape)
+{
+    requireProbability(availability, "availability");
+    requirePositive(availability, "availability");
+    requirePositive(mtbfHours, "mtbfHours");
+    ComponentTimings t;
+    t.timeToFailure = std::make_unique<prob::WeibullDistribution>(
+        prob::WeibullDistribution::withMean(shape, mtbfHours));
+    double mttr = mttrFromAvailability(availability, mtbfHours);
+    if (mttr <= 0.0)
+        mttr = 1e-12;
+    t.timeToRepair =
+        std::make_unique<prob::DeterministicDistribution>(mttr);
+    return t;
+}
+
+std::vector<ComponentTimings>
+exponentialTimingsFor(const rbd::RbdSystem &system, double mtbfHours)
+{
+    std::vector<ComponentTimings> timings;
+    timings.reserve(system.componentCount());
+    for (rbd::ComponentId id = 0; id < system.componentCount(); ++id) {
+        timings.push_back(exponentialTimings(
+            system.componentAvailability(id), mtbfHours));
+    }
+    return timings;
+}
+
+RenewalSimResult
+simulateRenewalSystem(const rbd::RbdSystem &system,
+                      const std::vector<ComponentTimings> &timings,
+                      const RenewalSimConfig &config)
+{
+    require(timings.size() == system.componentCount(),
+            "timings must cover every component");
+    requirePositive(config.horizonHours, "horizonHours");
+    require(config.batches >= 2, "need at least two batches");
+
+    prob::Rng rng(config.seed);
+    std::size_t n = system.componentCount();
+
+    // Event: (time, component). Earliest first; ties broken by
+    // insertion order via the sequence number for determinism.
+    struct Event
+    {
+        double time;
+        std::uint64_t seq;
+        std::size_t component;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (time != other.time)
+                return time > other.time;
+            return seq > other.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+    std::vector<bool> up(n, true);
+    std::uint64_t seq = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+        double t = timings[c].timeToFailure->sample(rng);
+        queue.push({t, seq++, c});
+    }
+
+    const rbd::Block &root = system.root();
+    bool system_up = root.evaluate(up);
+    UptimeTracker tracker(system_up);
+
+    double batch_length =
+        config.horizonHours / static_cast<double>(config.batches);
+    std::vector<double> batch_avail;
+    batch_avail.reserve(config.batches);
+    double batch_start_up = 0.0;
+    std::size_t next_batch = 1;
+
+    std::size_t events = 0;
+    while (!queue.empty()) {
+        Event ev = queue.top();
+        if (ev.time >= config.horizonHours)
+            break;
+        queue.pop();
+        ++events;
+
+        // Close out any batch boundaries crossed before this event.
+        while (next_batch <= config.batches &&
+               static_cast<double>(next_batch) * batch_length <=
+                   ev.time) {
+            double boundary =
+                static_cast<double>(next_batch) * batch_length;
+            tracker.observe(boundary, system_up);
+            batch_avail.push_back(
+                (tracker.upTime() - batch_start_up) / batch_length);
+            batch_start_up = tracker.upTime();
+            ++next_batch;
+        }
+
+        // Flip the component and schedule its next transition.
+        up[ev.component] = !up[ev.component];
+        double hold = up[ev.component]
+            ? timings[ev.component].timeToFailure->sample(rng)
+            : timings[ev.component].timeToRepair->sample(rng);
+        queue.push({ev.time + hold, seq++, ev.component});
+
+        bool now_up = root.evaluate(up);
+        if (now_up != system_up) {
+            tracker.observe(ev.time, now_up);
+            system_up = now_up;
+        }
+    }
+
+    // Close remaining batches.
+    while (next_batch <= config.batches) {
+        double boundary = static_cast<double>(next_batch) * batch_length;
+        tracker.observe(boundary, system_up);
+        batch_avail.push_back(
+            (tracker.upTime() - batch_start_up) / batch_length);
+        batch_start_up = tracker.upTime();
+        ++next_batch;
+    }
+    tracker.finish(config.horizonHours);
+
+    RenewalSimResult result;
+    result.availability = batchMeans(batch_avail);
+    result.outageCount = tracker.outageCount();
+    result.meanOutageHours = tracker.meanOutageDuration();
+    result.maxOutageHours = tracker.maxOutageDuration();
+    result.events = events;
+    return result;
+}
+
+} // namespace sdnav::sim

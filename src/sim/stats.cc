@@ -1,0 +1,115 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sdnav::sim
+{
+
+UptimeTracker::UptimeTracker(bool initiallyUp)
+    : up_(initiallyUp)
+{}
+
+void
+UptimeTracker::advanceTo(double time)
+{
+    require(time >= last_time_, "UptimeTracker time went backwards");
+    double delta = time - last_time_;
+    total_time_ += delta;
+    if (up_)
+        up_time_ += delta;
+    last_time_ = time;
+}
+
+void
+UptimeTracker::observe(double time, bool up)
+{
+    require(!finished_, "UptimeTracker already finished");
+    advanceTo(time);
+    if (up_ == up)
+        return;
+    if (!up) {
+        outage_start_ = time;
+        ++outage_count_;
+    } else {
+        double duration = time - outage_start_;
+        outage_total_ += duration;
+        max_outage_ = std::max(max_outage_, duration);
+    }
+    up_ = up;
+}
+
+void
+UptimeTracker::finish(double time)
+{
+    require(!finished_, "UptimeTracker already finished");
+    advanceTo(time);
+    if (!up_) {
+        double duration = time - outage_start_;
+        outage_total_ += duration;
+        max_outage_ = std::max(max_outage_, duration);
+    }
+    finished_ = true;
+}
+
+double
+UptimeTracker::availability() const
+{
+    return total_time_ > 0.0 ? up_time_ / total_time_ : 1.0;
+}
+
+double
+UptimeTracker::meanOutageDuration() const
+{
+    return outage_count_ > 0
+        ? outage_total_ / static_cast<double>(outage_count_) : 0.0;
+}
+
+double
+BatchMeansResult::halfWidth95() const
+{
+    // Two-sided t critical values for 95%, by degrees of freedom;
+    // beyond 30 the normal approximation is used.
+    static const double t_table[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+    if (batches < 2)
+        return 0.0;
+    std::size_t df = batches - 1;
+    double t = df <= 30 ? t_table[df - 1] : 1.96;
+    return t * standardError;
+}
+
+bool
+BatchMeansResult::brackets(double value) const
+{
+    double hw = halfWidth95();
+    return value >= mean - hw && value <= mean + hw;
+}
+
+BatchMeansResult
+batchMeans(const std::vector<double> &samples)
+{
+    require(samples.size() >= 2, "batch means needs >= 2 batches");
+    BatchMeansResult result;
+    result.batches = samples.size();
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    result.mean = sum / static_cast<double>(samples.size());
+    double ss = 0.0;
+    for (double s : samples) {
+        double d = s - result.mean;
+        ss += d * d;
+    }
+    double variance = ss / static_cast<double>(samples.size() - 1);
+    result.standardError =
+        std::sqrt(variance / static_cast<double>(samples.size()));
+    return result;
+}
+
+} // namespace sdnav::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Statistics collection for the availability simulators: interval
+ * uptime accounting, outage episode tracking, and batch-means
+ * confidence intervals for steady-state availability estimates.
+ */
+
+#ifndef SDNAV_SIM_STATS_HH
+#define SDNAV_SIM_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sdnav::sim
+{
+
+/**
+ * Tracks the up/down trajectory of one observable (a plane, a host
+ * DP) across simulated time and accumulates uptime and outage
+ * statistics.
+ */
+class UptimeTracker
+{
+  public:
+    /** Start tracking at time 0 in the given state. */
+    explicit UptimeTracker(bool initiallyUp = true);
+
+    /**
+     * Record a (possibly redundant) state observation at a time.
+     * Time must be non-decreasing across calls.
+     */
+    void observe(double time, bool up);
+
+    /** Close the trajectory at the final time. */
+    void finish(double time);
+
+    /** Total observed time. */
+    double totalTime() const { return total_time_; }
+
+    /** Total up time. */
+    double upTime() const { return up_time_; }
+
+    /** Availability estimate upTime / totalTime. */
+    double availability() const;
+
+    /** Number of distinct outage episodes. */
+    std::size_t outageCount() const { return outage_count_; }
+
+    /** Mean outage duration (0 if no outages). */
+    double meanOutageDuration() const;
+
+    /** Longest single outage. */
+    double maxOutageDuration() const { return max_outage_; }
+
+  private:
+    void advanceTo(double time);
+
+    bool up_;
+    double last_time_ = 0.0;
+    double up_time_ = 0.0;
+    double total_time_ = 0.0;
+    double outage_start_ = 0.0;
+    double outage_total_ = 0.0;
+    double max_outage_ = 0.0;
+    std::size_t outage_count_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Batch-means estimator: the horizon is split into equal batches, the
+ * per-batch availabilities are treated as (approximately) independent
+ * samples, and a t-interval is formed.
+ */
+struct BatchMeansResult
+{
+    /** Point estimate (mean of batch availabilities). */
+    double mean = 0.0;
+
+    /** Standard error of the mean. */
+    double standardError = 0.0;
+
+    /** Number of batches. */
+    std::size_t batches = 0;
+
+    /** Half width of the 95% confidence interval. */
+    double halfWidth95() const;
+
+    /** True if value lies within mean +- halfWidth95(). */
+    bool brackets(double value) const;
+};
+
+/** Compute batch means from per-batch availability samples. */
+BatchMeansResult batchMeans(const std::vector<double> &samples);
+
+} // namespace sdnav::sim
+
+#endif // SDNAV_SIM_STATS_HH

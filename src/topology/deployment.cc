@@ -1,0 +1,249 @@
+#include "topology/deployment.hh"
+
+#include <limits>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace sdnav::topology
+{
+
+namespace
+{
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+} // anonymous namespace
+
+std::string
+referenceKindName(ReferenceKind kind)
+{
+    switch (kind) {
+      case ReferenceKind::Small:
+        return "Small";
+      case ReferenceKind::Medium:
+        return "Medium";
+      case ReferenceKind::Large:
+        return "Large";
+    }
+    return "?";
+}
+
+DeploymentTopology::DeploymentTopology(std::string name,
+                                       std::size_t roleCount,
+                                       std::size_t clusterSize)
+    : name_(std::move(name)), role_count_(roleCount),
+      cluster_size_(clusterSize),
+      vm_of_(roleCount * clusterSize, npos)
+{
+    require(roleCount >= 1, "deployment needs at least one role");
+    require(clusterSize >= 1, "deployment needs at least one node");
+}
+
+std::size_t
+DeploymentTopology::addRack()
+{
+    return rack_count_++;
+}
+
+std::size_t
+DeploymentTopology::addHost(std::size_t rack)
+{
+    require(rack < rack_count_, "host references unknown rack");
+    host_rack_.push_back(rack);
+    return host_rack_.size() - 1;
+}
+
+std::size_t
+DeploymentTopology::addVm(std::size_t host,
+                          std::vector<RoleInstance> placements)
+{
+    require(host < host_rack_.size(), "VM references unknown host");
+    require(!placements.empty(), "VM must carry at least one instance");
+    std::size_t vm = vms_.size();
+    for (const RoleInstance &p : placements) {
+        require(p.role < role_count_, "placement role out of range");
+        require(p.node < cluster_size_, "placement node out of range");
+        std::size_t slot = p.role * cluster_size_ + p.node;
+        require(vm_of_[slot] == npos,
+                "role instance placed more than once");
+        vm_of_[slot] = vm;
+    }
+    vms_.push_back({host, std::move(placements)});
+    return vm;
+}
+
+std::size_t
+DeploymentTopology::rackOfHost(std::size_t host) const
+{
+    require(host < host_rack_.size(), "unknown host");
+    return host_rack_[host];
+}
+
+std::size_t
+DeploymentTopology::hostOfVm(std::size_t vm) const
+{
+    require(vm < vms_.size(), "unknown VM");
+    return vms_[vm].host;
+}
+
+const std::vector<RoleInstance> &
+DeploymentTopology::vmPlacements(std::size_t vm) const
+{
+    require(vm < vms_.size(), "unknown VM");
+    return vms_[vm].placements;
+}
+
+std::size_t
+DeploymentTopology::vmOf(std::size_t role, std::size_t node) const
+{
+    require(role < role_count_ && node < cluster_size_,
+            "role instance out of range");
+    std::size_t vm = vm_of_[role * cluster_size_ + node];
+    require(vm != npos, "role instance is not placed");
+    return vm;
+}
+
+std::size_t
+DeploymentTopology::hostOf(std::size_t role, std::size_t node) const
+{
+    return hostOfVm(vmOf(role, node));
+}
+
+std::size_t
+DeploymentTopology::rackOf(std::size_t role, std::size_t node) const
+{
+    return rackOfHost(hostOf(role, node));
+}
+
+bool
+DeploymentTopology::vmIsShared(std::size_t vm) const
+{
+    require(vm < vms_.size(), "unknown VM");
+    return vms_[vm].placements.size() > 1;
+}
+
+bool
+DeploymentTopology::hasSharedVms() const
+{
+    for (std::size_t vm = 0; vm < vms_.size(); ++vm) {
+        if (vmIsShared(vm))
+            return true;
+    }
+    return false;
+}
+
+void
+DeploymentTopology::validate() const
+{
+    for (std::size_t role = 0; role < role_count_; ++role) {
+        for (std::size_t node = 0; node < cluster_size_; ++node) {
+            require(vm_of_[role * cluster_size_ + node] != npos,
+                    "role instance (" + std::to_string(role) + ", " +
+                        std::to_string(node) + ") is not placed");
+        }
+    }
+}
+
+std::string
+DeploymentTopology::describe() const
+{
+    std::ostringstream os;
+    os << name_ << ": " << role_count_ << " roles x " << cluster_size_
+       << " nodes on " << vms_.size() << " VMs, " << host_rack_.size()
+       << " hosts, " << rack_count_ << " racks\n";
+    for (std::size_t vm = 0; vm < vms_.size(); ++vm) {
+        os << "  VM" << vm << " on host" << vms_[vm].host << " (rack"
+           << host_rack_[vms_[vm].host] << "):";
+        for (const RoleInstance &p : vms_[vm].placements)
+            os << " r" << p.role << "n" << p.node;
+        os << "\n";
+    }
+    return os.str();
+}
+
+DeploymentTopology
+smallTopology(std::size_t roleCount, std::size_t clusterSize)
+{
+    DeploymentTopology topo("Small", roleCount, clusterSize);
+    std::size_t rack = topo.addRack();
+    for (std::size_t node = 0; node < clusterSize; ++node) {
+        std::size_t host = topo.addHost(rack);
+        std::vector<RoleInstance> placements;
+        placements.reserve(roleCount);
+        for (std::size_t role = 0; role < roleCount; ++role)
+            placements.push_back({role, node});
+        topo.addVm(host, std::move(placements));
+    }
+    topo.validate();
+    return topo;
+}
+
+DeploymentTopology
+mediumTopology(std::size_t roleCount, std::size_t clusterSize)
+{
+    DeploymentTopology topo("Medium", roleCount, clusterSize);
+    std::size_t rack1 = topo.addRack();
+    std::size_t rack2 = topo.addRack();
+    // A quorum of nodes shares rack 1 (the paper's H1, H2 in R1 for
+    // a 3-node cluster); the rest are in rack 2.
+    std::size_t quorum = clusterSize / 2 + 1;
+    for (std::size_t node = 0; node < clusterSize; ++node) {
+        std::size_t host = topo.addHost(node < quorum ? rack1 : rack2);
+        for (std::size_t role = 0; role < roleCount; ++role)
+            topo.addVm(host, {{role, node}});
+    }
+    topo.validate();
+    return topo;
+}
+
+DeploymentTopology
+largeTopology(std::size_t roleCount, std::size_t clusterSize)
+{
+    DeploymentTopology topo("Large", roleCount, clusterSize);
+    for (std::size_t node = 0; node < clusterSize; ++node) {
+        std::size_t rack = topo.addRack();
+        for (std::size_t role = 0; role < roleCount; ++role) {
+            std::size_t host = topo.addHost(rack);
+            topo.addVm(host, {{role, node}});
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+DeploymentTopology
+referenceTopology(ReferenceKind kind, std::size_t roleCount,
+                  std::size_t clusterSize)
+{
+    switch (kind) {
+      case ReferenceKind::Small:
+        return smallTopology(roleCount, clusterSize);
+      case ReferenceKind::Medium:
+        return mediumTopology(roleCount, clusterSize);
+      case ReferenceKind::Large:
+        return largeTopology(roleCount, clusterSize);
+    }
+    throw ModelError("unknown reference topology kind");
+}
+
+DeploymentTopology
+rackSweepTopology(std::size_t rackCount, std::size_t roleCount,
+                  std::size_t clusterSize)
+{
+    require(rackCount >= 1, "need at least one rack");
+    DeploymentTopology topo(
+        "Large/" + std::to_string(rackCount) + "racks", roleCount,
+        clusterSize);
+    for (std::size_t rack = 0; rack < rackCount; ++rack)
+        topo.addRack();
+    for (std::size_t node = 0; node < clusterSize; ++node) {
+        std::size_t rack = node % rackCount;
+        for (std::size_t role = 0; role < roleCount; ++role) {
+            std::size_t host = topo.addHost(rack);
+            topo.addVm(host, {{role, node}});
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+} // namespace sdnav::topology

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Physical deployment topologies (paper section IV, Fig. 2).
+ *
+ * A deployment places every controller role instance (role x cluster
+ * node) onto a VM, each VM onto a host, and each host into a rack.
+ * The three reference topologies:
+ *
+ * - Small: all roles of a node share one VM (GCAD); one VM per host;
+ *   all hosts in a single rack.
+ * - Medium: each role in its own VM; one node's VMs share a host;
+ *   a quorum of hosts shares rack 1, the rest are in rack 2.
+ * - Large: each role in its own VM on its own host; each node's
+ *   hosts share a rack, one rack per node.
+ *
+ * Topologies are pure structure: availabilities live in the models.
+ * Generalizes beyond the paper's 3-node, 4-role configuration to any
+ * cluster size and role count, plus fully custom layouts.
+ */
+
+#ifndef SDNAV_TOPOLOGY_DEPLOYMENT_HH
+#define SDNAV_TOPOLOGY_DEPLOYMENT_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdnav::topology
+{
+
+/** The paper's reference topology kinds. */
+enum class ReferenceKind { Small, Medium, Large };
+
+/** Name of a reference kind ("Small"/"Medium"/"Large"). */
+std::string referenceKindName(ReferenceKind kind);
+
+/** Placement key: a role instance is (role index, node index). */
+struct RoleInstance
+{
+    std::size_t role;
+    std::size_t node;
+
+    bool
+    operator==(const RoleInstance &other) const
+    {
+        return role == other.role && node == other.node;
+    }
+};
+
+/**
+ * A physical deployment: racks, hosts, VMs, and the placement of each
+ * role instance.
+ */
+class DeploymentTopology
+{
+  public:
+    /**
+     * Start building a deployment.
+     *
+     * @param name Diagnostic name.
+     * @param roleCount Number of controller roles.
+     * @param clusterSize Number of controller nodes (2N+1).
+     */
+    DeploymentTopology(std::string name, std::size_t roleCount,
+                       std::size_t clusterSize);
+
+    /** Add a rack; returns its index. */
+    std::size_t addRack();
+
+    /** Add a host in the given rack; returns the host index. */
+    std::size_t addHost(std::size_t rack);
+
+    /**
+     * Add a VM on the given host carrying the given role instances;
+     * returns the VM index.
+     */
+    std::size_t addVm(std::size_t host,
+                      std::vector<RoleInstance> placements);
+
+    /** Deployment name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of roles. */
+    std::size_t roleCount() const { return role_count_; }
+
+    /** Number of cluster nodes. */
+    std::size_t clusterSize() const { return cluster_size_; }
+
+    /** Number of racks / hosts / VMs. */
+    std::size_t rackCount() const { return rack_count_; }
+    std::size_t hostCount() const { return host_rack_.size(); }
+    std::size_t vmCount() const { return vms_.size(); }
+
+    /** Rack of a host. */
+    std::size_t rackOfHost(std::size_t host) const;
+
+    /** Host of a VM. */
+    std::size_t hostOfVm(std::size_t vm) const;
+
+    /** Role instances placed on a VM. */
+    const std::vector<RoleInstance> &vmPlacements(std::size_t vm) const;
+
+    /** VM carrying a role instance. */
+    std::size_t vmOf(std::size_t role, std::size_t node) const;
+
+    /** Host carrying a role instance. */
+    std::size_t hostOf(std::size_t role, std::size_t node) const;
+
+    /** Rack containing a role instance. */
+    std::size_t rackOf(std::size_t role, std::size_t node) const;
+
+    /** True if the VM carries more than one role instance. */
+    bool vmIsShared(std::size_t vm) const;
+
+    /** True if any VM carries multiple role instances. */
+    bool hasSharedVms() const;
+
+    /**
+     * Check completeness: every role instance placed exactly once,
+     * all references in range. @throws ModelError on problems.
+     */
+    void validate() const;
+
+    /** Human-readable layout summary. */
+    std::string describe() const;
+
+  private:
+    std::string name_;
+    std::size_t role_count_;
+    std::size_t cluster_size_;
+    std::size_t rack_count_ = 0;
+    std::vector<std::size_t> host_rack_;
+
+    struct Vm
+    {
+        std::size_t host;
+        std::vector<RoleInstance> placements;
+    };
+
+    std::vector<Vm> vms_;
+    // vm_of_[role * cluster_size_ + node], npos when unplaced.
+    std::vector<std::size_t> vm_of_;
+};
+
+/**
+ * The Small reference topology generalized to any cluster size and
+ * role count: one shared VM per node, one host per node, one rack.
+ */
+DeploymentTopology smallTopology(std::size_t roleCount = 4,
+                                 std::size_t clusterSize = 3);
+
+/**
+ * The Medium reference topology: per-role VMs, one node per host, a
+ * quorum of hosts in rack 1 and the remainder in rack 2.
+ */
+DeploymentTopology mediumTopology(std::size_t roleCount = 4,
+                                  std::size_t clusterSize = 3);
+
+/**
+ * The Large reference topology: per-role VMs on dedicated hosts, one
+ * rack per node.
+ */
+DeploymentTopology largeTopology(std::size_t roleCount = 4,
+                                 std::size_t clusterSize = 3);
+
+/** Build a reference topology by kind. */
+DeploymentTopology referenceTopology(ReferenceKind kind,
+                                     std::size_t roleCount = 4,
+                                     std::size_t clusterSize = 3);
+
+/**
+ * Large-style topology with a custom rack count: dedicated VM and
+ * host per role instance, nodes assigned to racks round-robin. With
+ * rackCount == clusterSize this is the Large topology; with 1 it is
+ * a single-rack Large. Used by the rack ablation.
+ */
+DeploymentTopology rackSweepTopology(std::size_t rackCount,
+                                     std::size_t roleCount = 4,
+                                     std::size_t clusterSize = 3);
+
+} // namespace sdnav::topology
+
+#endif // SDNAV_TOPOLOGY_DEPLOYMENT_HH

@@ -1,0 +1,128 @@
+#include "topology/topologyIo.hh"
+
+#include <fstream>
+
+#include "common/error.hh"
+
+namespace sdnav::topology
+{
+
+json::Value
+topologyToJson(const DeploymentTopology &topo)
+{
+    topo.validate();
+    json::Value root = json::Value::makeObject();
+    root.set("name", topo.name());
+    root.set("roles", static_cast<double>(topo.roleCount()));
+    root.set("nodes", static_cast<double>(topo.clusterSize()));
+    root.set("racks", static_cast<double>(topo.rackCount()));
+
+    json::Value hosts = json::Value::makeArray();
+    for (std::size_t h = 0; h < topo.hostCount(); ++h)
+        hosts.push(static_cast<double>(topo.rackOfHost(h)));
+    root.set("hosts", std::move(hosts));
+
+    json::Value vms = json::Value::makeArray();
+    for (std::size_t v = 0; v < topo.vmCount(); ++v) {
+        json::Value vm = json::Value::makeObject();
+        vm.set("host", static_cast<double>(topo.hostOfVm(v)));
+        json::Value placements = json::Value::makeArray();
+        for (const RoleInstance &p : topo.vmPlacements(v)) {
+            json::Value pair = json::Value::makeArray();
+            pair.push(static_cast<double>(p.role));
+            pair.push(static_cast<double>(p.node));
+            placements.push(std::move(pair));
+        }
+        vm.set("placements", std::move(placements));
+        vms.push(std::move(vm));
+    }
+    root.set("vms", std::move(vms));
+    return root;
+}
+
+namespace
+{
+
+std::size_t
+asIndex(const json::Value &value, const char *what)
+{
+    double number = value.asNumber();
+    auto index = static_cast<std::size_t>(number);
+    require(number >= 0.0 &&
+                static_cast<double>(index) == number,
+            std::string(what) + " must be a non-negative integer");
+    return index;
+}
+
+} // anonymous namespace
+
+DeploymentTopology
+topologyFromJson(const json::Value &value)
+{
+    require(value.isObject(), "topology document must be an object");
+
+    if (value.contains("reference")) {
+        const std::string &kind = value.at("reference").asString();
+        std::size_t roles =
+            static_cast<std::size_t>(value.numberOr("roles", 4));
+        std::size_t nodes =
+            static_cast<std::size_t>(value.numberOr("nodes", 3));
+        if (kind == "small")
+            return smallTopology(roles, nodes);
+        if (kind == "medium")
+            return mediumTopology(roles, nodes);
+        if (kind == "large")
+            return largeTopology(roles, nodes);
+        throw ModelError("unknown reference topology: '" + kind + "'");
+    }
+
+    std::size_t roles = asIndex(value.at("roles"), "roles");
+    std::size_t nodes = asIndex(value.at("nodes"), "nodes");
+    DeploymentTopology topo(value.stringOr("name", "unnamed"), roles,
+                            nodes);
+
+    std::size_t racks = asIndex(value.at("racks"), "racks");
+    for (std::size_t r = 0; r < racks; ++r)
+        topo.addRack();
+
+    for (const json::Value &rack_of_host :
+         value.at("hosts").asArray()) {
+        topo.addHost(asIndex(rack_of_host, "host rack index"));
+    }
+
+    for (const json::Value &vm : value.at("vms").asArray()) {
+        std::size_t host = asIndex(vm.at("host"), "vm host");
+        std::vector<RoleInstance> placements;
+        for (const json::Value &pair :
+             vm.at("placements").asArray()) {
+            const auto &items = pair.asArray();
+            require(items.size() == 2,
+                    "placement must be a [role, node] pair");
+            placements.push_back({asIndex(items[0], "placement role"),
+                                  asIndex(items[1],
+                                          "placement node")});
+        }
+        topo.addVm(host, std::move(placements));
+    }
+
+    topo.validate();
+    return topo;
+}
+
+DeploymentTopology
+loadTopology(const std::string &path)
+{
+    return topologyFromJson(json::parseFile(path));
+}
+
+void
+saveTopology(const DeploymentTopology &topo, const std::string &path)
+{
+    std::ofstream out(path);
+    require(static_cast<bool>(out),
+            "cannot open file for writing: " + path);
+    out << topologyToJson(topo).dump(2) << "\n";
+    require(static_cast<bool>(out), "failed writing " + path);
+}
+
+} // namespace sdnav::topology

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON serialization for deployment topologies.
+ *
+ * Document shape:
+ *
+ * ```json
+ * {
+ *   "name": "custom",
+ *   "roles": 4,
+ *   "nodes": 3,
+ *   "racks": 2,
+ *   "hosts": [0, 0, 1],
+ *   "vms": [
+ *     { "host": 0, "placements": [[0, 0], [1, 0]] },
+ *     { "host": 1, "placements": [[0, 1]] }
+ *   ]
+ * }
+ * ```
+ *
+ * `hosts[i]` is the rack index of host i; each placement pair is
+ * [role, node]. Alternatively `"reference": "small" | "medium" |
+ * "large"` (with optional roles/nodes) selects a reference topology.
+ */
+
+#ifndef SDNAV_TOPOLOGY_TOPOLOGY_IO_HH
+#define SDNAV_TOPOLOGY_TOPOLOGY_IO_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "topology/deployment.hh"
+
+namespace sdnav::topology
+{
+
+/** Serialize a topology to JSON (explicit form, not "reference"). */
+json::Value topologyToJson(const DeploymentTopology &topo);
+
+/**
+ * Build a topology from JSON (explicit or reference form). The
+ * result is validated. @throws ModelError on malformed documents.
+ */
+DeploymentTopology topologyFromJson(const json::Value &value);
+
+/** Load and validate a topology from a JSON file. */
+DeploymentTopology loadTopology(const std::string &path);
+
+/** Write a topology to a JSON file. @throws ModelError on I/O error. */
+void saveTopology(const DeploymentTopology &topo,
+                  const std::string &path);
+
+} // namespace sdnav::topology
+
+#endif // SDNAV_TOPOLOGY_TOPOLOGY_IO_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the figure-series generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/figures.hh"
+#include "common/error.hh"
+#include "fmea/openContrail.hh"
+#include "model/hwCentric.hh"
+#include "model/swCentric.hh"
+
+namespace
+{
+
+using namespace sdnav::analysis;
+using namespace sdnav::model;
+namespace fmea = sdnav::fmea;
+
+TEST(Figure3, GridAndSeriesShape)
+{
+    FigureData fig = figure3(HwParams{}, 0.999, 1.0, 11);
+    EXPECT_EQ(fig.xs.size(), 11u);
+    ASSERT_EQ(fig.labels.size(), 3u);
+    EXPECT_EQ(fig.labels[0], "Small");
+    EXPECT_EQ(fig.labels[2], "Large");
+    for (const auto &series : fig.ys)
+        EXPECT_EQ(series.size(), 11u);
+    EXPECT_DOUBLE_EQ(fig.xs.front(), 0.999);
+    EXPECT_DOUBLE_EQ(fig.xs.back(), 1.0);
+}
+
+TEST(Figure3, ValuesMatchClosedForms)
+{
+    FigureData fig = figure3(HwParams{}, 0.999, 1.0, 11);
+    HwParams params;
+    params.roleAvailability = 0.999;
+    EXPECT_DOUBLE_EQ(fig.valueAt("Small", 0.999),
+                     hwSmallAvailability(params));
+    params.roleAvailability = 1.0;
+    EXPECT_DOUBLE_EQ(fig.valueAt("Large", 1.0),
+                     hwLargeAvailability(params));
+}
+
+TEST(Figure3, LargeDominatesSmallEverywhere)
+{
+    FigureData fig = figure3(HwParams{}, 0.999, 1.0, 21);
+    for (std::size_t i = 0; i < fig.xs.size(); ++i)
+        EXPECT_GT(fig.ys[2][i], fig.ys[0][i]) << "x=" << fig.xs[i];
+}
+
+TEST(Figure4, SeriesOrderingMatchesPaperStory)
+{
+    auto catalog = fmea::openContrail3();
+    FigureData fig = figure4(catalog, SwParams{}, 9);
+    ASSERT_EQ(fig.labels.size(), 4u);
+    std::size_t mid = fig.xs.size() / 2; // x = 0 (defaults).
+    double cp_1s = fig.ys[0][mid];
+    double cp_2s = fig.ys[1][mid];
+    double cp_1l = fig.ys[2][mid];
+    double cp_2l = fig.ys[3][mid];
+    // Large beats Small; "not required" beats "required".
+    EXPECT_GT(cp_1l, cp_1s);
+    EXPECT_GT(cp_1s, cp_2s);
+    EXPECT_GT(cp_1l, cp_2l);
+    EXPECT_GT(cp_2l, cp_2s);
+}
+
+TEST(Figure4, MonotoneInProcessAvailability)
+{
+    auto catalog = fmea::openContrail3();
+    FigureData fig = figure4(catalog, SwParams{}, 9);
+    for (const auto &series : fig.ys) {
+        for (std::size_t i = 1; i < series.size(); ++i)
+            EXPECT_GT(series[i], series[i - 1]);
+    }
+}
+
+TEST(Figure5, SupervisorGapDominates)
+{
+    auto catalog = fmea::openContrail3();
+    FigureData fig = figure5(catalog, SwParams{}, 9);
+    std::size_t mid = fig.xs.size() / 2;
+    // DP: the supervisor-required options sit well below, and Small
+    // vs Large barely differ (the paper's observation).
+    double dp_1s = fig.ys[0][mid];
+    double dp_2s = fig.ys[1][mid];
+    double dp_1l = fig.ys[2][mid];
+    double dp_2l = fig.ys[3][mid];
+    EXPECT_GT(dp_1s - dp_2s, 5e-5);
+    EXPECT_NEAR(dp_1s, dp_1l, 2e-5);
+    EXPECT_NEAR(dp_2s, dp_2l, 2e-5);
+}
+
+TEST(FigureData, TableRendering)
+{
+    FigureData fig = figure3(HwParams{}, 0.999, 1.0, 3);
+    auto table = fig.toTable(6);
+    std::string out = table.str();
+    EXPECT_NE(out.find("Figure 3"), std::string::npos);
+    EXPECT_NE(out.find("Small"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 3u);
+}
+
+TEST(FigureData, CsvRendering)
+{
+    FigureData fig = figure3(HwParams{}, 0.999, 1.0, 3);
+    std::string csv = fig.toCsv(8).str();
+    EXPECT_NE(csv.find("A_C,Small,Medium,Large"), std::string::npos);
+    // Header + 3 data rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(FigureData, ValueAtErrors)
+{
+    FigureData fig = figure3(HwParams{}, 0.999, 1.0, 3);
+    EXPECT_THROW(fig.valueAt("Nope", 0.999), sdnav::ModelError);
+    EXPECT_THROW(fig.valueAt("Small", 0.12345), sdnav::ModelError);
+}
+
+TEST(Figures, RejectDegenerateGrids)
+{
+    EXPECT_THROW(figure3(HwParams{}, 0.999, 1.0, 1),
+                 sdnav::ModelError);
+    EXPECT_THROW(figure3(HwParams{}, 1.0, 0.999, 5),
+                 sdnav::ModelError);
+}
+
+} // anonymous namespace

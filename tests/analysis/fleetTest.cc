@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the fleet-level analysis.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/fleet.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::analysis;
+
+FleetModel
+paperFleet()
+{
+    // The paper's motivating case: 500 edge sites, each a single-rack
+    // Small deployment whose rack fails "every 500 years".
+    FleetModel fleet;
+    fleet.sites = 500;
+    fleet.siteAvailability = 0.99999;
+    fleet.siteOutagesPerHour = 1.0 / (500.0 * hoursPerYear);
+    return fleet;
+}
+
+TEST(Fleet, ExpectedSitesDown)
+{
+    FleetModel fleet = paperFleet();
+    EXPECT_NEAR(fleet.expectedSitesDown(), 500.0 * 1e-5, 1e-12);
+}
+
+TEST(Fleet, AnySiteDownProbability)
+{
+    FleetModel fleet = paperFleet();
+    EXPECT_NEAR(fleet.probabilityAnySiteDown(),
+                1.0 - std::pow(0.99999, 500.0), 1e-12);
+}
+
+TEST(Fleet, PaperFiveHundredSitesArgument)
+{
+    // "a yearly outage may be unacceptable": with 500 sites at one
+    // rack outage per 500 years each, the fleet sees ~1 rack outage
+    // per year, and the chance of at least one within a year is
+    // ~63%. The paper's qualitative claim, quantified.
+    FleetModel fleet = paperFleet();
+    EXPECT_NEAR(fleet.fleetOutagesPerYear(), 1.0, 1e-9);
+    EXPECT_NEAR(fleet.probabilityOutageWithin(hoursPerYear),
+                1.0 - std::exp(-1.0), 1e-9);
+    EXPECT_NEAR(fleet.meanTimeBetweenFleetOutagesHours(),
+                hoursPerYear, 1e-6);
+}
+
+TEST(Fleet, AtLeastKUpMatchesBinomial)
+{
+    FleetModel fleet;
+    fleet.sites = 10;
+    fleet.siteAvailability = 0.9;
+    EXPECT_NEAR(fleet.probabilityAtLeastUp(10),
+                std::pow(0.9, 10.0), 1e-12);
+    EXPECT_DOUBLE_EQ(fleet.probabilityAtLeastUp(0), 1.0);
+    EXPECT_GT(fleet.probabilityAtLeastUp(8),
+              fleet.probabilityAtLeastUp(9));
+}
+
+TEST(Fleet, NoFailuresMeansInfiniteQuiet)
+{
+    FleetModel fleet;
+    fleet.sites = 100;
+    fleet.siteAvailability = 1.0;
+    fleet.siteOutagesPerHour = 0.0;
+    EXPECT_DOUBLE_EQ(fleet.probabilityAnySiteDown(), 0.0);
+    EXPECT_DOUBLE_EQ(fleet.probabilityOutageWithin(1e6), 0.0);
+    EXPECT_TRUE(
+        std::isinf(fleet.meanTimeBetweenFleetOutagesHours()));
+}
+
+TEST(Fleet, FromOutageProfile)
+{
+    OutageProfile profile;
+    profile.availability = 0.9999;
+    profile.outagesPerHour = 1e-4;
+    FleetModel fleet = fleetFromProfile(42, profile);
+    EXPECT_EQ(fleet.sites, 42u);
+    EXPECT_DOUBLE_EQ(fleet.siteAvailability, 0.9999);
+    EXPECT_DOUBLE_EQ(fleet.siteOutagesPerHour, 1e-4);
+}
+
+TEST(Fleet, ScalesLinearlyInRateAndSites)
+{
+    FleetModel one;
+    one.sites = 1;
+    one.siteAvailability = 0.9999;
+    one.siteOutagesPerHour = 1e-5;
+    FleetModel many = one;
+    many.sites = 100;
+    EXPECT_NEAR(many.fleetOutagesPerYear(),
+                100.0 * one.fleetOutagesPerYear(), 1e-9);
+}
+
+TEST(Fleet, Validation)
+{
+    FleetModel fleet;
+    fleet.sites = 0;
+    EXPECT_THROW(fleet.validate(), ModelError);
+    fleet = paperFleet();
+    fleet.siteAvailability = 1.5;
+    EXPECT_THROW(fleet.expectedSitesDown(), ModelError);
+    fleet = paperFleet();
+    fleet.siteOutagesPerHour = -1.0;
+    EXPECT_THROW(fleet.fleetOutagesPerYear(), ModelError);
+    fleet = paperFleet();
+    EXPECT_THROW(fleet.probabilityOutageWithin(-1.0), ModelError);
+}
+
+TEST(Fleet, TableRendering)
+{
+    auto table = fleetTable("fleet", paperFleet());
+    std::string out = table.str();
+    EXPECT_NE(out.find("500"), std::string::npos);
+    EXPECT_NE(out.find("P[outage within 1y]"), std::string::npos);
+}
+
+} // anonymous namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the rejuvenation analysis, including the classic
+ * theoretical results (memoryless processes never benefit; wear-out
+ * processes have a finite optimal period) and an empirical check
+ * against the renewal simulator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/rejuvenation.hh"
+#include "common/error.hh"
+#include "prob/distributions.hh"
+#include "prob/rng.hh"
+
+namespace
+{
+
+using namespace sdnav::analysis;
+
+RejuvenationModel
+wearOutModel()
+{
+    RejuvenationModel model;
+    model.weibullShape = 3.0;     // Strong aging.
+    model.mtbfHours = 1000.0;
+    model.failureRepairHours = 8.0; // Expensive crash recovery.
+    model.restartHours = 0.05;      // Cheap planned restart.
+    return model;
+}
+
+TEST(Rejuvenation, BaselineIsMtbfOverMtbfPlusRepair)
+{
+    RejuvenationModel model = wearOutModel();
+    EXPECT_NEAR(model.baselineAvailability(), 1000.0 / 1008.0, 1e-12);
+    EXPECT_DOUBLE_EQ(model.availability(0.0),
+                     model.baselineAvailability());
+    EXPECT_DOUBLE_EQ(
+        model.availability(std::numeric_limits<double>::infinity()),
+        model.baselineAvailability());
+}
+
+TEST(Rejuvenation, VeryLongPeriodApproachesBaseline)
+{
+    RejuvenationModel model = wearOutModel();
+    EXPECT_NEAR(model.availability(1e6),
+                model.baselineAvailability(), 1e-6);
+}
+
+TEST(Rejuvenation, TooFrequentRestartsHurt)
+{
+    RejuvenationModel model = wearOutModel();
+    // Restarting every hour wastes ~5% of the time on restarts.
+    EXPECT_LT(model.availability(1.0),
+              model.baselineAvailability());
+}
+
+TEST(Rejuvenation, WearOutHasAFiniteOptimum)
+{
+    RejuvenationModel model = wearOutModel();
+    double best_period = model.optimalPeriodHours();
+    ASSERT_TRUE(std::isfinite(best_period));
+    double best = model.availability(best_period);
+    EXPECT_GT(best, model.baselineAvailability());
+    // Local optimality.
+    EXPECT_GE(best, model.availability(best_period * 0.5) - 1e-12);
+    EXPECT_GE(best, model.availability(best_period * 2.0) - 1e-12);
+}
+
+TEST(Rejuvenation, MemorylessProcessesNeverBenefit)
+{
+    // The classic negative result: with exponential failures every
+    // finite period is at most the baseline.
+    RejuvenationModel model;
+    model.weibullShape = 1.0;
+    model.mtbfHours = 5000.0;
+    model.failureRepairHours = 1.0;
+    model.restartHours = 0.05;
+    for (double period : {10.0, 100.0, 1000.0, 10000.0}) {
+        EXPECT_LE(model.availability(period),
+                  model.baselineAvailability() + 1e-12)
+            << "period " << period;
+    }
+    EXPECT_TRUE(std::isinf(model.optimalPeriodHours()));
+}
+
+TEST(Rejuvenation, InfantMortalityNeverBenefits)
+{
+    RejuvenationModel model;
+    model.weibullShape = 0.7; // Decreasing hazard.
+    model.mtbfHours = 5000.0;
+    model.failureRepairHours = 2.0;
+    model.restartHours = 0.05;
+    EXPECT_TRUE(std::isinf(model.optimalPeriodHours()));
+}
+
+TEST(Rejuvenation, FreeRestartsMakeAggressivePolicyViable)
+{
+    RejuvenationModel model = wearOutModel();
+    model.restartHours = 0.0;
+    double best_period = model.optimalPeriodHours();
+    ASSERT_TRUE(std::isfinite(best_period));
+    // With free restarts, restarting more often than the optimum of
+    // the costly case is beneficial.
+    RejuvenationModel costly = wearOutModel();
+    EXPECT_LT(best_period, costly.optimalPeriodHours());
+}
+
+TEST(Rejuvenation, SimulationConfirmsAnalyticAvailability)
+{
+    // Monte Carlo over renewal cycles with Weibull failures.
+    RejuvenationModel model = wearOutModel();
+    double period = 400.0;
+    double analytic = model.availability(period);
+
+    sdnav::prob::Rng rng(77);
+    auto dist = sdnav::prob::WeibullDistribution::withMean(
+        model.weibullShape, model.mtbfHours);
+    double up = 0.0, total = 0.0;
+    for (int cycle = 0; cycle < 400000; ++cycle) {
+        double life = dist.sample(rng);
+        if (life < period) {
+            up += life;
+            total += life + model.failureRepairHours;
+        } else {
+            up += period;
+            total += period + model.restartHours;
+        }
+    }
+    EXPECT_NEAR(up / total, analytic, 2e-4);
+}
+
+TEST(Rejuvenation, Validation)
+{
+    RejuvenationModel model = wearOutModel();
+    model.weibullShape = 0.0;
+    EXPECT_THROW(model.validate(), sdnav::ModelError);
+    model = wearOutModel();
+    model.failureRepairHours = 0.0;
+    EXPECT_THROW(model.availability(10.0), sdnav::ModelError);
+}
+
+} // anonymous namespace

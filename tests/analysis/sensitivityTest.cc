@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the sensitivity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/sensitivity.hh"
+#include "model/swCentric.hh"
+#include "fmea/openContrail.hh"
+#include "model/hwCentric.hh"
+
+namespace
+{
+
+using namespace sdnav::analysis;
+using namespace sdnav::model;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+TEST(HwSensitivity, CoversAllFourParameters)
+{
+    auto rows = hwSensitivity(topology::ReferenceKind::Small,
+                              HwParams{});
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto &row : rows) {
+        EXPECT_GE(row.derivative, 0.0) << row.parameter;
+        EXPECT_GE(row.downtimeSavedMinutes, -1e-9) << row.parameter;
+    }
+}
+
+TEST(HwSensitivity, RackDominatesSmallTopology)
+{
+    // In the Small topology the single rack is the series bottleneck:
+    // improving it 10x saves the most downtime.
+    auto rows = hwSensitivity(topology::ReferenceKind::Small,
+                              HwParams{});
+    EXPECT_EQ(rows.front().parameter, "A_R (rack)");
+    EXPECT_NEAR(rows.front().downtimeSavedMinutes, 4.7, 0.5);
+}
+
+TEST(HwSensitivity, RackIrrelevantInLargeTopology)
+{
+    // With three racks the rack parameter's 10x improvement saves
+    // almost nothing.
+    auto rows = hwSensitivity(topology::ReferenceKind::Large,
+                              HwParams{});
+    double rack_saved = 0.0;
+    for (const auto &row : rows) {
+        if (row.parameter == "A_R (rack)")
+            rack_saved = row.downtimeSavedMinutes;
+    }
+    EXPECT_LT(rack_saved, 1.0);
+}
+
+TEST(HwSensitivity, DerivativeMatchesSeriesIntuition)
+{
+    // For the Small topology, dA/dA_R ~= the rest of the system's
+    // availability (~1).
+    auto rows = hwSensitivity(topology::ReferenceKind::Small,
+                              HwParams{});
+    for (const auto &row : rows) {
+        if (row.parameter == "A_R (rack)") {
+            EXPECT_NEAR(row.derivative, 1.0, 1e-3);
+        }
+    }
+}
+
+TEST(SwSensitivity, ManualProcessesDominateCp)
+{
+    // The paper's weak-link finding: Database (manual) processes and
+    // the supervisor drive CP downtime, so A_S tops the ranking among
+    // process parameters in scenario 2 on the Large topology (where
+    // no rack single point of failure masks it).
+    auto catalog = fmea::openContrail3();
+    auto rows = swSensitivity(catalog, topology::largeTopology(),
+                              SupervisorPolicy::Required, SwParams{},
+                              fmea::Plane::ControlPlane);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows.front().parameter, "A_S (manual process)");
+}
+
+TEST(SwSensitivity, AutoProcessesDominateDp)
+{
+    // DP downtime at defaults is dominated by the two vRouter
+    // processes (availability A) in scenario 1.
+    auto catalog = fmea::openContrail3();
+    auto rows = swSensitivity(catalog, topology::largeTopology(),
+                              SupervisorPolicy::NotRequired,
+                              SwParams{}, fmea::Plane::DataPlane);
+    EXPECT_EQ(rows.front().parameter, "A (auto process)");
+    // Its 10x improvement saves ~19 of the ~21 m/y.
+    EXPECT_NEAR(rows.front().downtimeSavedMinutes, 19.0, 1.5);
+}
+
+TEST(SwSensitivity, ImprovedAvailabilityIsNeverWorse)
+{
+    auto catalog = fmea::openContrail3();
+    auto rows = swSensitivity(catalog, topology::smallTopology(),
+                              SupervisorPolicy::Required, SwParams{},
+                              fmea::Plane::ControlPlane);
+    SwAvailabilityModel model(catalog, topology::smallTopology(),
+                              SupervisorPolicy::Required);
+    double base = model.controlPlaneAvailability(SwParams{});
+    for (const auto &row : rows)
+        EXPECT_GE(row.improvedAvailability + 1e-12, base)
+            << row.parameter;
+}
+
+TEST(SensitivityTable, RendersAllRows)
+{
+    auto rows = hwSensitivity(topology::ReferenceKind::Small,
+                              HwParams{});
+    auto table = sensitivityTable("HW sensitivity (Small)", rows);
+    EXPECT_EQ(table.rowCount(), 4u);
+    std::string out = table.str();
+    EXPECT_NE(out.find("A_C (role)"), std::string::npos);
+    EXPECT_NE(out.find("m/y saved"), std::string::npos);
+}
+
+TEST(GenericSensitivity, WorksWithCustomEvaluator)
+{
+    // A linear evaluator: derivative must be the coefficient.
+    std::vector<std::pair<std::string, double HwParams::*>> fields{
+        {"A_C", &HwParams::roleAvailability}};
+    auto rows = parameterSensitivity<HwParams>(
+        HwParams{}, fields, [](const HwParams &p) {
+            return 0.5 * p.roleAvailability;
+        });
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_NEAR(rows[0].derivative, 0.5, 1e-6);
+}
+
+} // anonymous namespace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the availability summary renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/summary.hh"
+
+namespace
+{
+
+using namespace sdnav::analysis;
+
+TEST(Summary, TableHasAllColumns)
+{
+    auto table = availabilitySummary(
+        "Results", {{"config-a", 0.99999}, {"config-b", 0.999}});
+    EXPECT_EQ(table.rowCount(), 2u);
+    std::string out = table.str();
+    EXPECT_NE(out.find("configuration"), std::string::npos);
+    EXPECT_NE(out.find("downtime (m/y)"), std::string::npos);
+    EXPECT_NE(out.find("nines"), std::string::npos);
+    EXPECT_NE(out.find("config-a"), std::string::npos);
+}
+
+TEST(Summary, DowntimeValuesAreCorrect)
+{
+    auto table =
+        availabilitySummary("T", {{"five-nines", 0.99999}});
+    std::string out = table.str();
+    // 5.26 m/y and 5.00 nines.
+    EXPECT_NE(out.find("5.26"), std::string::npos);
+    EXPECT_NE(out.find("5.00"), std::string::npos);
+}
+
+TEST(Summary, LineFormat)
+{
+    std::string line = summaryLine("1S CP", 0.99998873);
+    EXPECT_NE(line.find("1S CP"), std::string::npos);
+    EXPECT_NE(line.find("A=0.99998873"), std::string::npos);
+    EXPECT_NE(line.find("m/y"), std::string::npos);
+    EXPECT_NE(line.find("nines"), std::string::npos);
+}
+
+TEST(Summary, EmptyEntriesGiveEmptyBody)
+{
+    auto table = availabilitySummary("Empty", {});
+    EXPECT_EQ(table.rowCount(), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for transient availability analysis, cross-checked against
+ * the CTMC uniformization solver.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/transient.hh"
+#include "common/units.hh"
+#include "common/error.hh"
+#include "fmea/openContrail.hh"
+#include "markov/models.hh"
+#include "model/exactModel.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::analysis;
+
+TEST(ComponentTransient, BoundaryValues)
+{
+    // t = 0: exactly the initial state.
+    EXPECT_DOUBLE_EQ(componentTransient(0.99, 100.0, 0.0,
+                                        InitialCondition::AllUp),
+                     1.0);
+    EXPECT_DOUBLE_EQ(componentTransient(0.99, 100.0, 0.0,
+                                        InitialCondition::AllDown),
+                     0.0);
+    // t -> infinity: the steady state from either side.
+    EXPECT_NEAR(componentTransient(0.99, 100.0, 1e9,
+                                   InitialCondition::AllUp),
+                0.99, 1e-12);
+    EXPECT_NEAR(componentTransient(0.99, 100.0, 1e9,
+                                   InitialCondition::AllDown),
+                0.99, 1e-12);
+}
+
+TEST(ComponentTransient, MatchesCtmcUniformization)
+{
+    double a = 0.95, mtbf = 200.0;
+    double mttr = mttrFromAvailability(a, mtbf);
+    markov::Ctmc chain = markov::twoStateModel(mtbf, mttr);
+    for (double t : {0.5, 2.0, 10.0, 50.0}) {
+        double closed = componentTransient(a, mtbf, t,
+                                           InitialCondition::AllUp);
+        double ctmc = chain.transientAvailability({1.0, 0.0}, t);
+        EXPECT_NEAR(closed, ctmc, 1e-9) << "t=" << t;
+        double closed_down = componentTransient(
+            a, mtbf, t, InitialCondition::AllDown);
+        double ctmc_down = chain.transientAvailability({0.0, 1.0}, t);
+        EXPECT_NEAR(closed_down, ctmc_down, 1e-9) << "t=" << t;
+    }
+}
+
+TEST(ComponentTransient, PerfectComponentIsAlwaysUp)
+{
+    EXPECT_DOUBLE_EQ(componentTransient(1.0, 100.0, 5.0,
+                                        InitialCondition::AllDown),
+                     1.0);
+}
+
+TEST(ComponentTransient, InputValidation)
+{
+    EXPECT_THROW(componentTransient(1.5, 100.0, 1.0,
+                                    InitialCondition::AllUp),
+                 ModelError);
+    EXPECT_THROW(componentTransient(0.9, 0.0, 1.0,
+                                    InitialCondition::AllUp),
+                 ModelError);
+    EXPECT_THROW(componentTransient(0.9, 100.0, -1.0,
+                                    InitialCondition::AllUp),
+                 ModelError);
+}
+
+TEST(SystemTransient, MonotoneRecoveryFromColdStart)
+{
+    auto catalog = fmea::openContrail3();
+    auto system = model::buildExactSystem(
+        catalog, topology::smallTopology(),
+        model::SupervisorPolicy::Required, model::SwParams{},
+        fmea::Plane::ControlPlane);
+    std::vector<double> times{0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0};
+    auto curve = systemTransient(system, 5000.0, times,
+                                 InitialCondition::AllDown);
+    ASSERT_EQ(curve.size(), times.size());
+    EXPECT_DOUBLE_EQ(curve.front(), 0.0);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i] + 1e-12, curve[i - 1]);
+    EXPECT_NEAR(curve.back(), system.availabilityExact(), 1e-6);
+}
+
+TEST(SystemTransient, DecayFromFreshStart)
+{
+    auto catalog = fmea::openContrail3();
+    auto system = model::buildExactSystem(
+        catalog, topology::smallTopology(),
+        model::SupervisorPolicy::Required, model::SwParams{},
+        fmea::Plane::ControlPlane);
+    std::vector<double> times{0.0, 1.0, 10.0, 100.0};
+    auto curve = systemTransient(system, 5000.0, times,
+                                 InitialCondition::AllUp);
+    EXPECT_DOUBLE_EQ(curve.front(), 1.0);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+    EXPECT_NEAR(curve.back(), system.availabilityExact(), 1e-7);
+}
+
+TEST(SystemTransient, TimeToSteadyStateBrackets)
+{
+    auto catalog = fmea::openContrail3();
+    auto system = model::buildExactSystem(
+        catalog, topology::smallTopology(),
+        model::SupervisorPolicy::Required, model::SwParams{},
+        fmea::Plane::ControlPlane);
+    double t = timeToSteadyState(system, 5000.0,
+                                 InitialCondition::AllDown, 1e-6);
+    EXPECT_GT(t, 0.1);
+    EXPECT_LT(t, 200.0);
+    double steady = system.availabilityExact();
+    double at_t = systemTransient(system, 5000.0, {t},
+                                  InitialCondition::AllDown)[0];
+    EXPECT_NEAR(at_t, steady, 1.1e-6);
+    double before = systemTransient(system, 5000.0, {t * 0.5},
+                                    InitialCondition::AllDown)[0];
+    EXPECT_GT(std::fabs(before - steady), 1e-6);
+}
+
+TEST(SystemTransient, AlreadySteadySystemNeedsNoTime)
+{
+    rbd::RbdSystem system;
+    auto c = system.addComponent("perfect", 1.0);
+    system.setRoot(rbd::component(c));
+    EXPECT_DOUBLE_EQ(timeToSteadyState(system, 100.0,
+                                       InitialCondition::AllUp),
+                     0.0);
+}
+
+TEST(TransientTable, Rendering)
+{
+    auto table = transientTable("curve", {0.0, 1.0}, {0.0, 0.5});
+    std::string out = table.str();
+    EXPECT_NE(out.find("A_sys(t)"), std::string::npos);
+    EXPECT_NE(out.find("0.50000000"), std::string::npos);
+    EXPECT_THROW(transientTable("bad", {0.0}, {0.0, 0.5}),
+                 ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the ROBDD engine, including exhaustive cross-checks of
+ * probability evaluation against brute-force enumeration.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+#include "prob/combinatorics.hh"
+#include "prob/rng.hh"
+
+namespace
+{
+
+using namespace sdnav::bdd;
+
+TEST(Bdd, TerminalsAreFixed)
+{
+    BddManager m;
+    EXPECT_EQ(m.andOp(trueNode, trueNode), trueNode);
+    EXPECT_EQ(m.andOp(trueNode, falseNode), falseNode);
+    EXPECT_EQ(m.orOp(falseNode, falseNode), falseNode);
+    EXPECT_EQ(m.orOp(trueNode, falseNode), trueNode);
+    EXPECT_EQ(m.notOp(trueNode), falseNode);
+    EXPECT_EQ(m.notOp(falseNode), trueNode);
+}
+
+TEST(Bdd, HashConsingGivesCanonicalNodes)
+{
+    BddManager m;
+    NodeRef x = m.var(0);
+    NodeRef y = m.var(1);
+    // Same function built two ways must be the same node.
+    EXPECT_EQ(m.andOp(x, y), m.andOp(y, x));
+    EXPECT_EQ(m.orOp(x, y), m.notOp(m.andOp(m.notOp(x), m.notOp(y))));
+    EXPECT_EQ(m.var(0), x);
+}
+
+TEST(Bdd, DoubleNegationIsIdentity)
+{
+    BddManager m;
+    NodeRef x = m.var(0);
+    NodeRef f = m.orOp(x, m.andOp(m.var(1), m.var(2)));
+    EXPECT_EQ(m.notOp(m.notOp(f)), f);
+}
+
+TEST(Bdd, IdempotentAndAbsorbing)
+{
+    BddManager m;
+    NodeRef f = m.xorOp(m.var(0), m.var(1));
+    EXPECT_EQ(m.andOp(f, f), f);
+    EXPECT_EQ(m.orOp(f, f), f);
+    EXPECT_EQ(m.andOp(f, trueNode), f);
+    EXPECT_EQ(m.orOp(f, falseNode), f);
+    EXPECT_EQ(m.andOp(f, falseNode), falseNode);
+    EXPECT_EQ(m.orOp(f, trueNode), trueNode);
+}
+
+TEST(Bdd, XorTruthTable)
+{
+    BddManager m;
+    NodeRef f = m.xorOp(m.var(0), m.var(1));
+    std::vector<bool> assign(2);
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            assign[0] = a;
+            assign[1] = b;
+            EXPECT_EQ(m.evaluate(f, assign), (a ^ b) != 0);
+        }
+    }
+}
+
+TEST(Bdd, ContradictionAndTautology)
+{
+    BddManager m;
+    NodeRef x = m.var(3);
+    EXPECT_EQ(m.andOp(x, m.notOp(x)), falseNode);
+    EXPECT_EQ(m.orOp(x, m.notOp(x)), trueNode);
+    EXPECT_EQ(m.nvar(3), m.notOp(x));
+}
+
+TEST(Bdd, ProbabilityOfSingleVariable)
+{
+    BddManager m;
+    NodeRef x = m.var(0);
+    std::vector<double> probs{0.3};
+    EXPECT_NEAR(m.probability(x, probs), 0.3, 1e-15);
+    EXPECT_NEAR(m.probability(m.notOp(x), probs), 0.7, 1e-15);
+}
+
+TEST(Bdd, ProbabilityOfIndependentAndOr)
+{
+    BddManager m;
+    NodeRef f_and = m.andOp(m.var(0), m.var(1));
+    NodeRef f_or = m.orOp(m.var(0), m.var(1));
+    std::vector<double> probs{0.9, 0.8};
+    EXPECT_NEAR(m.probability(f_and, probs), 0.72, 1e-15);
+    EXPECT_NEAR(m.probability(f_or, probs), 0.98, 1e-15);
+}
+
+TEST(Bdd, ProbabilityHandlesSharedVariables)
+{
+    BddManager m;
+    // f = (x & y) | (x & z): NOT independent blocks; exact value is
+    // p_x (p_y + p_z - p_y p_z).
+    NodeRef f = m.orOp(m.andOp(m.var(0), m.var(1)),
+                       m.andOp(m.var(0), m.var(2)));
+    std::vector<double> p{0.5, 0.6, 0.7};
+    double expected = 0.5 * (0.6 + 0.7 - 0.42);
+    EXPECT_NEAR(m.probability(f, p), expected, 1e-15);
+}
+
+TEST(Bdd, ProbabilityRejectsShortVector)
+{
+    BddManager m;
+    NodeRef f = m.var(5);
+    std::vector<double> p{0.5};
+    EXPECT_THROW(m.probability(f, p), sdnav::ModelError);
+}
+
+TEST(Bdd, AtLeastMatchesBinomialTail)
+{
+    BddManager m;
+    const unsigned n = 7;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < n; ++i)
+        vars.push_back(m.var(i));
+    std::vector<double> probs(n, 0.85);
+    for (unsigned k = 0; k <= n + 1; ++k) {
+        NodeRef f = m.atLeast(vars, k);
+        double expected =
+            k > n ? 0.0
+                  : sdnav::prob::binomialTailAtLeast(n, k, 0.85);
+        EXPECT_NEAR(m.probability(f, probs), expected, 1e-12)
+            << "k=" << k;
+    }
+}
+
+TEST(Bdd, AtLeastZeroIsTrueAndOverflowIsFalse)
+{
+    BddManager m;
+    std::vector<NodeRef> vars{m.var(0), m.var(1)};
+    EXPECT_EQ(m.atLeast(vars, 0), trueNode);
+    EXPECT_EQ(m.atLeast(vars, 3), falseNode);
+}
+
+TEST(Bdd, AtLeastOverFunctionsNotJustVariables)
+{
+    BddManager m;
+    // at least 1 of {x&y, !x} == (x&y) | !x == !x | y.
+    std::vector<NodeRef> fs{m.andOp(m.var(0), m.var(1)),
+                            m.notOp(m.var(0))};
+    NodeRef f = m.atLeast(fs, 1);
+    EXPECT_EQ(f, m.orOp(m.notOp(m.var(0)), m.var(1)));
+}
+
+TEST(Bdd, RestrictFixesVariables)
+{
+    BddManager m;
+    NodeRef f = m.ite(m.var(0), m.var(1), m.var(2));
+    EXPECT_EQ(m.restrict(f, 0, true), m.var(1));
+    EXPECT_EQ(m.restrict(f, 0, false), m.var(2));
+    // Restricting an absent variable is a no-op.
+    EXPECT_EQ(m.restrict(f, 9, true), f);
+}
+
+TEST(Bdd, ShannonExpansionIdentity)
+{
+    BddManager m;
+    NodeRef f =
+        m.orOp(m.andOp(m.var(0), m.var(1)),
+               m.andOp(m.var(1), m.notOp(m.var(2))));
+    std::vector<double> p{0.2, 0.6, 0.9};
+    double direct = m.probability(f, p);
+    double expanded =
+        p[1] * m.probability(m.restrict(f, 1, true), p) +
+        (1.0 - p[1]) * m.probability(m.restrict(f, 1, false), p);
+    EXPECT_NEAR(direct, expanded, 1e-15);
+}
+
+TEST(Bdd, EvaluateAgreesWithProbabilityOnCornerPoints)
+{
+    BddManager m;
+    std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2), m.var(3)};
+    NodeRef f = m.atLeast(vars, 3);
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        std::vector<bool> assign(4);
+        std::vector<double> probs(4);
+        for (unsigned i = 0; i < 4; ++i) {
+            assign[i] = (mask >> i) & 1;
+            probs[i] = assign[i] ? 1.0 : 0.0;
+        }
+        EXPECT_EQ(m.evaluate(f, assign),
+                  m.probability(f, probs) > 0.5);
+    }
+}
+
+TEST(Bdd, NodeCountOfSimpleFunctions)
+{
+    BddManager m;
+    EXPECT_EQ(m.nodeCount(trueNode), 0u);
+    EXPECT_EQ(m.nodeCount(m.var(0)), 1u);
+    // x0 & x1 & x2 is a chain of 3 nodes.
+    NodeRef chain =
+        m.andOp(m.var(0), m.andOp(m.var(1), m.var(2)));
+    EXPECT_EQ(m.nodeCount(chain), 3u);
+}
+
+// Randomized cross-check: random expressions over 10 variables,
+// probability via BDD vs brute-force enumeration of all 1024 states.
+class BddRandomExpression : public testing::TestWithParam<int>
+{};
+
+TEST_P(BddRandomExpression, ProbabilityMatchesEnumeration)
+{
+    const unsigned n = 10;
+    sdnav::prob::Rng rng(GetParam());
+    BddManager m;
+
+    // Build a random expression tree bottom-up from literals.
+    std::vector<NodeRef> pool;
+    for (unsigned i = 0; i < n; ++i)
+        pool.push_back(m.var(i));
+    for (int step = 0; step < 40; ++step) {
+        NodeRef a = pool[rng.uniformInt(pool.size())];
+        NodeRef b = pool[rng.uniformInt(pool.size())];
+        switch (rng.uniformInt(4)) {
+          case 0:
+            pool.push_back(m.andOp(a, b));
+            break;
+          case 1:
+            pool.push_back(m.orOp(a, b));
+            break;
+          case 2:
+            pool.push_back(m.xorOp(a, b));
+            break;
+          default:
+            pool.push_back(m.notOp(a));
+            break;
+        }
+    }
+    NodeRef f = pool.back();
+
+    std::vector<double> probs(n);
+    for (unsigned i = 0; i < n; ++i)
+        probs[i] = rng.uniform();
+
+    double brute = 0.0;
+    std::vector<bool> assign(n);
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+        double w = 1.0;
+        for (unsigned i = 0; i < n; ++i) {
+            bool up = (mask >> i) & 1;
+            assign[i] = up;
+            w *= up ? probs[i] : 1.0 - probs[i];
+        }
+        if (m.evaluate(f, assign))
+            brute += w;
+    }
+    EXPECT_NEAR(m.probability(f, probs), brute, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomExpression,
+                         testing::Range(1, 13));
+
+} // anonymous namespace

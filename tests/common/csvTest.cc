@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the CSV writer.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.hh"
+
+namespace
+{
+
+using sdnav::CsvWriter;
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv;
+    csv.header({"x", "y"});
+    csv.addRow({"1", "2"});
+    EXPECT_EQ(csv.str(), "x,y\n1,2\n");
+}
+
+TEST(Csv, NoHeaderMeansBodyOnly)
+{
+    CsvWriter csv;
+    csv.addRow({"a"});
+    EXPECT_EQ(csv.str(), "a\n");
+}
+
+TEST(Csv, QuotesCellsWithCommas)
+{
+    CsvWriter csv;
+    csv.addRow({"a,b", "plain"});
+    EXPECT_EQ(csv.str(), "\"a,b\",plain\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes)
+{
+    CsvWriter csv;
+    csv.addRow({"say \"hi\""});
+    EXPECT_EQ(csv.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines)
+{
+    CsvWriter csv;
+    csv.addRow({"line1\nline2"});
+    EXPECT_EQ(csv.str(), "\"line1\nline2\"\n");
+}
+
+TEST(Csv, NumericRowUsesPrecision)
+{
+    CsvWriter csv;
+    csv.addRow("label", {0.5}, 3);
+    EXPECT_EQ(csv.str(), "label,0.500\n");
+}
+
+TEST(Csv, WriteFileRoundTrips)
+{
+    CsvWriter csv;
+    csv.header({"h"});
+    csv.addRow({"v"});
+    std::string path = testing::TempDir() + "/sdnav_csv_test.csv";
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "h\nv\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath)
+{
+    CsvWriter csv;
+    csv.addRow({"v"});
+    EXPECT_FALSE(csv.writeFile("/nonexistent-dir/foo.csv"));
+}
+
+} // anonymous namespace

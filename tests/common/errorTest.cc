@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the shared error-handling helpers.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+namespace
+{
+
+using sdnav::ModelError;
+
+TEST(Error, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(sdnav::require(true, "never thrown"));
+}
+
+TEST(Error, RequireThrowsWithMessage)
+{
+    try {
+        sdnav::require(false, "the message");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_STREQ(e.what(), "the message");
+    }
+}
+
+TEST(Error, ModelErrorIsInvalidArgument)
+{
+    EXPECT_THROW(sdnav::require(false, "x"), std::invalid_argument);
+}
+
+TEST(Error, RequireProbabilityAcceptsBoundaries)
+{
+    EXPECT_DOUBLE_EQ(sdnav::requireProbability(0.0, "p"), 0.0);
+    EXPECT_DOUBLE_EQ(sdnav::requireProbability(1.0, "p"), 1.0);
+    EXPECT_DOUBLE_EQ(sdnav::requireProbability(0.5, "p"), 0.5);
+}
+
+TEST(Error, RequireProbabilityRejectsOutOfRange)
+{
+    EXPECT_THROW(sdnav::requireProbability(-0.01, "p"), ModelError);
+    EXPECT_THROW(sdnav::requireProbability(1.01, "p"), ModelError);
+}
+
+TEST(Error, RequireProbabilityRejectsNan)
+{
+    EXPECT_THROW(
+        sdnav::requireProbability(std::nan(""), "p"), ModelError);
+}
+
+TEST(Error, RequireProbabilityNamesParameterInMessage)
+{
+    try {
+        sdnav::requireProbability(2.0, "myParam");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("myParam"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, RequirePositiveAcceptsPositive)
+{
+    EXPECT_DOUBLE_EQ(sdnav::requirePositive(1e-12, "v"), 1e-12);
+    EXPECT_DOUBLE_EQ(sdnav::requirePositive(5000.0, "v"), 5000.0);
+}
+
+TEST(Error, RequirePositiveRejectsZeroNegativeInfNan)
+{
+    EXPECT_THROW(sdnav::requirePositive(0.0, "v"), ModelError);
+    EXPECT_THROW(sdnav::requirePositive(-1.0, "v"), ModelError);
+    EXPECT_THROW(sdnav::requirePositive(
+                     std::numeric_limits<double>::infinity(), "v"),
+                 ModelError);
+    EXPECT_THROW(sdnav::requirePositive(std::nan(""), "v"), ModelError);
+}
+
+TEST(Error, RequireNonNegativeAcceptsZero)
+{
+    EXPECT_DOUBLE_EQ(sdnav::requireNonNegative(0.0, "v"), 0.0);
+}
+
+TEST(Error, RequireNonNegativeRejectsNegative)
+{
+    EXPECT_THROW(sdnav::requireNonNegative(-1e-15, "v"), ModelError);
+}
+
+} // anonymous namespace

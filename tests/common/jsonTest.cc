@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the JSON parser and serializer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/json.hh"
+
+namespace
+{
+
+using namespace sdnav::json;
+using sdnav::ModelError;
+
+TEST(JsonParse, Primitives)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_TRUE(parse("true").asBool());
+    EXPECT_FALSE(parse("false").asBool());
+    EXPECT_DOUBLE_EQ(parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-3.5").asNumber(), -3.5);
+    EXPECT_DOUBLE_EQ(parse("1e-5").asNumber(), 1e-5);
+    EXPECT_DOUBLE_EQ(parse("2.5E+3").asNumber(), 2500.0);
+    EXPECT_EQ(parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, EmptyContainers)
+{
+    EXPECT_TRUE(parse("[]").asArray().empty());
+    EXPECT_TRUE(parse("{}").asObject().empty());
+    EXPECT_TRUE(parse(" [ ] ").isArray());
+}
+
+TEST(JsonParse, NestedDocument)
+{
+    Value v = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+    EXPECT_EQ(v.asObject().size(), 2u);
+    const Value &a = v.at("a");
+    ASSERT_EQ(a.asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(a.asArray()[1].asNumber(), 2.0);
+    EXPECT_TRUE(a.asArray()[2].at("b").asBool());
+    EXPECT_EQ(v.at("c").asString(), "x");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(parse(R"("a\"b")").asString(), "a\"b");
+    EXPECT_EQ(parse(R"("line\nbreak")").asString(), "line\nbreak");
+    EXPECT_EQ(parse(R"("tab\there")").asString(), "tab\there");
+    EXPECT_EQ(parse(R"("back\\slash")").asString(), "back\\slash");
+    EXPECT_EQ(parse(R"("A")").asString(), "A");
+    // Two-byte and three-byte UTF-8 encodings.
+    EXPECT_EQ(parse(R"("é")").asString(), "\xc3\xa9");
+    EXPECT_EQ(parse(R"("€")").asString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParse, Whitespace)
+{
+    Value v = parse("  {\n\t\"k\" :\r [ 1 ,  2 ]\n}  ");
+    EXPECT_EQ(v.at("k").asArray().size(), 2u);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets)
+{
+    try {
+        parse("{\"a\": }");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("offset"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonParse, MalformedDocumentsRejected)
+{
+    EXPECT_THROW(parse(""), ModelError);
+    EXPECT_THROW(parse("{"), ModelError);
+    EXPECT_THROW(parse("[1,]"), ModelError);
+    EXPECT_THROW(parse("{\"a\":1,}"), ModelError);
+    EXPECT_THROW(parse("tru"), ModelError);
+    EXPECT_THROW(parse("01x"), ModelError);
+    EXPECT_THROW(parse("\"unterminated"), ModelError);
+    EXPECT_THROW(parse("1 2"), ModelError);
+    EXPECT_THROW(parse("{'a': 1}"), ModelError);
+    EXPECT_THROW(parse("{\"a\":1 \"b\":2}"), ModelError);
+    EXPECT_THROW(parse("[1"), ModelError);
+    EXPECT_THROW(parse("-"), ModelError);
+    EXPECT_THROW(parse("1."), ModelError);
+    EXPECT_THROW(parse("1e"), ModelError);
+}
+
+TEST(JsonParse, DuplicateKeysRejected)
+{
+    EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), ModelError);
+}
+
+TEST(JsonParse, ControlCharactersAndSurrogatesRejected)
+{
+    EXPECT_THROW(parse(std::string("\"a\nb\"")), ModelError);
+    EXPECT_THROW(parse(R"("\ud800")"), ModelError);
+    EXPECT_THROW(parse(R"("\q")"), ModelError);
+}
+
+TEST(JsonParse, DeepNestingBounded)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_THROW(parse(deep), ModelError);
+}
+
+TEST(JsonValue, TypedAccessorsEnforceTypes)
+{
+    Value v = parse("[1]");
+    EXPECT_THROW(v.asObject(), ModelError);
+    EXPECT_THROW(v.asBool(), ModelError);
+    EXPECT_THROW(v.asNumber(), ModelError);
+    EXPECT_THROW(v.asString(), ModelError);
+    EXPECT_THROW(v.at("x"), ModelError);
+}
+
+TEST(JsonValue, BuildersAndLookups)
+{
+    Value obj = Value::makeObject();
+    obj.set("name", "test");
+    obj.set("count", 3);
+    obj.set("flag", true);
+    Value arr = Value::makeArray();
+    arr.push(1.5);
+    arr.push("two");
+    obj.set("items", std::move(arr));
+
+    EXPECT_TRUE(obj.contains("name"));
+    EXPECT_FALSE(obj.contains("missing"));
+    EXPECT_EQ(obj.at("name").asString(), "test");
+    EXPECT_DOUBLE_EQ(obj.numberOr("count", 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(obj.numberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(obj.stringOr("missing", "dflt"), "dflt");
+    EXPECT_TRUE(obj.boolOr("flag", false));
+
+    // set() replaces existing keys.
+    obj.set("count", 9);
+    EXPECT_DOUBLE_EQ(obj.at("count").asNumber(), 9.0);
+    EXPECT_EQ(obj.asObject().size(), 4u);
+}
+
+TEST(JsonDump, CompactForm)
+{
+    Value v = parse(R"({"a":[1,true,null],"b":"x"})");
+    EXPECT_EQ(v.dump(), R"({"a":[1,true,null],"b":"x"})");
+}
+
+TEST(JsonDump, PrettyForm)
+{
+    Value v = parse(R"({"a":[1]})");
+    EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonDump, EscapesSpecialCharacters)
+{
+    Value v(std::string("a\"b\\c\nd"));
+    EXPECT_EQ(v.dump(), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonDump, RoundTripsPreserveStructure)
+{
+    const char *docs[] = {
+        R"({"roles":[{"name":"Config","tag":"G"}],"n":3})",
+        R"([[],{},[{"x":[1,2,3]}],"s",-1.25e-3])",
+        R"({"deep":{"deeper":{"deepest":[null,false]}}})",
+    };
+    for (const char *doc : docs) {
+        Value first = parse(doc);
+        Value second = parse(first.dump());
+        EXPECT_TRUE(first == second) << doc;
+        Value third = parse(first.dump(4));
+        EXPECT_TRUE(first == third) << doc;
+    }
+}
+
+TEST(JsonDump, ObjectOrderIsPreserved)
+{
+    Value v = parse(R"({"z":1,"a":2,"m":3})");
+    EXPECT_EQ(v.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimalPoint)
+{
+    EXPECT_EQ(Value(3.0).dump(), "3");
+    EXPECT_EQ(Value(-42).dump(), "-42");
+    EXPECT_EQ(parse("0.99998").dump(), "0.99998");
+}
+
+TEST(JsonFile, ParseFileErrors)
+{
+    EXPECT_THROW(parseFile("/nonexistent/file.json"), ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/textTable.hh"
+
+namespace
+{
+
+using sdnav::TextTable;
+
+TEST(TextTable, EmptyTableRendersNothing)
+{
+    TextTable table;
+    EXPECT_EQ(table.str(), "");
+}
+
+TEST(TextTable, TitleOnly)
+{
+    TextTable table;
+    table.title("Hello");
+    EXPECT_EQ(table.str(), "Hello\n");
+}
+
+TEST(TextTable, HeaderAlignsColumns)
+{
+    TextTable table;
+    table.header({"a", "long-header"});
+    table.addRow({"wide-cell", "b"});
+    std::string out = table.str();
+    // Both rows must have the header rule between them.
+    EXPECT_NE(out.find("a          long-header"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("wide-cell  b"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatsWithPrecision)
+{
+    TextTable table;
+    table.addRow("row", {0.123456789}, 4);
+    EXPECT_NE(table.str().find("0.1235"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracksBodyRows)
+{
+    TextTable table;
+    table.header({"h"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"r1"});
+    table.addRow({"r2"});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, RaggedRowsAreTolerated)
+{
+    TextTable table;
+    table.addRow({"a", "b", "c"});
+    table.addRow({"only-one"});
+    std::string out = table.str();
+    EXPECT_NE(out.find("only-one"), std::string::npos);
+    EXPECT_NE(out.find("c"), std::string::npos);
+}
+
+TEST(Format, FixedPrecision)
+{
+    EXPECT_EQ(sdnav::formatFixed(0.999989, 6), "0.999989");
+    EXPECT_EQ(sdnav::formatFixed(1.0, 2), "1.00");
+}
+
+TEST(Format, GeneralUsesSignificantDigits)
+{
+    EXPECT_EQ(sdnav::formatGeneral(0.5, 3), "0.5");
+    EXPECT_EQ(sdnav::formatGeneral(123456.0, 4), "1.235e+05");
+}
+
+} // anonymous namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for availability unit conversions.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace sdnav;
+
+TEST(Units, FiveNinesIsAboutFiveMinutesPerYear)
+{
+    // The classic rule of thumb: 99.999% ~= 5.26 minutes/year.
+    double minutes = availabilityToDowntimeMinutesPerYear(0.99999);
+    EXPECT_NEAR(minutes, 5.256, 1e-3);
+}
+
+TEST(Units, PerfectAvailabilityHasZeroDowntime)
+{
+    EXPECT_DOUBLE_EQ(availabilityToDowntimeMinutesPerYear(1.0), 0.0);
+}
+
+TEST(Units, ZeroAvailabilityIsWholeYear)
+{
+    EXPECT_DOUBLE_EQ(availabilityToDowntimeMinutesPerYear(0.0),
+                     minutesPerYear);
+}
+
+TEST(Units, DowntimeRoundTrips)
+{
+    for (double a : {0.9, 0.999, 0.99998, 0.9999999}) {
+        double minutes = availabilityToDowntimeMinutesPerYear(a);
+        EXPECT_NEAR(downtimeMinutesPerYearToAvailability(minutes), a,
+                    1e-12);
+    }
+}
+
+TEST(Units, DowntimeConversionRejectsOutOfRange)
+{
+    EXPECT_THROW(availabilityToDowntimeMinutesPerYear(1.5), ModelError);
+    EXPECT_THROW(downtimeMinutesPerYearToAvailability(-1.0), ModelError);
+    EXPECT_THROW(
+        downtimeMinutesPerYearToAvailability(minutesPerYear + 1.0),
+        ModelError);
+}
+
+TEST(Units, NinesOfCommonValues)
+{
+    EXPECT_NEAR(availabilityNines(0.9), 1.0, 1e-12);
+    EXPECT_NEAR(availabilityNines(0.999), 3.0, 1e-12);
+    EXPECT_NEAR(availabilityNines(0.99999), 5.0, 1e-9);
+    EXPECT_TRUE(std::isinf(availabilityNines(1.0)));
+}
+
+TEST(Units, NinesRoundTrips)
+{
+    for (double nines : {1.0, 2.5, 4.0, 6.0}) {
+        EXPECT_NEAR(availabilityNines(ninesToAvailability(nines)), nines,
+                    1e-9);
+    }
+}
+
+TEST(Units, DowntimeShiftZeroIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(shiftAvailabilityDowntime(0.99998, 0.0), 0.99998);
+}
+
+TEST(Units, DowntimeShiftOneOrderEachWay)
+{
+    // +1: 10x less downtime; -1: 10x more.
+    EXPECT_NEAR(shiftAvailabilityDowntime(0.99998, 1.0), 0.999998,
+                1e-12);
+    EXPECT_NEAR(shiftAvailabilityDowntime(0.99998, -1.0), 0.9998,
+                1e-12);
+}
+
+TEST(Units, DowntimeShiftClampsAtTotalFailure)
+{
+    // 0.9 shifted 2 orders worse would be "10" unavailability; clamp.
+    EXPECT_DOUBLE_EQ(shiftAvailabilityDowntime(0.9, -2.0), 0.0);
+}
+
+TEST(Units, DowntimeShiftOfPerfectStaysPerfect)
+{
+    EXPECT_DOUBLE_EQ(shiftAvailabilityDowntime(1.0, -3.0), 1.0);
+}
+
+TEST(Units, MtbfMttrMatchesPaperProcessValues)
+{
+    // Paper section VI.A: F = 5000 h, R = 0.1 h -> A = 0.99998;
+    // R_S = 1 h -> A_S = 0.9998.
+    EXPECT_NEAR(availabilityFromMtbfMttr(5000.0, 0.1), 0.99998, 1e-9);
+    EXPECT_NEAR(availabilityFromMtbfMttr(5000.0, 1.0), 0.9998, 5e-8);
+}
+
+TEST(Units, MtbfMttrMaintenanceTiers)
+{
+    // Paper section V.D: 5-year MTBF with SD (4h), ND (24h), NBD (48h)
+    // restore gives roughly 0.9999 / 0.9995 / 0.9990.
+    double mtbf = 5.0 * 365.0 * 24.0;
+    EXPECT_NEAR(availabilityFromMtbfMttr(mtbf, 4.0), 0.9999, 1e-4);
+    EXPECT_NEAR(availabilityFromMtbfMttr(mtbf, 24.0), 0.9995, 1e-4);
+    EXPECT_NEAR(availabilityFromMtbfMttr(mtbf, 48.0), 0.9989, 1e-4);
+}
+
+TEST(Units, MttrInversionRoundTrips)
+{
+    double mtbf = 5000.0;
+    for (double mttr : {0.1, 1.0, 24.0}) {
+        double a = availabilityFromMtbfMttr(mtbf, mttr);
+        EXPECT_NEAR(mttrFromAvailability(a, mtbf), mttr, 1e-9);
+    }
+}
+
+TEST(Units, MtbfMttrRejectsBadInputs)
+{
+    EXPECT_THROW(availabilityFromMtbfMttr(0.0, 1.0), ModelError);
+    EXPECT_THROW(availabilityFromMtbfMttr(-5.0, 1.0), ModelError);
+    EXPECT_THROW(availabilityFromMtbfMttr(5.0, -1.0), ModelError);
+    EXPECT_THROW(mttrFromAvailability(0.0, 5000.0), ModelError);
+}
+
+} // anonymous namespace

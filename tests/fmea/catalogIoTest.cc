@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for catalog JSON serialization.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "fmea/catalogIo.hh"
+#include "fmea/openContrail.hh"
+
+namespace
+{
+
+using namespace sdnav::fmea;
+using sdnav::ModelError;
+
+TEST(CatalogIo, EnumStringsRoundTrip)
+{
+    for (auto mode : {RestartMode::Auto, RestartMode::Manual}) {
+        EXPECT_EQ(restartModeFromString(restartModeToString(mode)),
+                  mode);
+    }
+    for (auto quorum : {QuorumClass::None, QuorumClass::AnyOne,
+                        QuorumClass::Majority}) {
+        EXPECT_EQ(quorumClassFromString(quorumClassToString(quorum)),
+                  quorum);
+    }
+    EXPECT_THROW(restartModeFromString("sometimes"), ModelError);
+    EXPECT_THROW(quorumClassFromString("all"), ModelError);
+}
+
+TEST(CatalogIo, OpenContrailRoundTripsExactly)
+{
+    ControllerCatalog original = openContrail3();
+    ControllerCatalog copy =
+        catalogFromJson(catalogToJson(original));
+
+    EXPECT_EQ(copy.name(), original.name());
+    ASSERT_EQ(copy.roles().size(), original.roles().size());
+    for (std::size_t r = 0; r < original.roles().size(); ++r) {
+        const RoleSpec &a = original.role(r);
+        const RoleSpec &b = copy.role(r);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.tag, b.tag);
+        ASSERT_EQ(a.processes.size(), b.processes.size());
+        for (std::size_t p = 0; p < a.processes.size(); ++p) {
+            EXPECT_EQ(a.processes[p].name, b.processes[p].name);
+            EXPECT_EQ(a.processes[p].restart, b.processes[p].restart);
+            EXPECT_EQ(a.processes[p].cpQuorum,
+                      b.processes[p].cpQuorum);
+            EXPECT_EQ(a.processes[p].dpQuorum,
+                      b.processes[p].dpQuorum);
+            EXPECT_EQ(a.processes[p].dpBlock, b.processes[p].dpBlock);
+            EXPECT_EQ(a.processes[p].failureEffect,
+                      b.processes[p].failureEffect);
+        }
+    }
+    ASSERT_EQ(copy.hostProcesses().size(),
+              original.hostProcesses().size());
+    for (std::size_t p = 0; p < original.hostProcesses().size(); ++p) {
+        EXPECT_EQ(copy.hostProcesses()[p].name,
+                  original.hostProcesses()[p].name);
+        EXPECT_EQ(copy.hostProcesses()[p].requiredForDp,
+                  original.hostProcesses()[p].requiredForDp);
+    }
+}
+
+TEST(CatalogIo, DerivedTablesSurviveRoundTrip)
+{
+    ControllerCatalog copy =
+        catalogFromJson(catalogToJson(openContrail3()));
+    // Table III sums must be intact, block grouping included.
+    EXPECT_EQ(copy.totalMajorityBlocks(Plane::ControlPlane), 4u);
+    EXPECT_EQ(copy.totalAnyOneBlocks(Plane::ControlPlane), 12u);
+    EXPECT_EQ(copy.totalAnyOneBlocks(Plane::DataPlane), 2u);
+    auto blocks = copy.planeBlocks(1, Plane::DataPlane);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].memberProcesses.size(), 3u);
+}
+
+TEST(CatalogIo, MinimalDocumentWithDefaults)
+{
+    auto value = sdnav::json::parse(R"({
+        "name": "mini",
+        "roles": [
+          { "name": "Core",
+            "processes": [ { "name": "p", "cp": "any-one" } ] }
+        ]
+    })");
+    ControllerCatalog catalog = catalogFromJson(value);
+    EXPECT_EQ(catalog.name(), "mini");
+    EXPECT_EQ(catalog.role(0).processes[0].restart, RestartMode::Auto);
+    EXPECT_EQ(catalog.role(0).processes[0].dpQuorum,
+              QuorumClass::None);
+    EXPECT_TRUE(catalog.hostProcesses().empty());
+}
+
+TEST(CatalogIo, MalformedDocumentsRejected)
+{
+    EXPECT_THROW(catalogFromJson(sdnav::json::parse("[]")),
+                 ModelError);
+    EXPECT_THROW(catalogFromJson(sdnav::json::parse(R"({"name":"x"})")),
+                 ModelError);
+    // A role without a name.
+    EXPECT_THROW(
+        catalogFromJson(sdnav::json::parse(
+            R"({"name":"x","roles":[{"processes":[]}]})")),
+        ModelError);
+    // Invalid quorum string.
+    EXPECT_THROW(
+        catalogFromJson(sdnav::json::parse(
+            R"({"name":"x","roles":[{"name":"R","processes":
+                [{"name":"p","cp":"some"}]}]})")),
+        ModelError);
+}
+
+TEST(CatalogIo, ValidationRunsOnLoad)
+{
+    // Duplicate process names must be rejected by validate().
+    EXPECT_THROW(
+        catalogFromJson(sdnav::json::parse(
+            R"({"name":"x","roles":[{"name":"R","processes":
+                [{"name":"p"},{"name":"p"}]}]})")),
+        ModelError);
+}
+
+TEST(CatalogIo, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/sdnav_catalog_test.json";
+    saveCatalog(raftStyleController(), path);
+    ControllerCatalog loaded = loadCatalog(path);
+    EXPECT_EQ(loaded.name(), "Raft-style monolithic controller");
+    EXPECT_EQ(loaded.roles().size(), 2u);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadCatalog(path), ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the controller catalog machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "fmea/catalog.hh"
+
+namespace
+{
+
+using namespace sdnav::fmea;
+
+ControllerCatalog
+tinyCatalog()
+{
+    ControllerCatalog catalog("tiny");
+    RoleSpec role;
+    role.name = "Core";
+    role.tag = 'X';
+    role.processes = {
+        {"alpha", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "", ""},
+        {"beta", RestartMode::Manual, QuorumClass::Majority,
+         QuorumClass::None, "", "", ""},
+        {"gamma", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "pair", "", ""},
+        {"delta", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "pair", "", ""},
+    };
+    catalog.addRole(std::move(role));
+    catalog.addHostProcess({"fwd", RestartMode::Auto, true, ""});
+    catalog.addHostProcess({"helper", RestartMode::Auto, false, ""});
+    return catalog;
+}
+
+TEST(RequiredCount, QuorumClassesAtClusterSizes)
+{
+    EXPECT_EQ(requiredCount(QuorumClass::None, 3), 0u);
+    EXPECT_EQ(requiredCount(QuorumClass::AnyOne, 3), 1u);
+    EXPECT_EQ(requiredCount(QuorumClass::Majority, 3), 2u);
+    EXPECT_EQ(requiredCount(QuorumClass::Majority, 5), 3u);
+    EXPECT_EQ(requiredCount(QuorumClass::Majority, 9), 5u);
+    EXPECT_EQ(requiredCount(QuorumClass::Majority, 1), 1u);
+    EXPECT_THROW(requiredCount(QuorumClass::AnyOne, 0),
+                 sdnav::ModelError);
+}
+
+TEST(QuorumNotation, RendersPaperStyle)
+{
+    EXPECT_EQ(quorumNotation(QuorumClass::None, 3), "0 of 3");
+    EXPECT_EQ(quorumNotation(QuorumClass::AnyOne, 3), "1 of 3");
+    EXPECT_EQ(quorumNotation(QuorumClass::Majority, 3), "2 of 3");
+    EXPECT_EQ(quorumNotation(QuorumClass::Majority, 5), "3 of 5");
+}
+
+TEST(Catalog, RoleAccessors)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    EXPECT_EQ(catalog.name(), "tiny");
+    EXPECT_EQ(catalog.roles().size(), 1u);
+    EXPECT_EQ(catalog.role(0).name, "Core");
+    EXPECT_THROW(catalog.role(1), sdnav::ModelError);
+}
+
+TEST(Catalog, RequiredHostProcessCountHonorsFlag)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    EXPECT_EQ(catalog.requiredHostProcessCount(), 1u);
+}
+
+TEST(Catalog, CpBlocksAreSingletons)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    auto blocks = catalog.planeBlocks(0, Plane::ControlPlane);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].name, "alpha");
+    EXPECT_EQ(blocks[0].quorum, QuorumClass::AnyOne);
+    EXPECT_EQ(blocks[0].memberProcesses.size(), 1u);
+    EXPECT_EQ(blocks[1].name, "beta");
+    EXPECT_EQ(blocks[1].quorum, QuorumClass::Majority);
+}
+
+TEST(Catalog, DpBlockGroupsSharedMembers)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    auto blocks = catalog.planeBlocks(0, Plane::DataPlane);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].name, "pair");
+    ASSERT_EQ(blocks[0].memberProcesses.size(), 2u);
+    EXPECT_EQ(blocks[0].memberProcesses[0], 2u);
+    EXPECT_EQ(blocks[0].memberProcesses[1], 3u);
+}
+
+TEST(Catalog, InconsistentBlockQuorumRejected)
+{
+    ControllerCatalog catalog("bad");
+    RoleSpec role;
+    role.name = "R";
+    role.processes = {
+        {"a", RestartMode::Auto, QuorumClass::None, QuorumClass::AnyOne,
+         "blk", "", ""},
+        {"b", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::Majority, "blk", "", ""},
+    };
+    catalog.addRole(std::move(role));
+    EXPECT_THROW(catalog.planeBlocks(0, Plane::DataPlane),
+                 sdnav::ModelError);
+    EXPECT_THROW(catalog.validate(), sdnav::ModelError);
+}
+
+TEST(Catalog, RestartCounts)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    RestartCounts counts = catalog.restartCounts(0);
+    EXPECT_EQ(counts.autoRestart, 3u);
+    EXPECT_EQ(counts.manualRestart, 1u);
+}
+
+TEST(Catalog, QuorumCountsPerPlane)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    QuorumCounts cp = catalog.quorumCounts(0, Plane::ControlPlane);
+    EXPECT_EQ(cp.majority, 1u);
+    EXPECT_EQ(cp.anyOne, 1u);
+    QuorumCounts dp = catalog.quorumCounts(0, Plane::DataPlane);
+    EXPECT_EQ(dp.majority, 0u);
+    EXPECT_EQ(dp.anyOne, 1u);
+}
+
+TEST(Catalog, TotalsAcrossRoles)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    EXPECT_EQ(catalog.totalMajorityBlocks(Plane::ControlPlane), 1u);
+    EXPECT_EQ(catalog.totalAnyOneBlocks(Plane::ControlPlane), 1u);
+    EXPECT_EQ(catalog.totalAnyOneBlocks(Plane::DataPlane), 1u);
+}
+
+TEST(Catalog, ValidateRejectsDuplicates)
+{
+    ControllerCatalog catalog("dups");
+    RoleSpec role;
+    role.name = "R";
+    role.processes = {
+        {"same", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "", ""},
+        {"same", RestartMode::Auto, QuorumClass::AnyOne,
+         QuorumClass::None, "", "", ""},
+    };
+    catalog.addRole(std::move(role));
+    EXPECT_THROW(catalog.validate(), sdnav::ModelError);
+
+    ControllerCatalog catalog2("dup-roles");
+    RoleSpec a;
+    a.name = "R";
+    a.processes = {{"p", RestartMode::Auto, QuorumClass::AnyOne,
+                    QuorumClass::None, "", "", ""}};
+    catalog2.addRole(a);
+    catalog2.addRole(a);
+    EXPECT_THROW(catalog2.validate(), sdnav::ModelError);
+}
+
+TEST(Catalog, ValidateRejectsEmptyCatalogAndNames)
+{
+    ControllerCatalog empty("empty");
+    EXPECT_THROW(empty.validate(), sdnav::ModelError);
+    ControllerCatalog catalog("x");
+    RoleSpec role;
+    EXPECT_THROW(catalog.addRole(role), sdnav::ModelError);
+    EXPECT_THROW(catalog.addHostProcess({"", RestartMode::Auto, true,
+                                         ""}),
+                 sdnav::ModelError);
+}
+
+TEST(Catalog, DuplicateHostProcessRejected)
+{
+    ControllerCatalog catalog = tinyCatalog();
+    catalog.addHostProcess({"fwd", RestartMode::Auto, true, ""});
+    EXPECT_THROW(catalog.validate(), sdnav::ModelError);
+}
+
+TEST(Catalog, BlockOrderingFollowsDeclaration)
+{
+    // The shared block appears at the position of its first member.
+    ControllerCatalog catalog("order");
+    RoleSpec role;
+    role.name = "R";
+    role.processes = {
+        {"first", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "grp", "", ""},
+        {"solo", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "", "", ""},
+        {"second", RestartMode::Auto, QuorumClass::None,
+         QuorumClass::AnyOne, "grp", "", ""},
+    };
+    catalog.addRole(std::move(role));
+    auto blocks = catalog.planeBlocks(0, Plane::DataPlane);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].name, "grp");
+    EXPECT_EQ(blocks[0].memberProcesses.size(), 2u);
+    EXPECT_EQ(blocks[1].name, "solo");
+}
+
+} // anonymous namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The OpenContrail 3.x catalog must reproduce the paper's Tables
+ * I-III exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fmea/openContrail.hh"
+
+namespace
+{
+
+using namespace sdnav::fmea;
+
+TEST(OpenContrail, RoleInventory)
+{
+    ControllerCatalog catalog = openContrail3();
+    ASSERT_EQ(catalog.roles().size(), 4u);
+    EXPECT_EQ(catalog.role(0).name, "Config");
+    EXPECT_EQ(catalog.role(1).name, "Control");
+    EXPECT_EQ(catalog.role(2).name, "Analytics");
+    EXPECT_EQ(catalog.role(3).name, "Database");
+    EXPECT_EQ(catalog.role(0).tag, 'G');
+    EXPECT_EQ(catalog.role(3).tag, 'D');
+}
+
+TEST(OpenContrail, ProcessCountsPerRole)
+{
+    ControllerCatalog catalog = openContrail3();
+    EXPECT_EQ(catalog.role(0).processes.size(), 6u); // Config
+    EXPECT_EQ(catalog.role(1).processes.size(), 3u); // Control
+    EXPECT_EQ(catalog.role(2).processes.size(), 5u); // Analytics
+    EXPECT_EQ(catalog.role(3).processes.size(), 4u); // Database
+}
+
+TEST(OpenContrail, TableTwoRestartModeCounts)
+{
+    // Paper Table II: Auto 6/3/4/0, Manual 0/0/1/4.
+    ControllerCatalog catalog = openContrail3();
+    unsigned expected_auto[] = {6, 3, 4, 0};
+    unsigned expected_manual[] = {0, 0, 1, 4};
+    for (std::size_t r = 0; r < 4; ++r) {
+        RestartCounts counts = catalog.restartCounts(r);
+        EXPECT_EQ(counts.autoRestart, expected_auto[r]) << "role " << r;
+        EXPECT_EQ(counts.manualRestart, expected_manual[r])
+            << "role " << r;
+    }
+}
+
+TEST(OpenContrail, TableThreeControlPlaneCounts)
+{
+    // Paper Table III SDN CP: M = 0/0/0/4, N = 6/1/5/0, sums 4 and 12.
+    ControllerCatalog catalog = openContrail3();
+    unsigned expected_m[] = {0, 0, 0, 4};
+    unsigned expected_n[] = {6, 1, 5, 0};
+    for (std::size_t r = 0; r < 4; ++r) {
+        QuorumCounts counts = catalog.quorumCounts(r, Plane::ControlPlane);
+        EXPECT_EQ(counts.majority, expected_m[r]) << "role " << r;
+        EXPECT_EQ(counts.anyOne, expected_n[r]) << "role " << r;
+    }
+    EXPECT_EQ(catalog.totalMajorityBlocks(Plane::ControlPlane), 4u);
+    EXPECT_EQ(catalog.totalAnyOneBlocks(Plane::ControlPlane), 12u);
+}
+
+TEST(OpenContrail, TableThreeDataPlaneCounts)
+{
+    // Paper Table III Host DP: M = 0 everywhere, N = 1 (Config,
+    // discovery) and 1 (Control, the {control+dns+named} block).
+    ControllerCatalog catalog = openContrail3();
+    unsigned expected_n[] = {1, 1, 0, 0};
+    for (std::size_t r = 0; r < 4; ++r) {
+        QuorumCounts counts = catalog.quorumCounts(r, Plane::DataPlane);
+        EXPECT_EQ(counts.majority, 0u) << "role " << r;
+        EXPECT_EQ(counts.anyOne, expected_n[r]) << "role " << r;
+    }
+    EXPECT_EQ(catalog.totalMajorityBlocks(Plane::DataPlane), 0u);
+    EXPECT_EQ(catalog.totalAnyOneBlocks(Plane::DataPlane), 2u);
+}
+
+TEST(OpenContrail, ControlDnsNamedFormOneDpBlock)
+{
+    ControllerCatalog catalog = openContrail3();
+    auto blocks = catalog.planeBlocks(1, Plane::DataPlane);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].name, "control+dns+named");
+    EXPECT_EQ(blocks[0].memberProcesses.size(), 3u);
+    EXPECT_EQ(blocks[0].quorum, QuorumClass::AnyOne);
+}
+
+TEST(OpenContrail, ControlPlaneBlocksAreAllSingletons)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (const QuorumBlock &block :
+             catalog.planeBlocks(r, Plane::ControlPlane)) {
+            EXPECT_EQ(block.memberProcesses.size(), 1u)
+                << block.name;
+        }
+    }
+}
+
+TEST(OpenContrail, DatabaseProcessesAreManualMajority)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (const ProcessSpec &proc : catalog.role(3).processes) {
+        EXPECT_EQ(proc.restart, RestartMode::Manual) << proc.name;
+        EXPECT_EQ(proc.cpQuorum, QuorumClass::Majority) << proc.name;
+        EXPECT_EQ(proc.dpQuorum, QuorumClass::None) << proc.name;
+    }
+}
+
+TEST(OpenContrail, RedisIsTheOnlyManualAnalyticsProcess)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (const ProcessSpec &proc : catalog.role(2).processes) {
+        if (proc.name == "redis")
+            EXPECT_EQ(proc.restart, RestartMode::Manual);
+        else
+            EXPECT_EQ(proc.restart, RestartMode::Auto) << proc.name;
+    }
+}
+
+TEST(OpenContrail, VRouterProcessesAreBothRequired)
+{
+    // Paper: K = 2 (vrouter-agent and vrouter-dpdk, both "1 of 1").
+    ControllerCatalog catalog = openContrail3();
+    EXPECT_EQ(catalog.hostProcesses().size(), 2u);
+    EXPECT_EQ(catalog.requiredHostProcessCount(), 2u);
+    EXPECT_EQ(catalog.hostProcesses()[0].name, "vrouter-agent");
+    EXPECT_EQ(catalog.hostProcesses()[1].name, "vrouter-dpdk");
+}
+
+TEST(OpenContrail, DiscoveryIsDpRelevantConfigProcess)
+{
+    ControllerCatalog catalog = openContrail3();
+    auto blocks = catalog.planeBlocks(0, Plane::DataPlane);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].name, "discovery");
+}
+
+TEST(OpenContrail, EveryProcessHasFailureEffectProse)
+{
+    ControllerCatalog catalog = openContrail3();
+    for (const RoleSpec &role : catalog.roles()) {
+        for (const ProcessSpec &proc : role.processes)
+            EXPECT_FALSE(proc.failureEffect.empty()) << proc.name;
+    }
+    for (const HostProcessSpec &proc : catalog.hostProcesses())
+        EXPECT_FALSE(proc.failureEffect.empty()) << proc.name;
+}
+
+TEST(AlternativeCatalogs, ValidateAndDiffer)
+{
+    ControllerCatalog raft = raftStyleController();
+    EXPECT_EQ(raft.roles().size(), 2u);
+    EXPECT_GT(raft.totalMajorityBlocks(Plane::ControlPlane), 0u);
+
+    ControllerCatalog fragile = fragileController();
+    EXPECT_EQ(fragile.roles().size(), 1u);
+    // Fragile controller's DP depends on majority quorums: worst case.
+    EXPECT_GT(fragile.totalMajorityBlocks(Plane::DataPlane), 0u);
+}
+
+} // anonymous namespace

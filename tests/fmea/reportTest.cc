@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the table/report renderers that regenerate the paper's
+ * Tables I-III.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fmea/openContrail.hh"
+#include "fmea/report.hh"
+
+namespace
+{
+
+using namespace sdnav::fmea;
+
+TEST(TableOne, ListsEveryProcessRow)
+{
+    ControllerCatalog catalog = openContrail3();
+    auto table = nodeProcessTable(catalog);
+    // 18 node processes + 2 vRouter processes.
+    EXPECT_EQ(table.rowCount(), 20u);
+    std::string out = table.str();
+    EXPECT_NE(out.find("config-api"), std::string::npos);
+    EXPECT_NE(out.find("zookeeper"), std::string::npos);
+    EXPECT_NE(out.find("vrouter-dpdk"), std::string::npos);
+}
+
+TEST(TableOne, ShowsPaperQuorumNotation)
+{
+    ControllerCatalog catalog = openContrail3();
+    std::string out = nodeProcessTable(catalog).str();
+    EXPECT_NE(out.find("2 of 3"), std::string::npos); // Database rows.
+    EXPECT_NE(out.find("1 of 3"), std::string::npos);
+    EXPECT_NE(out.find("0 of 3"), std::string::npos);
+    EXPECT_NE(out.find("1 of 1"), std::string::npos); // vRouter rows.
+}
+
+TEST(TableOne, ScalesQuorumNotationWithClusterSize)
+{
+    ControllerCatalog catalog = openContrail3();
+    std::string out = nodeProcessTable(catalog, 5).str();
+    EXPECT_NE(out.find("3 of 5"), std::string::npos);
+    EXPECT_EQ(out.find("2 of 3"), std::string::npos);
+}
+
+TEST(TableTwo, MatchesPaperCounts)
+{
+    ControllerCatalog catalog = openContrail3();
+    std::string out = restartModeTable(catalog).str();
+    // The Auto row: 6 3 4 0; the Manual row: 0 0 1 4.
+    EXPECT_NE(out.find("Auto"), std::string::npos);
+    EXPECT_NE(out.find("Manual"), std::string::npos);
+    EXPECT_NE(out.find("6"), std::string::npos);
+    auto auto_pos = out.find("Auto");
+    auto manual_pos = out.find("Manual");
+    EXPECT_LT(auto_pos, manual_pos);
+}
+
+TEST(TableThree, IncludesSumsRow)
+{
+    ControllerCatalog catalog = openContrail3();
+    auto table = quorumTypeTable(catalog);
+    // 4 role rows + 1 sums row.
+    EXPECT_EQ(table.rowCount(), 5u);
+    std::string out = table.str();
+    EXPECT_NE(out.find("Sums"), std::string::npos);
+    EXPECT_NE(out.find("Config G"), std::string::npos);
+    EXPECT_NE(out.find("Database D"), std::string::npos);
+}
+
+TEST(FmeaReport, ContainsRolesProcessesAndEffects)
+{
+    ControllerCatalog catalog = openContrail3();
+    std::string report = fmeaReport(catalog);
+    EXPECT_NE(report.find("FMEA report: OpenContrail 3.x"),
+              std::string::npos);
+    EXPECT_NE(report.find("Role Config (G)"), std::string::npos);
+    EXPECT_NE(report.find("BGP forwarding tables are flushed"),
+              std::string::npos);
+    EXPECT_NE(report.find("DP block 'control+dns+named'"),
+              std::string::npos);
+    EXPECT_NE(report.find("Per-host vRouter processes"),
+              std::string::npos);
+}
+
+TEST(FmeaReport, WorksForAlternativeCatalogs)
+{
+    std::string report = fmeaReport(raftStyleController());
+    EXPECT_NE(report.find("raft-consensus"), std::string::npos);
+    EXPECT_NE(report.find("manual restart"), std::string::npos);
+}
+
+} // anonymous namespace

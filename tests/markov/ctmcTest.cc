@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the CTMC solver: steady state, transients by
+ * uniformization, and interval availability.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "markov/ctmc.hh"
+#include "markov/models.hh"
+
+namespace
+{
+
+using namespace sdnav::markov;
+
+Ctmc
+twoState(double fail_rate, double repair_rate)
+{
+    Ctmc chain;
+    StateId up = chain.addState("up", true);
+    StateId down = chain.addState("down", false);
+    chain.addTransition(up, down, fail_rate);
+    chain.addTransition(down, up, repair_rate);
+    return chain;
+}
+
+TEST(Ctmc, GeneratorRowsSumToZero)
+{
+    Ctmc chain = twoState(0.2, 5.0);
+    Matrix q = chain.generator();
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < q.cols(); ++j)
+            sum += q.at(i, j);
+        EXPECT_NEAR(sum, 0.0, 1e-15);
+    }
+    EXPECT_DOUBLE_EQ(q.at(0, 1), 0.2);
+    EXPECT_DOUBLE_EQ(q.at(1, 0), 5.0);
+}
+
+TEST(Ctmc, TwoStateSteadyStateClosedForm)
+{
+    double lambda = 1.0 / 5000.0;
+    double mu = 1.0 / 0.1;
+    Ctmc chain = twoState(lambda, mu);
+    auto pi = chain.steadyState();
+    EXPECT_NEAR(pi[0], mu / (mu + lambda), 1e-12);
+    EXPECT_NEAR(pi[1], lambda / (mu + lambda), 1e-12);
+    EXPECT_NEAR(chain.steadyStateAvailability(), 0.99998, 1e-8);
+}
+
+TEST(Ctmc, SteadyStateSumsToOne)
+{
+    Ctmc chain;
+    StateId a = chain.addState("a", true);
+    StateId b = chain.addState("b", false);
+    StateId c = chain.addState("c", true);
+    chain.addTransition(a, b, 1.0);
+    chain.addTransition(b, c, 2.0);
+    chain.addTransition(c, a, 3.0);
+    auto pi = chain.steadyState();
+    double total = 0.0;
+    for (double p : pi) {
+        EXPECT_GE(p, 0.0);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Ctmc, CyclicChainSteadyStateMatchesRates)
+{
+    // pi_i proportional to 1/exit_rate for a directed cycle.
+    Ctmc chain;
+    chain.addState("0", true);
+    chain.addState("1", true);
+    chain.addState("2", true);
+    chain.addTransition(0, 1, 2.0);
+    chain.addTransition(1, 2, 4.0);
+    chain.addTransition(2, 0, 8.0);
+    auto pi = chain.steadyState();
+    // Weights 1/2 : 1/4 : 1/8 -> 4/7, 2/7, 1/7.
+    EXPECT_NEAR(pi[0], 4.0 / 7.0, 1e-12);
+    EXPECT_NEAR(pi[1], 2.0 / 7.0, 1e-12);
+    EXPECT_NEAR(pi[2], 1.0 / 7.0, 1e-12);
+}
+
+TEST(Ctmc, SingleStateChainIsTrivial)
+{
+    Ctmc chain;
+    chain.addState("only", true);
+    auto pi = chain.steadyState();
+    ASSERT_EQ(pi.size(), 1u);
+    EXPECT_DOUBLE_EQ(pi[0], 1.0);
+    EXPECT_DOUBLE_EQ(chain.steadyStateAvailability(), 1.0);
+}
+
+TEST(Ctmc, TransientMatchesTwoStateClosedForm)
+{
+    // Two-state chain has the closed-form transient
+    // P_up(t) = A + (1 - A) e^{-(lambda+mu) t} starting from up.
+    double lambda = 0.5, mu = 2.0;
+    Ctmc chain = twoState(lambda, mu);
+    double availability = mu / (mu + lambda);
+    std::vector<double> initial{1.0, 0.0};
+    for (double t : {0.0, 0.1, 0.5, 1.0, 3.0, 10.0}) {
+        double expected =
+            availability + (1.0 - availability) *
+                               std::exp(-(lambda + mu) * t);
+        EXPECT_NEAR(chain.transientAvailability(initial, t), expected,
+                    1e-9)
+            << "t=" << t;
+    }
+}
+
+TEST(Ctmc, TransientConvergesToSteadyState)
+{
+    Ctmc chain = twoState(0.3, 1.7);
+    std::vector<double> initial{0.0, 1.0}; // Start down.
+    double long_run = chain.transientAvailability(initial, 200.0);
+    EXPECT_NEAR(long_run, chain.steadyStateAvailability(), 1e-9);
+}
+
+TEST(Ctmc, TransientDistributionStaysNormalized)
+{
+    Ctmc chain;
+    chain.addState("a", true);
+    chain.addState("b", false);
+    chain.addState("c", true);
+    chain.addTransition(0, 1, 10.0);
+    chain.addTransition(1, 2, 0.1);
+    chain.addTransition(2, 0, 1.0);
+    std::vector<double> initial{1.0, 0.0, 0.0};
+    for (double t : {0.01, 1.0, 100.0}) {
+        auto dist = chain.transientDistribution(initial, t);
+        double total = 0.0;
+        for (double p : dist) {
+            EXPECT_GE(p, -1e-12);
+            total += p;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(Ctmc, IntervalAvailabilityBetweenPointValues)
+{
+    // Starting from up, transient availability decreases toward the
+    // steady state, so the interval average lies between them.
+    Ctmc chain = twoState(0.4, 1.2);
+    std::vector<double> initial{1.0, 0.0};
+    double horizon = 5.0;
+    double interval = chain.intervalAvailability(initial, horizon);
+    double at_end = chain.transientAvailability(initial, horizon);
+    EXPECT_GT(interval, at_end);
+    EXPECT_LT(interval, 1.0);
+}
+
+TEST(Ctmc, IntervalAvailabilityOfAbsorbingUpChain)
+{
+    Ctmc chain;
+    chain.addState("up", true);
+    std::vector<double> initial{1.0};
+    EXPECT_DOUBLE_EQ(chain.intervalAvailability(initial, 10.0), 1.0);
+}
+
+TEST(Ctmc, ValidationErrors)
+{
+    Ctmc chain;
+    StateId a = chain.addState("a", true);
+    EXPECT_THROW(chain.addTransition(a, a, 1.0), sdnav::ModelError);
+    EXPECT_THROW(chain.addTransition(a, 5, 1.0), sdnav::ModelError);
+    EXPECT_THROW(chain.addTransition(a, a + 0, -1.0),
+                 sdnav::ModelError);
+    EXPECT_THROW(chain.stateName(9), sdnav::ModelError);
+    Ctmc empty;
+    EXPECT_THROW(empty.steadyState(), sdnav::ModelError);
+}
+
+TEST(Ctmc, TransientInputValidation)
+{
+    Ctmc chain = twoState(1.0, 1.0);
+    EXPECT_THROW(chain.transientDistribution({1.0}, 1.0),
+                 sdnav::ModelError);
+    EXPECT_THROW(
+        chain.transientDistribution({1.0, 0.0}, -1.0),
+        sdnav::ModelError);
+    EXPECT_THROW(chain.intervalAvailability({1.0, 0.0}, 1.0, 3),
+                 sdnav::ModelError);
+}
+
+TEST(Ctmc, MttfOfTwoStateChainIsMtbf)
+{
+    // From up, the mean time to first failure of a two-state chain
+    // is exactly the MTBF.
+    Ctmc chain = twoState(1.0 / 5000.0, 1.0 / 0.1);
+    EXPECT_NEAR(chain.meanTimeToFirstFailure({1.0, 0.0}), 5000.0,
+                1e-6);
+}
+
+TEST(Ctmc, MttfOfParallelPairClosedForm)
+{
+    // 1-of-2 identical repairable components: the classic closed form
+    // MTTF = (3 lambda + mu) / (2 lambda^2) from the all-up state.
+    double lambda = 0.01, mu = 2.0;
+    Ctmc chain;
+    StateId both = chain.addState("2up", true);
+    StateId one = chain.addState("1up", true);
+    StateId none = chain.addState("0up", false);
+    chain.addTransition(both, one, 2.0 * lambda);
+    chain.addTransition(one, both, mu);
+    chain.addTransition(one, none, lambda);
+    chain.addTransition(none, one, mu); // Irrelevant to MTTF.
+    std::vector<double> initial{1.0, 0.0, 0.0};
+    double expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+    EXPECT_NEAR(chain.meanTimeToFirstFailure(initial), expected,
+                1e-6 * expected);
+}
+
+TEST(Ctmc, MttfRejectsMassOnDownStates)
+{
+    Ctmc chain = twoState(1.0, 1.0);
+    EXPECT_THROW(chain.meanTimeToFirstFailure({0.5, 0.5}),
+                 sdnav::ModelError);
+    EXPECT_THROW(chain.meanTimeToFirstFailure({1.0}),
+                 sdnav::ModelError);
+}
+
+TEST(Ctmc, MttfExceedsMtbfWithFastRepair)
+{
+    // In a 2-of-3 block with fast repair, the block MTTF is much
+    // longer than a single element MTBF.
+    double mtbf = 100.0, mttr = 1.0;
+    Ctmc chain = sdnav::markov::kOfNRepairableModel(3, 2, mtbf, mttr,
+                                                    3);
+    std::vector<double> initial(chain.stateCount(), 0.0);
+    initial[0] = 1.0;
+    double mttf = chain.meanTimeToFirstFailure(initial);
+    EXPECT_GT(mttf, 10.0 * mtbf);
+}
+
+TEST(Ctmc, StateMetadataAccessors)
+{
+    Ctmc chain = twoState(1.0, 2.0);
+    EXPECT_EQ(chain.stateCount(), 2u);
+    EXPECT_EQ(chain.stateName(0), "up");
+    EXPECT_TRUE(chain.stateUp(0));
+    EXPECT_FALSE(chain.stateUp(1));
+}
+
+} // anonymous namespace

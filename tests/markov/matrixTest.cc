@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the dense matrix and the linear solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "markov/matrix.hh"
+
+namespace
+{
+
+using namespace sdnav::markov;
+
+TEST(Matrix, ConstructsZeroed)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(m.at(i, j), 0.0);
+}
+
+TEST(Matrix, RejectsEmptyDimensions)
+{
+    EXPECT_THROW(Matrix(0, 3), sdnav::ModelError);
+    EXPECT_THROW(Matrix(3, 0), sdnav::ModelError);
+}
+
+TEST(Matrix, IdentityActsAsNeutral)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 3.0;
+    a.at(1, 1) = 4.0;
+    Matrix i = Matrix::identity(2);
+    Matrix product = a.multiply(i);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(product.at(r, c), a.at(r, c));
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a(2, 3);
+    // [1 2 3; 4 5 6]
+    for (std::size_t j = 0; j < 3; ++j) {
+        a.at(0, j) = static_cast<double>(j + 1);
+        a.at(1, j) = static_cast<double>(j + 4);
+    }
+    Matrix b(3, 1);
+    b.at(0, 0) = 1.0;
+    b.at(1, 0) = 0.0;
+    b.at(2, 0) = -1.0;
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), -2.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), -2.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatch)
+{
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a.multiply(b), sdnav::ModelError);
+}
+
+TEST(Matrix, VectorProducts)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 3.0;
+    a.at(1, 1) = 4.0;
+    auto right = a.multiply(std::vector<double>{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(right[0], 3.0);
+    EXPECT_DOUBLE_EQ(right[1], 7.0);
+    auto left = a.leftMultiply(std::vector<double>{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(left[0], 4.0);
+    EXPECT_DOUBLE_EQ(left[1], 6.0);
+}
+
+TEST(Matrix, TransposeScaleAdd)
+{
+    Matrix a(2, 3);
+    a.at(0, 2) = 5.0;
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+    t.scale(2.0);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 10.0);
+    Matrix u(3, 2);
+    u.at(2, 0) = 1.0;
+    t.add(u);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 11.0);
+    EXPECT_DOUBLE_EQ(t.maxAbs(), 11.0);
+}
+
+TEST(Solver, SolvesDiagonalSystem)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 2.0;
+    a.at(1, 1) = 4.0;
+    auto x = solveLinearSystem(a, {6.0, 8.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solver, SolvesSystemNeedingPivoting)
+{
+    // Leading zero forces a row swap.
+    Matrix a(2, 2);
+    a.at(0, 0) = 0.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 0.0;
+    auto x = solveLinearSystem(a, {5.0, 7.0});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(Solver, Solves3x3)
+{
+    Matrix a(3, 3);
+    double values[3][3] = {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            a.at(i, j) = values[i][j];
+    auto x = solveLinearSystem(a, {8.0, -11.0, -3.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+    EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Solver, ResidualIsSmallOnRandomSystems)
+{
+    // Fixed pseudo-random system; verify A x ~= b.
+    std::size_t n = 12;
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    std::uint64_t state = 42;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>(state >> 11) * 0x1.0p-53 - 0.5;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            a.at(i, j) = next();
+        a.at(i, i) += 4.0; // Diagonally dominant => nonsingular.
+        b[i] = next();
+    }
+    auto x = solveLinearSystem(a, b);
+    auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(Solver, RejectsSingularMatrix)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 4.0;
+    EXPECT_THROW(solveLinearSystem(a, {1.0, 2.0}), sdnav::ModelError);
+}
+
+TEST(Solver, RejectsShapeMismatch)
+{
+    Matrix a(2, 3);
+    EXPECT_THROW(solveLinearSystem(a, {1.0, 2.0}), sdnav::ModelError);
+    Matrix b(2, 2);
+    EXPECT_THROW(solveLinearSystem(b, {1.0}), sdnav::ModelError);
+}
+
+TEST(Matrix, StrRendersRows)
+{
+    Matrix a(1, 2);
+    a.at(0, 1) = 2.5;
+    EXPECT_EQ(a.str(), "[0, 2.5]\n");
+}
+
+} // anonymous namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the canonical CTMC models: the Markov machinery must
+ * re-derive the paper's section VI.A availability algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "markov/models.hh"
+#include "prob/kofn.hh"
+#include "prob/processAvailability.hh"
+
+namespace
+{
+
+using namespace sdnav::markov;
+using sdnav::prob::ProcessTimings;
+
+TEST(TwoStateModel, MatchesMtbfMttrFormula)
+{
+    for (double mttr : {0.1, 1.0, 24.0}) {
+        Ctmc chain = twoStateModel(5000.0, mttr);
+        EXPECT_NEAR(chain.steadyStateAvailability(),
+                    sdnav::availabilityFromMtbfMttr(5000.0, mttr),
+                    1e-12)
+            << "mttr=" << mttr;
+    }
+}
+
+TEST(TwoStateModel, RejectsBadInputs)
+{
+    EXPECT_THROW(twoStateModel(0.0, 1.0), sdnav::ModelError);
+    EXPECT_THROW(twoStateModel(5000.0, 0.0), sdnav::ModelError);
+}
+
+TEST(SupervisorCoupledModel, DerivesThePaperA_Star)
+{
+    // Paper section VI.A scenario 2: F=5000, R=0.1, R_S=1, F_s=5000
+    // gives A* = F*/(F*+R*) with F*=2500, R*=0.55.
+    ProcessTimings timings{5000.0, 0.1, 1.0};
+    Ctmc chain = supervisorCoupledModel(timings, 5000.0);
+    double expected =
+        sdnav::prob::scenario2EffectiveAvailability(timings, 5000.0);
+    EXPECT_NEAR(chain.steadyStateAvailability(), expected, 1e-12);
+    EXPECT_NEAR(chain.steadyStateAvailability(), 2500.0 / 2500.55,
+                1e-9);
+}
+
+TEST(SupervisorCoupledModel, ReducesToTwoStateWithoutSupervisorRisk)
+{
+    ProcessTimings timings{5000.0, 0.1, 1.0};
+    Ctmc chain = supervisorCoupledModel(timings, 1e15);
+    EXPECT_NEAR(chain.steadyStateAvailability(),
+                timings.supervisedAvailability(), 1e-9);
+}
+
+TEST(SupervisorCoupledModel, StateInventory)
+{
+    ProcessTimings timings{5000.0, 0.1, 1.0};
+    Ctmc chain = supervisorCoupledModel(timings, 5000.0);
+    EXPECT_EQ(chain.stateCount(), 3u);
+    EXPECT_TRUE(chain.stateUp(0));
+    EXPECT_FALSE(chain.stateUp(1));
+    EXPECT_FALSE(chain.stateUp(2));
+}
+
+TEST(KofNRepairable, UnlimitedCrewsMatchEquationOne)
+{
+    // With one crew per element, element states are independent
+    // two-state chains, so block availability equals the paper's
+    // eq. (1) with alpha = F/(F+R).
+    unsigned n = 3, m = 2;
+    double mtbf = 1000.0, mttr = 10.0;
+    Ctmc chain = kOfNRepairableModel(n, m, mtbf, mttr, n);
+    double alpha = mtbf / (mtbf + mttr);
+    EXPECT_NEAR(chain.steadyStateAvailability(),
+                sdnav::prob::kOfN(m, n, alpha), 1e-12);
+}
+
+TEST(KofNRepairable, UnlimitedCrewsMatchForLargerCluster)
+{
+    unsigned n = 5, m = 3;
+    double mtbf = 500.0, mttr = 25.0;
+    Ctmc chain = kOfNRepairableModel(n, m, mtbf, mttr, n);
+    double alpha = mtbf / (mtbf + mttr);
+    EXPECT_NEAR(chain.steadyStateAvailability(),
+                sdnav::prob::kOfN(m, n, alpha), 1e-12);
+}
+
+TEST(KofNRepairable, LimitedCrewsReduceAvailability)
+{
+    unsigned n = 5, m = 3;
+    double mtbf = 200.0, mttr = 50.0;
+    double one_crew =
+        kOfNRepairableModel(n, m, mtbf, mttr, 1)
+            .steadyStateAvailability();
+    double two_crews =
+        kOfNRepairableModel(n, m, mtbf, mttr, 2)
+            .steadyStateAvailability();
+    double full_crews =
+        kOfNRepairableModel(n, m, mtbf, mttr, n)
+            .steadyStateAvailability();
+    EXPECT_LT(one_crew, two_crews);
+    EXPECT_LT(two_crews, full_crews);
+}
+
+TEST(KofNRepairable, CrewCountBeyondElementsChangesNothing)
+{
+    unsigned n = 4, m = 2;
+    double a =
+        kOfNRepairableModel(n, m, 100.0, 5.0, n)
+            .steadyStateAvailability();
+    double b =
+        kOfNRepairableModel(n, m, 100.0, 5.0, n + 10)
+            .steadyStateAvailability();
+    EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(KofNRepairable, InputValidation)
+{
+    EXPECT_THROW(kOfNRepairableModel(0, 1, 1.0, 1.0, 1),
+                 sdnav::ModelError);
+    EXPECT_THROW(kOfNRepairableModel(3, 0, 1.0, 1.0, 1),
+                 sdnav::ModelError);
+    EXPECT_THROW(kOfNRepairableModel(3, 4, 1.0, 1.0, 1),
+                 sdnav::ModelError);
+    EXPECT_THROW(kOfNRepairableModel(3, 2, 1.0, 1.0, 0),
+                 sdnav::ModelError);
+}
+
+TEST(BirthDeath, MatchesCtmcSteadyState)
+{
+    // An M/M/1-like 4-state chain: closed form vs general solver.
+    std::vector<double> births{3.0, 2.0, 1.0};
+    std::vector<double> deaths{4.0, 4.0, 4.0};
+    auto closed = birthDeathSteadyState(births, deaths);
+
+    Ctmc chain;
+    for (int i = 0; i < 4; ++i)
+        chain.addState(std::to_string(i), true);
+    for (std::size_t i = 0; i < 3; ++i) {
+        chain.addTransition(i, i + 1, births[i]);
+        chain.addTransition(i + 1, i, deaths[i]);
+    }
+    auto solved = chain.steadyState();
+    ASSERT_EQ(closed.size(), solved.size());
+    for (std::size_t i = 0; i < closed.size(); ++i)
+        EXPECT_NEAR(closed[i], solved[i], 1e-12);
+}
+
+TEST(BirthDeath, NormalizesToOne)
+{
+    auto pi = birthDeathSteadyState({1.0, 1.0}, {2.0, 2.0});
+    double total = 0.0;
+    for (double p : pi)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BirthDeath, RejectsMismatchedRates)
+{
+    EXPECT_THROW(birthDeathSteadyState({1.0}, {1.0, 2.0}),
+                 sdnav::ModelError);
+    EXPECT_THROW(birthDeathSteadyState({0.0}, {1.0}),
+                 sdnav::ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the exact process-level structure-function builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "fmea/openContrail.hh"
+#include "model/exactModel.hh"
+
+namespace
+{
+
+using namespace sdnav::model;
+using sdnav::fmea::Plane;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+TEST(ExactModel, ComponentInventorySmallControlPlane)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    auto system = buildExactSystem(catalog, topo,
+                                   SupervisorPolicy::NotRequired,
+                                   params, Plane::ControlPlane);
+    // 1 rack + 3 hosts + 3 VMs + 54 processes (18 per node).
+    EXPECT_EQ(system.componentCount(), 61u);
+}
+
+TEST(ExactModel, SupervisorsAddedOnlyWhenRequired)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    auto without = buildExactSystem(catalog, topo,
+                                    SupervisorPolicy::NotRequired,
+                                    params, Plane::ControlPlane);
+    auto with = buildExactSystem(catalog, topo,
+                                 SupervisorPolicy::Required, params,
+                                 Plane::ControlPlane);
+    // 12 node-role supervisors appear.
+    EXPECT_EQ(with.componentCount(), without.componentCount() + 12u);
+}
+
+TEST(ExactModel, DataPlaneAddsLocalProcesses)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    SwParams params;
+    auto cp = buildExactSystem(catalog, topo,
+                               SupervisorPolicy::NotRequired, params,
+                               Plane::ControlPlane);
+    auto dp = buildExactSystem(catalog, topo,
+                               SupervisorPolicy::NotRequired, params,
+                               Plane::DataPlane);
+    // DP adds vrouter-agent and vrouter-dpdk.
+    EXPECT_EQ(dp.componentCount(), cp.componentCount() + 2u);
+    auto dp2 = buildExactSystem(catalog, topo,
+                                SupervisorPolicy::Required, params,
+                                Plane::DataPlane);
+    // Plus 12 supervisors plus the vRouter supervisor.
+    EXPECT_EQ(dp2.componentCount(), cp.componentCount() + 2u + 13u);
+}
+
+TEST(ExactModel, SharedInfrastructureIsShared)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    auto system = buildExactSystem(catalog, topo,
+                                   SupervisorPolicy::NotRequired,
+                                   params, Plane::ControlPlane);
+    EXPECT_TRUE(system.hasSharedComponents());
+}
+
+TEST(ExactModel, PerfectComponentsYieldPerfectPlanes)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    params.processAvailability = 1.0;
+    params.manualProcessAvailability = 1.0;
+    params.vmAvailability = 1.0;
+    params.hostAvailability = 1.0;
+    params.rackAvailability = 1.0;
+    EXPECT_DOUBLE_EQ(
+        exactPlaneAvailability(catalog, topo,
+                               SupervisorPolicy::Required, params,
+                               Plane::ControlPlane),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        exactPlaneAvailability(catalog, topo,
+                               SupervisorPolicy::Required, params,
+                               Plane::DataPlane),
+        1.0);
+}
+
+TEST(ExactModel, DeadRackKillsSmallTopology)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    params.rackAvailability = 0.0;
+    EXPECT_DOUBLE_EQ(
+        exactPlaneAvailability(catalog, topo,
+                               SupervisorPolicy::NotRequired, params,
+                               Plane::ControlPlane),
+        0.0);
+}
+
+TEST(ExactModel, LargeSurvivesOneDeadRackProbabilistically)
+{
+    // In the Large topology a single rack loss leaves a "2 of 2"
+    // database quorum, so availability with A_R < 1 stays high.
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    SwParams params;
+    params.rackAvailability = 0.9;
+    double cp = exactPlaneAvailability(catalog, topo,
+                                       SupervisorPolicy::NotRequired,
+                                       params, Plane::ControlPlane);
+    // Two simultaneous rack failures (~2.7%) dominate the loss.
+    EXPECT_GT(cp, 0.96);
+    EXPECT_LT(cp, 0.999);
+}
+
+TEST(ExactModel, MonteCarloAgreesWithBddOnSmallCp)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params;
+    // Exaggerated failure probabilities so Monte Carlo resolves the
+    // differences with modest sample counts.
+    params.processAvailability = 0.95;
+    params.manualProcessAvailability = 0.9;
+    params.vmAvailability = 0.97;
+    params.hostAvailability = 0.98;
+    params.rackAvailability = 0.99;
+    auto system = buildExactSystem(catalog, topo,
+                                   SupervisorPolicy::Required, params,
+                                   Plane::ControlPlane);
+    double exact = system.availabilityExact();
+    sdnav::prob::Rng rng(2024);
+    auto mc = system.availabilityMonteCarlo(400000, rng);
+    EXPECT_TRUE(mc.brackets(exact))
+        << mc.estimate << " +- " << 2 * mc.standardError << " vs "
+        << exact;
+}
+
+TEST(ExactModel, BddStaysCompact)
+{
+    // The structure functions must compile to manageable BDDs with
+    // the shared-infrastructure-first ordering.
+    auto catalog = fmea::openContrail3();
+    SwParams params;
+    for (auto kind : {topology::ReferenceKind::Small,
+                      topology::ReferenceKind::Medium,
+                      topology::ReferenceKind::Large}) {
+        auto topo = topology::referenceTopology(kind);
+        auto system = buildExactSystem(catalog, topo,
+                                       SupervisorPolicy::Required,
+                                       params, Plane::ControlPlane);
+        sdnav::bdd::BddManager manager;
+        auto root = system.compile(manager);
+        EXPECT_LT(manager.nodeCount(root), 200000u)
+            << topology::referenceKindName(kind);
+    }
+}
+
+TEST(ExactModel, RoleMismatchRejected)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology(2);
+    SwParams params;
+    EXPECT_THROW(buildExactSystem(catalog, topo,
+                                  SupervisorPolicy::Required, params,
+                                  Plane::ControlPlane),
+                 sdnav::ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the HW-centric closed forms (paper eqs. 3, 6, 8) against
+ * the exact RBD evaluation and the paper's approximations.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "model/hwCentric.hh"
+#include "model/swCentric.hh"
+#include "prob/kofn.hh"
+
+namespace
+{
+
+using namespace sdnav::model;
+namespace topology = sdnav::topology;
+
+HwParams
+paperParams()
+{
+    return HwParams{}; // Defaults are the paper's values.
+}
+
+TEST(HwClosedForms, SmallMatchesExactRbd)
+{
+    HwParams params = paperParams();
+    double closed = hwSmallAvailability(params);
+    double exact =
+        hwExactAvailability(topology::smallTopology(), params);
+    EXPECT_NEAR(closed, exact, 1e-12);
+}
+
+TEST(HwClosedForms, MediumMatchesExactRbdToFirstOrder)
+{
+    // Eq. (6) carries the paper's (4 - 3A_H - A_R) simplification;
+    // the residual is O((1-A_H)(1-A_R)).
+    HwParams params = paperParams();
+    double closed = hwMediumAvailability(params);
+    double exact =
+        hwExactAvailability(topology::mediumTopology(), params);
+    EXPECT_NEAR(closed, exact, 1e-8);
+}
+
+TEST(HwClosedForms, LargeMatchesExactRbd)
+{
+    HwParams params = paperParams();
+    double closed = hwLargeAvailability(params);
+    double exact =
+        hwExactAvailability(topology::largeTopology(), params);
+    EXPECT_NEAR(closed, exact, 1e-12);
+}
+
+TEST(HwClosedForms, ExactAgreementAcrossParameterGrid)
+{
+    for (double ac : {0.999, 0.9995, 0.99999}) {
+        for (double ah : {0.999, 0.9999}) {
+            HwParams params = paperParams();
+            params.roleAvailability = ac;
+            params.hostAvailability = ah;
+            EXPECT_NEAR(
+                hwSmallAvailability(params),
+                hwExactAvailability(topology::smallTopology(), params),
+                1e-12)
+                << "ac=" << ac << " ah=" << ah;
+            EXPECT_NEAR(
+                hwLargeAvailability(params),
+                hwExactAvailability(topology::largeTopology(), params),
+                1e-12)
+                << "ac=" << ac << " ah=" << ah;
+        }
+    }
+}
+
+TEST(HwClosedForms, DispatchesByKind)
+{
+    HwParams params = paperParams();
+    EXPECT_DOUBLE_EQ(hwAvailability(topology::ReferenceKind::Small,
+                                    params),
+                     hwSmallAvailability(params));
+    EXPECT_DOUBLE_EQ(hwAvailability(topology::ReferenceKind::Medium,
+                                    params),
+                     hwMediumAvailability(params));
+    EXPECT_DOUBLE_EQ(hwAvailability(topology::ReferenceKind::Large,
+                                    params),
+                     hwLargeAvailability(params));
+}
+
+TEST(HwApproximations, TrackTheClosedForms)
+{
+    // The paper's A ~= A_{2/3} intuition: within ~1e-7 at defaults.
+    HwParams params = paperParams();
+    EXPECT_NEAR(hwSmallApproximation(params),
+                hwSmallAvailability(params), 1e-7);
+    EXPECT_NEAR(hwMediumApproximation(params),
+                hwMediumAvailability(params), 1e-7);
+    EXPECT_NEAR(hwLargeApproximation(params),
+                hwLargeAvailability(params), 1e-7);
+}
+
+TEST(HwApproximations, ClosedFormOfSmallApproximation)
+{
+    HwParams params = paperParams();
+    double alpha = params.roleAvailability * params.vmAvailability *
+                   params.hostAvailability;
+    EXPECT_NEAR(hwSmallApproximation(params),
+                sdnav::prob::kOfN(2, 3, alpha) *
+                    params.rackAvailability,
+                1e-15);
+}
+
+TEST(HwModel, PerfectPartsGivePerfectController)
+{
+    HwParams params;
+    params.roleAvailability = 1.0;
+    params.vmAvailability = 1.0;
+    params.hostAvailability = 1.0;
+    params.rackAvailability = 1.0;
+    EXPECT_DOUBLE_EQ(hwSmallAvailability(params), 1.0);
+    EXPECT_DOUBLE_EQ(hwMediumAvailability(params), 1.0);
+    EXPECT_DOUBLE_EQ(hwLargeAvailability(params), 1.0);
+}
+
+TEST(HwModel, DeadRoleKillsController)
+{
+    HwParams params = paperParams();
+    params.roleAvailability = 0.0;
+    EXPECT_DOUBLE_EQ(hwSmallAvailability(params), 0.0);
+    EXPECT_DOUBLE_EQ(hwLargeAvailability(params), 0.0);
+}
+
+TEST(HwModel, MonotoneInEveryParameter)
+{
+    HwParams lo = paperParams();
+    for (auto field :
+         {&HwParams::roleAvailability, &HwParams::vmAvailability,
+          &HwParams::hostAvailability, &HwParams::rackAvailability}) {
+        HwParams hi = lo;
+        hi.*field = std::min(1.0, lo.*field + 0.0004);
+        EXPECT_GE(hwSmallAvailability(hi), hwSmallAvailability(lo));
+        EXPECT_GE(hwMediumAvailability(hi), hwMediumAvailability(lo));
+        EXPECT_GE(hwLargeAvailability(hi), hwLargeAvailability(lo));
+    }
+}
+
+TEST(HwModel, ValidationRejectsBadParams)
+{
+    HwParams params = paperParams();
+    params.roleAvailability = 1.5;
+    EXPECT_THROW(params.validate(), sdnav::ModelError);
+    EXPECT_THROW(hwSmallAvailability(params), sdnav::ModelError);
+}
+
+TEST(HwExactSystem, ComponentInventorySmall)
+{
+    auto system =
+        hwExactSystem(topology::smallTopology(), paperParams());
+    // 1 rack + 3 hosts + 3 VMs + 12 role instances.
+    EXPECT_EQ(system.componentCount(), 19u);
+    EXPECT_TRUE(system.hasSharedComponents());
+}
+
+TEST(HwExactSystem, ComponentInventoryLarge)
+{
+    auto system =
+        hwExactSystem(topology::largeTopology(), paperParams());
+    // 3 racks + 12 hosts + 12 VMs + 12 role instances.
+    EXPECT_EQ(system.componentCount(), 39u);
+}
+
+TEST(HwExactSystem, ProfileMismatchRejected)
+{
+    HwQuorumProfile profile;
+    profile.anyOneRoles = 2; // roleCount 3 != topology's 4.
+    EXPECT_THROW(
+        hwExactSystem(topology::smallTopology(), paperParams(),
+                      profile),
+        sdnav::ModelError);
+}
+
+TEST(HwExactSystem, AllMajorityProfileIsStricter)
+{
+    HwParams params = paperParams();
+    HwQuorumProfile all_majority{0, 4};
+    HwQuorumProfile paper_profile{3, 1};
+    double strict = hwExactAvailability(topology::largeTopology(),
+                                        params, all_majority);
+    double loose = hwExactAvailability(topology::largeTopology(),
+                                       params, paper_profile);
+    EXPECT_LT(strict, loose);
+}
+
+TEST(HwCatalogBridge, SwEngineReproducesHwClosedForms)
+{
+    // Feeding the degenerate HW catalog through the SW-centric engine
+    // must reproduce section V exactly (the two models are one
+    // framework).
+    HwParams params = paperParams();
+    auto catalog = hwCentricCatalog();
+    SwParams sw = hwToSwParams(params);
+    double engine_small = swAvailability(
+        catalog, topology::smallTopology(), SupervisorPolicy::NotRequired,
+        sw, sdnav::fmea::Plane::ControlPlane);
+    EXPECT_NEAR(engine_small, hwSmallAvailability(params), 1e-12);
+    double engine_large = swAvailability(
+        catalog, topology::largeTopology(), SupervisorPolicy::NotRequired,
+        sw, sdnav::fmea::Plane::ControlPlane);
+    EXPECT_NEAR(engine_large, hwLargeAvailability(params), 1e-12);
+}
+
+TEST(HwCatalogBridge, MediumAgreesWithExactNotTruncatedForm)
+{
+    HwParams params = paperParams();
+    auto catalog = hwCentricCatalog();
+    SwParams sw = hwToSwParams(params);
+    double engine = swAvailability(
+        catalog, topology::mediumTopology(),
+        SupervisorPolicy::NotRequired, sw,
+        sdnav::fmea::Plane::ControlPlane);
+    double exact =
+        hwExactAvailability(topology::mediumTopology(), params);
+    EXPECT_NEAR(engine, exact, 1e-12);
+}
+
+} // anonymous namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for exact combinatorics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "prob/combinatorics.hh"
+
+namespace
+{
+
+using namespace sdnav::prob;
+
+TEST(Binomial, SmallValues)
+{
+    EXPECT_EQ(binomialCoefficient(0, 0), 1u);
+    EXPECT_EQ(binomialCoefficient(3, 0), 1u);
+    EXPECT_EQ(binomialCoefficient(3, 1), 3u);
+    EXPECT_EQ(binomialCoefficient(3, 2), 3u);
+    EXPECT_EQ(binomialCoefficient(3, 3), 1u);
+    EXPECT_EQ(binomialCoefficient(5, 2), 10u);
+}
+
+TEST(Binomial, KGreaterThanNIsZero)
+{
+    EXPECT_EQ(binomialCoefficient(3, 4), 0u);
+    EXPECT_EQ(binomialCoefficient(0, 1), 0u);
+}
+
+TEST(Binomial, LargeExactValue)
+{
+    // C(62, 31) is the largest central coefficient we support.
+    EXPECT_EQ(binomialCoefficient(62, 31), 465428353255261088ULL);
+    EXPECT_EQ(binomialCoefficient(52, 5), 2598960u);
+}
+
+TEST(Binomial, RejectsOversizedN)
+{
+    EXPECT_THROW(binomialCoefficient(63, 1), sdnav::ModelError);
+}
+
+TEST(Binomial, PascalIdentityHolds)
+{
+    for (unsigned n = 1; n <= 20; ++n) {
+        for (unsigned k = 1; k <= n; ++k) {
+            EXPECT_EQ(binomialCoefficient(n, k),
+                      binomialCoefficient(n - 1, k - 1) +
+                          binomialCoefficient(n - 1, k))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(BinomialPmf, SumsToOne)
+{
+    for (double p : {0.0, 0.3, 0.99998, 1.0}) {
+        double sum = 0.0;
+        for (unsigned k = 0; k <= 10; ++k)
+            sum += binomialPmf(10, k, p);
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "p=" << p;
+    }
+}
+
+TEST(BinomialPmf, DegenerateCases)
+{
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 3, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(binomialPmf(5, 6, 0.5), 0.0);
+}
+
+TEST(BinomialTail, MatchesDirectSum)
+{
+    double p = 0.97;
+    for (unsigned m = 0; m <= 6; ++m) {
+        double direct = 0.0;
+        for (unsigned k = m; k <= 5; ++k)
+            direct += binomialPmf(5, k, p);
+        EXPECT_NEAR(binomialTailAtLeast(5, m, p), direct, 1e-15);
+    }
+}
+
+TEST(BinomialTail, AtLeastZeroIsCertain)
+{
+    EXPECT_DOUBLE_EQ(binomialTailAtLeast(7, 0, 0.123), 1.0);
+}
+
+TEST(BinomialTail, MoreThanNIsImpossible)
+{
+    EXPECT_DOUBLE_EQ(binomialTailAtLeast(3, 4, 0.9), 0.0);
+}
+
+// Property sweep: the tail is monotone in p and antitone in m.
+class BinomialTailProperty
+    : public testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(BinomialTailProperty, MonotoneInP)
+{
+    auto [n, m] = GetParam();
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0001; p += 0.05) {
+        double v = binomialTailAtLeast(n, m, std::min(p, 1.0));
+        EXPECT_GE(v + 1e-15, prev);
+        prev = v;
+    }
+}
+
+TEST_P(BinomialTailProperty, AntitoneInM)
+{
+    auto [n, m] = GetParam();
+    if (m == 0)
+        return;
+    for (double p : {0.1, 0.5, 0.9}) {
+        EXPECT_LE(binomialTailAtLeast(n, m, p),
+                  binomialTailAtLeast(n, m - 1, p) + 1e-15);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BinomialTailProperty,
+    testing::Combine(testing::Values(1u, 2u, 3u, 5u, 9u),
+                     testing::Values(0u, 1u, 2u, 3u)));
+
+} // anonymous namespace

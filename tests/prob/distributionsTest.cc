@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the sampling distributions.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "prob/distributions.hh"
+
+namespace
+{
+
+using namespace sdnav::prob;
+
+double
+sampleMean(const Distribution &dist, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += dist.sample(rng);
+    return sum / n;
+}
+
+TEST(Exponential, MeanMatches)
+{
+    ExponentialDistribution dist(100.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 100.0);
+    EXPECT_NEAR(sampleMean(dist, 100000, 1), 100.0, 1.5);
+}
+
+TEST(Exponential, RejectsNonPositiveMean)
+{
+    EXPECT_THROW(ExponentialDistribution(0.0), sdnav::ModelError);
+    EXPECT_THROW(ExponentialDistribution(-1.0), sdnav::ModelError);
+}
+
+TEST(Exponential, DescribeAndClone)
+{
+    ExponentialDistribution dist(5000.0);
+    EXPECT_EQ(dist.describe(), "exp(mean=5000)");
+    auto copy = dist.clone();
+    EXPECT_DOUBLE_EQ(copy->mean(), 5000.0);
+}
+
+TEST(Deterministic, AlwaysSameValue)
+{
+    DeterministicDistribution dist(0.55);
+    Rng rng(2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(dist.sample(rng), 0.55);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.55);
+}
+
+TEST(Deterministic, ZeroAllowedNegativeRejected)
+{
+    EXPECT_NO_THROW(DeterministicDistribution(0.0));
+    EXPECT_THROW(DeterministicDistribution(-0.1), sdnav::ModelError);
+}
+
+TEST(Uniform, BoundsAndMean)
+{
+    UniformDistribution dist(2.0, 6.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double v = dist.sample(rng);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 6.0);
+    }
+    EXPECT_NEAR(sampleMean(dist, 100000, 4), 4.0, 0.02);
+}
+
+TEST(Uniform, RejectsInvertedRange)
+{
+    EXPECT_THROW(UniformDistribution(5.0, 1.0), sdnav::ModelError);
+}
+
+TEST(Weibull, MeanMatchesAnalytic)
+{
+    WeibullDistribution dist(2.0, 100.0);
+    // mean = scale * Gamma(1.5) = 100 * 0.886226...
+    EXPECT_NEAR(dist.mean(), 88.6227, 1e-3);
+    EXPECT_NEAR(sampleMean(dist, 200000, 5), dist.mean(), 0.5);
+}
+
+TEST(Weibull, WithMeanHitsTarget)
+{
+    for (double shape : {0.7, 1.0, 2.0, 3.5}) {
+        auto dist = WeibullDistribution::withMean(shape, 5000.0);
+        EXPECT_NEAR(dist.mean(), 5000.0, 1e-6) << "shape=" << shape;
+    }
+}
+
+TEST(Weibull, ShapeOneIsExponential)
+{
+    // Weibull(k=1) has the exponential's CV of 1.
+    auto dist = WeibullDistribution::withMean(1.0, 50.0);
+    Rng rng(6);
+    double sum = 0.0, ss = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = dist.sample(rng);
+        sum += v;
+        ss += v * v;
+    }
+    double mean = sum / n;
+    double var = ss / n - mean * mean;
+    EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.02);
+}
+
+TEST(LogNormal, WithMeanHitsTargetMeanAndCv)
+{
+    auto dist = LogNormalDistribution::withMean(200.0, 0.5);
+    EXPECT_NEAR(dist.mean(), 200.0, 1e-9);
+    Rng rng(7);
+    double sum = 0.0, ss = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        double v = dist.sample(rng);
+        sum += v;
+        ss += v * v;
+    }
+    double mean = sum / n;
+    double var = ss / n - mean * mean;
+    EXPECT_NEAR(mean, 200.0, 1.5);
+    EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.02);
+}
+
+TEST(LogNormal, SamplesArePositive)
+{
+    LogNormalDistribution dist(0.0, 1.0);
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(dist.sample(rng), 0.0);
+}
+
+TEST(AllDistributions, CloneIsDeepAndPolymorphic)
+{
+    std::vector<std::unique_ptr<Distribution>> dists;
+    dists.push_back(std::make_unique<ExponentialDistribution>(10.0));
+    dists.push_back(std::make_unique<DeterministicDistribution>(3.0));
+    dists.push_back(std::make_unique<UniformDistribution>(1.0, 2.0));
+    dists.push_back(std::make_unique<WeibullDistribution>(2.0, 10.0));
+    dists.push_back(std::make_unique<LogNormalDistribution>(1.0, 0.5));
+    for (const auto &d : dists) {
+        auto copy = d->clone();
+        EXPECT_DOUBLE_EQ(copy->mean(), d->mean());
+        EXPECT_EQ(copy->describe(), d->describe());
+    }
+}
+
+} // anonymous namespace

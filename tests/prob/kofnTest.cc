@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the paper's eq. (1) block availability A_{m/n}(alpha).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "prob/kofn.hh"
+
+namespace
+{
+
+using namespace sdnav::prob;
+
+TEST(KofN, ClosedFormsThePaperUses)
+{
+    double a = 0.9995;
+    // A_{1/2} = 1 - (1-a)^2 = a(2-a).
+    EXPECT_NEAR(kOfN(1, 2, a), a * (2.0 - a), 1e-15);
+    // A_{2/2} = a^2.
+    EXPECT_NEAR(kOfN(2, 2, a), a * a, 1e-15);
+    // A_{1/3} = 1 - (1-a)^3.
+    EXPECT_NEAR(kOfN(1, 3, a), 1.0 - std::pow(1.0 - a, 3), 1e-15);
+    // A_{2/3} = 3a^2 - 2a^3 = a^2(3 - 2a).
+    EXPECT_NEAR(kOfN(2, 3, a), a * a * (3.0 - 2.0 * a), 1e-15);
+}
+
+TEST(KofN, PaperConventionMGreaterThanNIsZero)
+{
+    EXPECT_DOUBLE_EQ(kOfN(2, 1, 0.999), 0.0);
+    EXPECT_DOUBLE_EQ(kOfN(4, 3, 1.0), 0.0);
+}
+
+TEST(KofN, ZeroOfAnythingIsCertain)
+{
+    EXPECT_DOUBLE_EQ(kOfN(0, 3, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(kOfN(0, 0, 0.0), 1.0);
+}
+
+TEST(KofN, OneOfOneIsTheElement)
+{
+    for (double a : {0.0, 0.37, 0.99998, 1.0})
+        EXPECT_DOUBLE_EQ(kOfN(1, 1, a), a);
+}
+
+TEST(KofN, PerfectElementsGivePerfectBlock)
+{
+    EXPECT_DOUBLE_EQ(kOfN(3, 5, 1.0), 1.0);
+}
+
+TEST(KofN, DeadElementsGiveDeadBlock)
+{
+    EXPECT_DOUBLE_EQ(kOfN(1, 5, 0.0), 0.0);
+}
+
+TEST(KofN, SeriesAndParallelSpecialCases)
+{
+    double a = 0.98;
+    // n-of-n is series; 1-of-n is parallel.
+    EXPECT_NEAR(kOfN(4, 4, a), std::pow(a, 4), 1e-15);
+    EXPECT_NEAR(kOfN(1, 4, a), 1.0 - std::pow(1.0 - a, 4), 1e-15);
+}
+
+TEST(KofNDerivative, MatchesFiniteDifference)
+{
+    for (unsigned n = 1; n <= 6; ++n) {
+        for (unsigned m = 1; m <= n; ++m) {
+            for (double a : {0.2, 0.5, 0.9, 0.999}) {
+                double h = 1e-6;
+                double fd =
+                    (kOfN(m, n, a + h) - kOfN(m, n, a - h)) / (2.0 * h);
+                EXPECT_NEAR(kOfNDerivative(m, n, a), fd, 1e-5)
+                    << "m=" << m << " n=" << n << " a=" << a;
+            }
+        }
+    }
+}
+
+TEST(KofNDerivative, ZeroForDegenerateBlocks)
+{
+    EXPECT_DOUBLE_EQ(kOfNDerivative(0, 3, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(kOfNDerivative(4, 3, 0.5), 0.0);
+}
+
+TEST(Quorum, SizesOf2NPlus1Clusters)
+{
+    EXPECT_EQ(clusterSize(1), 3u);
+    EXPECT_EQ(quorumSize(1), 2u);
+    EXPECT_EQ(clusterSize(2), 5u);
+    EXPECT_EQ(quorumSize(2), 3u);
+    EXPECT_EQ(clusterSize(4), 9u);
+    EXPECT_EQ(quorumSize(4), 5u);
+}
+
+TEST(Quorum, AvailabilityMatchesKofN)
+{
+    double a = 0.9998;
+    EXPECT_DOUBLE_EQ(quorumAvailability(1, a), kOfN(2, 3, a));
+    EXPECT_DOUBLE_EQ(quorumAvailability(2, a), kOfN(3, 5, a));
+}
+
+TEST(Quorum, LargerClustersAreMoreAvailableForGoodElements)
+{
+    // With element availability > 1/2, adding failure tolerance helps.
+    double a = 0.999;
+    double prev = 0.0;
+    for (unsigned f = 1; f <= 5; ++f) {
+        double q = quorumAvailability(f, a);
+        EXPECT_GT(q, prev);
+        prev = q;
+    }
+}
+
+TEST(Quorum, LargerClustersHurtForBadElements)
+{
+    // With element availability < 1/2 quorum gets harder to hold.
+    double a = 0.4;
+    double prev = 1.0;
+    for (unsigned f = 1; f <= 5; ++f) {
+        double q = quorumAvailability(f, a);
+        EXPECT_LT(q, prev);
+        prev = q;
+    }
+}
+
+// Parameterized property sweep across (m, n).
+class KofNProperty
+    : public testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(KofNProperty, BoundedAndMonotone)
+{
+    auto [m, n] = GetParam();
+    double prev = -1.0;
+    for (int i = 0; i <= 20; ++i) {
+        double a = static_cast<double>(i) / 20.0;
+        double v = kOfN(m, n, a);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        EXPECT_GE(v + 1e-15, prev); // Monotone in alpha.
+        prev = v;
+    }
+}
+
+TEST_P(KofNProperty, ComplementIdentity)
+{
+    // P[at least m up] + P[at least n-m+1 down] = 1, i.e.
+    // A_{m/n}(a) = 1 - A_{n-m+1/n}(1-a) for 1 <= m <= n.
+    auto [m, n] = GetParam();
+    if (m == 0 || m > n)
+        return;
+    for (double a : {0.1, 0.37, 0.9}) {
+        EXPECT_NEAR(kOfN(m, n, a),
+                    1.0 - kOfN(n - m + 1, n, 1.0 - a), 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KofNProperty,
+    testing::Combine(testing::Values(0u, 1u, 2u, 3u, 5u),
+                     testing::Values(1u, 2u, 3u, 5u, 9u)));
+
+} // anonymous namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the supervisor-coupling derivations of paper section
+ * VI.A, including the paper's quoted intermediate values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "prob/processAvailability.hh"
+
+namespace
+{
+
+using namespace sdnav::prob;
+
+ProcessTimings
+paperTimings()
+{
+    // F = 5000 h, R = 0.1 h, R_S = 1 h.
+    return ProcessTimings{5000.0, 0.1, 1.0};
+}
+
+TEST(ProcessTimings, PaperAvailabilities)
+{
+    ProcessTimings t = paperTimings();
+    EXPECT_NEAR(t.supervisedAvailability(), 0.99998, 1e-8);
+    EXPECT_NEAR(t.unsupervisedAvailability(), 0.9998, 1e-7);
+}
+
+TEST(ProcessTimings, ValidationRejectsBadValues)
+{
+    ProcessTimings t = paperTimings();
+    t.mtbfHours = 0.0;
+    EXPECT_THROW(t.validate(), sdnav::ModelError);
+    t = paperTimings();
+    t.autoRestartHours = -0.1;
+    EXPECT_THROW(t.validate(), sdnav::ModelError);
+    t = paperTimings();
+    t.manualRestartHours = -1.0;
+    EXPECT_THROW(t.validate(), sdnav::ModelError);
+}
+
+TEST(Scenario1, PaperEffectiveRestartTime)
+{
+    // Paper: with a 10 h exposure window, R* = 0.102 h (approx).
+    ProcessTimings t = paperTimings();
+    double r_star = scenario1EffectiveRestartHours(t, 10.0);
+    EXPECT_NEAR(r_star, 0.1018, 1e-4);
+}
+
+TEST(Scenario1, PaperEffectiveAvailabilityUnchanged)
+{
+    // Paper: A* ~= 0.99998 — not measurably impacted.
+    ProcessTimings t = paperTimings();
+    double a_star = scenario1EffectiveAvailability(t, 10.0);
+    EXPECT_NEAR(a_star, 0.99998, 1e-6);
+}
+
+TEST(Scenario1, ZeroWindowRecoversSupervisedAvailability)
+{
+    ProcessTimings t = paperTimings();
+    EXPECT_DOUBLE_EQ(scenario1EffectiveAvailability(t, 0.0),
+                     t.supervisedAvailability());
+}
+
+TEST(Scenario1, HugeWindowDegradesTowardManual)
+{
+    ProcessTimings t = paperTimings();
+    double a_star = scenario1EffectiveAvailability(t, 1e9);
+    EXPECT_NEAR(a_star, t.unsupervisedAvailability(), 1e-9);
+}
+
+TEST(Scenario1, RestartTimeIsMonotoneInWindow)
+{
+    ProcessTimings t = paperTimings();
+    double prev = 0.0;
+    for (double w : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+        double r = scenario1EffectiveRestartHours(t, w);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Scenario2, PaperEffectiveValues)
+{
+    // Paper: F* = 2500 h, R* = 0.55 h, A* ~= 0.9998.
+    ProcessTimings t = paperTimings();
+    EXPECT_NEAR(scenario2EffectiveMtbfHours(5000.0, 5000.0), 2500.0,
+                1e-9);
+    EXPECT_NEAR(scenario2EffectiveRestartHours(t, 5000.0), 0.55, 1e-12);
+    EXPECT_NEAR(scenario2EffectiveAvailability(t, 5000.0), 0.9998,
+                2e-5);
+}
+
+TEST(Scenario2, ProcessInheritsSupervisorAvailability)
+{
+    // The paper's punchline: under scenario 2 the effective process
+    // availability is approximately A_S.
+    ProcessTimings t = paperTimings();
+    double a_star = scenario2EffectiveAvailability(t, 5000.0);
+    double a_s = t.unsupervisedAvailability();
+    EXPECT_NEAR(a_star, a_s, 5e-5);
+}
+
+TEST(Scenario2, ReliableSupervisorRecoversProcessAvailability)
+{
+    // As the supervisor's MTBF grows, A* -> A.
+    ProcessTimings t = paperTimings();
+    double a_star = scenario2EffectiveAvailability(t, 1e12);
+    EXPECT_NEAR(a_star, t.supervisedAvailability(), 1e-9);
+}
+
+TEST(Scenario2, UnequalRatesWeightRestartTimes)
+{
+    // Supervisor failing 4x less often than the process: the manual
+    // restart weight is 1/5.
+    ProcessTimings t = paperTimings();
+    double r_star = scenario2EffectiveRestartHours(t, 20000.0);
+    double expected = (0.8 * 0.1 + 0.2 * 1.0);
+    EXPECT_NEAR(r_star, expected, 1e-12);
+}
+
+TEST(Scenario2, RejectsNonPositiveSupervisorMtbf)
+{
+    ProcessTimings t = paperTimings();
+    EXPECT_THROW(scenario2EffectiveMtbfHours(5000.0, 0.0),
+                 sdnav::ModelError);
+    EXPECT_THROW(scenario2EffectiveRestartHours(t, -1.0),
+                 sdnav::ModelError);
+}
+
+} // anonymous namespace

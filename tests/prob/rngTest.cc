@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the xoshiro256** RNG wrapper.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "prob/rng.hh"
+
+namespace
+{
+
+using sdnav::prob::Rng;
+using sdnav::prob::splitMix64;
+
+TEST(SplitMix64, ReferenceSequence)
+{
+    // Reference values for seed 1234567 from the published SplitMix64
+    // algorithm.
+    std::uint64_t state = 1234567;
+    std::uint64_t first = splitMix64(state);
+    std::uint64_t second = splitMix64(state);
+    EXPECT_NE(first, second);
+    // The state advances by the golden-ratio increment.
+    EXPECT_EQ(state, 1234567 + 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(3.0, 7.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 7.0);
+    }
+    EXPECT_THROW(rng.uniform(2.0, 1.0), sdnav::ModelError);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5000.0);
+    // Standard error is 5000/sqrt(n) ~ 11.
+    EXPECT_NEAR(sum / n, 5000.0, 60.0);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.exponential(1.0), 0.0);
+    EXPECT_THROW(rng.exponential(0.0), sdnav::ModelError);
+}
+
+TEST(Rng, UniformIntStaysInBound)
+{
+    Rng rng(23);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 3000; ++i) {
+        std::uint64_t v = rng.uniformInt(3);
+        EXPECT_LT(v, 3u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // All values hit.
+    EXPECT_THROW(rng.uniformInt(0), sdnav::ModelError);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform)
+{
+    Rng rng(29);
+    int counts[5] = {0, 0, 0, 0, 0};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(5)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c), n / 5.0, 600.0);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent)
+{
+    Rng master(99);
+    Rng s0 = master.deriveStream(0);
+    Rng s1 = master.deriveStream(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (s0.next() == s1.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DerivedStreamsAreReproducible)
+{
+    Rng master(99);
+    Rng a = master.deriveStream(5);
+    Rng b = Rng(99).deriveStream(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == ~0ULL);
+    Rng rng(1);
+    EXPECT_NE(rng(), rng());
+}
+
+} // anonymous namespace

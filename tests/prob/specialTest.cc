@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the special functions (regularized incomplete gamma and
+ * the truncated Weibull mean).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "prob/rng.hh"
+#include "prob/special.hh"
+
+namespace
+{
+
+using namespace sdnav::prob;
+
+TEST(IncompleteGamma, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(regularizedLowerIncompleteGamma(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        regularizedLowerIncompleteGamma(
+            2.5, std::numeric_limits<double>::infinity()),
+        1.0);
+}
+
+TEST(IncompleteGamma, ShapeOneIsExponentialCdf)
+{
+    for (double x : {0.1, 0.5, 1.0, 3.0, 10.0, 50.0}) {
+        EXPECT_NEAR(regularizedLowerIncompleteGamma(1.0, x),
+                    1.0 - std::exp(-x), 1e-14)
+            << "x=" << x;
+    }
+}
+
+TEST(IncompleteGamma, ShapeHalfIsErf)
+{
+    // P(1/2, x) = erf(sqrt(x)).
+    for (double x : {0.01, 0.25, 1.0, 4.0, 9.0}) {
+        EXPECT_NEAR(regularizedLowerIncompleteGamma(0.5, x),
+                    std::erf(std::sqrt(x)), 1e-13)
+            << "x=" << x;
+    }
+}
+
+TEST(IncompleteGamma, IntegerShapeIsPoissonTail)
+{
+    // P(n, x) = 1 - sum_{k<n} e^-x x^k / k!.
+    double x = 2.5;
+    int n = 4;
+    double poisson_head = 0.0, term = std::exp(-x);
+    for (int k = 0; k < n; ++k) {
+        poisson_head += term;
+        term *= x / (k + 1);
+    }
+    EXPECT_NEAR(regularizedLowerIncompleteGamma(n, x),
+                1.0 - poisson_head, 1e-13);
+}
+
+TEST(IncompleteGamma, MonotoneInX)
+{
+    for (double a : {0.3, 1.0, 2.7, 10.0}) {
+        double prev = -1.0;
+        for (double x = 0.0; x < 40.0; x += 0.5) {
+            double p = regularizedLowerIncompleteGamma(a, x);
+            EXPECT_GE(p, prev - 1e-15);
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+            prev = p;
+        }
+    }
+}
+
+TEST(IncompleteGamma, ContinuousAcrossMethodBoundary)
+{
+    // The series/continued-fraction switch at x = a + 1 must be
+    // seamless.
+    for (double a : {0.4, 1.0, 3.0, 12.0}) {
+        double left =
+            regularizedLowerIncompleteGamma(a, a + 1.0 - 1e-9);
+        double right =
+            regularizedLowerIncompleteGamma(a, a + 1.0 + 1e-9);
+        EXPECT_NEAR(left, right, 1e-8) << "a=" << a;
+    }
+}
+
+TEST(IncompleteGamma, InputValidation)
+{
+    EXPECT_THROW(regularizedLowerIncompleteGamma(0.0, 1.0),
+                 sdnav::ModelError);
+    EXPECT_THROW(regularizedLowerIncompleteGamma(1.0, -1.0),
+                 sdnav::ModelError);
+}
+
+TEST(WeibullTruncatedMean, ExponentialClosedForm)
+{
+    // shape 1: integral_0^T e^{-t/s} dt = s (1 - e^{-T/s}).
+    double s = 5000.0;
+    for (double period : {100.0, 5000.0, 50000.0}) {
+        EXPECT_NEAR(weibullTruncatedMean(1.0, s, period),
+                    s * (1.0 - std::exp(-period / s)),
+                    1e-8 * s)
+            << "T=" << period;
+    }
+}
+
+TEST(WeibullTruncatedMean, FullMeanAtLargePeriod)
+{
+    // T >> scale recovers the full Weibull mean s Gamma(1 + 1/k).
+    for (double shape : {0.7, 1.0, 2.0, 3.5}) {
+        double scale = 1000.0;
+        double mean = scale * std::tgamma(1.0 + 1.0 / shape);
+        EXPECT_NEAR(weibullTruncatedMean(shape, scale, 1e9), mean,
+                    1e-7 * mean)
+            << "shape=" << shape;
+    }
+}
+
+TEST(WeibullTruncatedMean, MatchesMonteCarloOfMinXT)
+{
+    // E[min(X, T)] estimated by sampling.
+    double shape = 2.0, scale = 100.0, period = 80.0;
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        double x = scale * std::pow(-std::log1p(-u), 1.0 / shape);
+        sum += std::min(x, period);
+    }
+    EXPECT_NEAR(weibullTruncatedMean(shape, scale, period), sum / n,
+                0.2);
+}
+
+TEST(WeibullTruncatedMean, ZeroPeriodIsZero)
+{
+    EXPECT_DOUBLE_EQ(weibullTruncatedMean(2.0, 100.0, 0.0), 0.0);
+}
+
+TEST(WeibullTruncatedMean, MonotoneAndBoundedByPeriod)
+{
+    double prev = 0.0;
+    for (double period = 10.0; period <= 500.0; period += 10.0) {
+        double v = weibullTruncatedMean(0.8, 100.0, period);
+        EXPECT_GE(v, prev);
+        EXPECT_LE(v, period);
+        prev = v;
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the RBD structure AST.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "rbd/block.hh"
+
+namespace
+{
+
+using namespace sdnav::rbd;
+
+TEST(Block, ComponentLeaf)
+{
+    Block leaf = component(3);
+    EXPECT_EQ(leaf.kind(), Block::Kind::Component);
+    EXPECT_EQ(leaf.componentId(), 3u);
+    EXPECT_TRUE(leaf.children().empty());
+}
+
+TEST(Block, SeriesEvaluatesAsAnd)
+{
+    Block b = series({component(0), component(1)});
+    EXPECT_TRUE(b.evaluate({true, true}));
+    EXPECT_FALSE(b.evaluate({true, false}));
+    EXPECT_FALSE(b.evaluate({false, true}));
+    EXPECT_FALSE(b.evaluate({false, false}));
+}
+
+TEST(Block, ParallelEvaluatesAsOr)
+{
+    Block b = parallel({component(0), component(1)});
+    EXPECT_TRUE(b.evaluate({true, true}));
+    EXPECT_TRUE(b.evaluate({true, false}));
+    EXPECT_TRUE(b.evaluate({false, true}));
+    EXPECT_FALSE(b.evaluate({false, false}));
+}
+
+TEST(Block, KofNThreshold)
+{
+    Block b = kOfN(2, {component(0), component(1), component(2)});
+    EXPECT_TRUE(b.evaluate({true, true, false}));
+    EXPECT_TRUE(b.evaluate({true, true, true}));
+    EXPECT_FALSE(b.evaluate({true, false, false}));
+    EXPECT_FALSE(b.evaluate({false, false, false}));
+}
+
+TEST(Block, KofNDegenerateCases)
+{
+    Block always = kOfN(0, {component(0)});
+    EXPECT_TRUE(always.evaluate({false}));
+    Block never = kOfN(2, {component(0)});
+    EXPECT_FALSE(never.evaluate({true}));
+}
+
+TEST(Block, NestedStructures)
+{
+    // (c0 & c1) | (c2 & c3)
+    Block b = parallel({series({component(0), component(1)}),
+                        series({component(2), component(3)})});
+    EXPECT_TRUE(b.evaluate({true, true, false, false}));
+    EXPECT_TRUE(b.evaluate({false, false, true, true}));
+    EXPECT_FALSE(b.evaluate({true, false, false, true}));
+}
+
+TEST(Block, SharedComponentAppearsInBothBranches)
+{
+    // c0 & (c0 | c1) == c0.
+    Block b = series({component(0), parallel({component(0),
+                                              component(1)})});
+    EXPECT_TRUE(b.evaluate({true, false}));
+    EXPECT_FALSE(b.evaluate({false, true}));
+}
+
+TEST(Block, CollectComponentsListsDuplicates)
+{
+    Block b = series({component(1), component(1), component(2)});
+    std::vector<ComponentId> refs;
+    b.collectComponents(refs);
+    ASSERT_EQ(refs.size(), 3u);
+    EXPECT_EQ(refs[0], 1u);
+    EXPECT_EQ(refs[1], 1u);
+    EXPECT_EQ(refs[2], 2u);
+}
+
+TEST(Block, EmptyCompositesAreRejected)
+{
+    EXPECT_THROW(series({}), sdnav::ModelError);
+    EXPECT_THROW(parallel({}), sdnav::ModelError);
+}
+
+TEST(Block, EvaluateRejectsShortStateVector)
+{
+    Block b = component(5);
+    EXPECT_THROW(b.evaluate({true, false}), sdnav::ModelError);
+}
+
+TEST(Block, DescribeRendersStructure)
+{
+    Block b = kOfN(2, {component(0), component(1), component(2)});
+    std::vector<std::string> names{"a", "b", "c"};
+    EXPECT_EQ(b.describe(names), "2of3(a, b, c)");
+    Block s = series({component(0), parallel({component(1),
+                                              component(2)})});
+    EXPECT_EQ(s.describe(names), "series(a, parallel(b, c))");
+}
+
+TEST(Block, DescribeFallsBackToIndices)
+{
+    Block b = component(7);
+    EXPECT_EQ(b.describe({}), "c7");
+}
+
+TEST(Block, CopiesShareStructureCheaply)
+{
+    Block a = kOfN(1, {component(0), component(1)});
+    Block b = a; // Shallow copy.
+    EXPECT_EQ(&a.children(), &b.children());
+}
+
+} // anonymous namespace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for minimal cut set extraction.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "fmea/openContrail.hh"
+#include "model/exactModel.hh"
+#include "rbd/cutSets.hh"
+
+namespace
+{
+
+using namespace sdnav::rbd;
+
+std::set<std::set<ComponentId>>
+asSets(const std::vector<CutSet> &cuts)
+{
+    std::set<std::set<ComponentId>> result;
+    for (const CutSet &cut : cuts) {
+        result.insert(std::set<ComponentId>(cut.components.begin(),
+                                            cut.components.end()));
+    }
+    return result;
+}
+
+TEST(CutSets, SeriesYieldsSingletons)
+{
+    RbdSystem system;
+    auto a = system.addComponent("a", 0.9);
+    auto b = system.addComponent("b", 0.8);
+    system.setRoot(series({component(a), component(b)}));
+    auto cuts = minimalCutSets(system);
+    EXPECT_EQ(asSets(cuts),
+              (std::set<std::set<ComponentId>>{{a}, {b}}));
+}
+
+TEST(CutSets, ParallelYieldsTheFullPair)
+{
+    RbdSystem system;
+    auto a = system.addComponent("a", 0.9);
+    auto b = system.addComponent("b", 0.8);
+    system.setRoot(parallel({component(a), component(b)}));
+    auto cuts = minimalCutSets(system);
+    EXPECT_EQ(asSets(cuts), (std::set<std::set<ComponentId>>{{a, b}}));
+    EXPECT_NEAR(cuts[0].probability, 0.1 * 0.2, 1e-15);
+}
+
+TEST(CutSets, TwoOfThreeYieldsAllPairs)
+{
+    RbdSystem system;
+    auto c0 = system.addComponent("c0", 0.99);
+    auto c1 = system.addComponent("c1", 0.99);
+    auto c2 = system.addComponent("c2", 0.99);
+    system.setRoot(kOfN(2, {component(c0), component(c1),
+                            component(c2)}));
+    auto cuts = minimalCutSets(system);
+    EXPECT_EQ(asSets(cuts), (std::set<std::set<ComponentId>>{
+                                {c0, c1}, {c0, c2}, {c1, c2}}));
+}
+
+TEST(CutSets, KofNGeneralCount)
+{
+    // m-of-n has C(n, n-m+1) minimal cut sets.
+    RbdSystem system;
+    std::vector<Block> blocks;
+    for (int i = 0; i < 5; ++i) {
+        blocks.push_back(component(
+            system.addComponent("c" + std::to_string(i), 0.9)));
+    }
+    system.setRoot(kOfN(3, std::move(blocks)));
+    CutSetOptions options;
+    options.maxOrder = 5;
+    auto cuts = minimalCutSets(system, options);
+    EXPECT_EQ(cuts.size(), 10u); // C(5, 3).
+    for (const CutSet &cut : cuts)
+        EXPECT_EQ(cut.order(), 3u);
+}
+
+TEST(CutSets, SharedComponentSubsumption)
+{
+    // host & (p | q): cuts are {host}, {p, q}. The shared host must
+    // not generate supersets like {host, p}.
+    RbdSystem system;
+    auto host = system.addComponent("host", 0.999);
+    auto p = system.addComponent("p", 0.99);
+    auto q = system.addComponent("q", 0.99);
+    system.setRoot(series({component(host),
+                           parallel({component(p), component(q)})}));
+    auto cuts = minimalCutSets(system);
+    EXPECT_EQ(asSets(cuts),
+              (std::set<std::set<ComponentId>>{{host}, {p, q}}));
+}
+
+TEST(CutSets, OrderTruncationDropsLargeSets)
+{
+    RbdSystem system;
+    std::vector<Block> blocks;
+    for (int i = 0; i < 4; ++i) {
+        blocks.push_back(component(
+            system.addComponent("c" + std::to_string(i), 0.9)));
+    }
+    // 1-of-4: the only cut set has order 4.
+    system.setRoot(kOfN(1, std::move(blocks)));
+    CutSetOptions shallow;
+    shallow.maxOrder = 3;
+    EXPECT_TRUE(minimalCutSets(system, shallow).empty());
+    CutSetOptions deep;
+    deep.maxOrder = 4;
+    EXPECT_EQ(minimalCutSets(system, deep).size(), 1u);
+}
+
+TEST(CutSets, SortedByProbabilityDescending)
+{
+    RbdSystem system;
+    auto weak = system.addComponent("weak", 0.9);
+    auto strong1 = system.addComponent("s1", 0.999);
+    auto strong2 = system.addComponent("s2", 0.999);
+    system.setRoot(series({component(weak),
+                           parallel({component(strong1),
+                                     component(strong2)})}));
+    auto cuts = minimalCutSets(system);
+    ASSERT_EQ(cuts.size(), 2u);
+    EXPECT_EQ(cuts[0].components,
+              (std::vector<ComponentId>{weak}));
+    EXPECT_GT(cuts[0].probability, cuts[1].probability);
+}
+
+TEST(CutSets, RareEventBoundsExactUnavailability)
+{
+    // For a 2-of-3 of highly available parts, the rare-event sum is a
+    // tight upper bound on exact unavailability.
+    RbdSystem system;
+    auto c0 = system.addComponent("c0", 0.9995);
+    auto c1 = system.addComponent("c1", 0.9995);
+    auto c2 = system.addComponent("c2", 0.9995);
+    system.setRoot(kOfN(2, {component(c0), component(c1),
+                            component(c2)}));
+    auto cuts = minimalCutSets(system);
+    double bound = rareEventUnavailability(cuts);
+    double exact = 1.0 - system.availabilityExact();
+    EXPECT_GE(bound, exact);
+    EXPECT_NEAR(bound, exact, 1e-3 * exact);
+}
+
+TEST(CutSets, OpenContrailDataPlaneSingletons)
+{
+    // The paper's DP single points of failure must appear as order-1
+    // cut sets: vrouter-agent, vrouter-dpdk, and (scenario 2) the
+    // vRouter supervisor.
+    auto catalog = sdnav::fmea::openContrail3();
+    auto system = sdnav::model::buildExactSystem(
+        catalog, sdnav::topology::largeTopology(),
+        sdnav::model::SupervisorPolicy::Required,
+        sdnav::model::SwParams{}, sdnav::fmea::Plane::DataPlane);
+    CutSetOptions options;
+    options.maxOrder = 1;
+    auto cuts = minimalCutSets(system, options);
+    std::set<std::string> names;
+    for (const CutSet &cut : cuts)
+        names.insert(system.componentName(cut.components[0]));
+    EXPECT_TRUE(names.count("vrouter-agent"));
+    EXPECT_TRUE(names.count("vrouter-dpdk"));
+    EXPECT_TRUE(names.count("supervisor-vrouter"));
+    EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(CutSets, OpenContrailSmallCpRackIsTheOnlySingleton)
+{
+    auto catalog = sdnav::fmea::openContrail3();
+    auto system = sdnav::model::buildExactSystem(
+        catalog, sdnav::topology::smallTopology(),
+        sdnav::model::SupervisorPolicy::Required,
+        sdnav::model::SwParams{}, sdnav::fmea::Plane::ControlPlane);
+    CutSetOptions options;
+    options.maxOrder = 1;
+    auto cuts = minimalCutSets(system, options);
+    ASSERT_EQ(cuts.size(), 1u);
+    EXPECT_EQ(system.componentName(cuts[0].components[0]), "rack0");
+}
+
+TEST(CutSets, OpenContrailLargeCpPairsAreDatabaseDominated)
+{
+    // No order-1 cuts in the Large CP; order-2 cuts are pairs of
+    // Database-related elements across nodes, and the rare-event sum
+    // approximates the exact unavailability.
+    auto catalog = sdnav::fmea::openContrail3();
+    auto system = sdnav::model::buildExactSystem(
+        catalog, sdnav::topology::largeTopology(),
+        sdnav::model::SupervisorPolicy::Required,
+        sdnav::model::SwParams{}, sdnav::fmea::Plane::ControlPlane);
+    CutSetOptions options;
+    options.maxOrder = 2;
+    auto cuts = minimalCutSets(system, options);
+    ASSERT_FALSE(cuts.empty());
+    for (const CutSet &cut : cuts)
+        EXPECT_EQ(cut.order(), 2u) << cut.describe(system);
+    double bound = rareEventUnavailability(cuts);
+    double exact = 1.0 - system.availabilityExact();
+    EXPECT_GE(bound * 1.000001, exact * 0.99);
+    EXPECT_NEAR(bound, exact, 0.05 * exact);
+    // The highest-probability cut involves a Database supervisor.
+    EXPECT_NE(cuts[0].describe(system).find("Database"),
+              std::string::npos);
+}
+
+TEST(CutSets, DescribeUsesNames)
+{
+    RbdSystem system;
+    auto a = system.addComponent("alpha", 0.9);
+    auto b = system.addComponent("beta", 0.9);
+    system.setRoot(parallel({component(a), component(b)}));
+    auto cuts = minimalCutSets(system);
+    EXPECT_EQ(cuts[0].describe(system), "{alpha, beta}");
+}
+
+TEST(CutSets, OptionsValidation)
+{
+    RbdSystem system;
+    auto a = system.addComponent("a", 0.9);
+    system.setRoot(component(a));
+    CutSetOptions bad;
+    bad.maxOrder = 0;
+    EXPECT_THROW(minimalCutSets(system, bad), sdnav::ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for simulation statistics: uptime tracking and batch means.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace sdnav::sim;
+
+TEST(UptimeTracker, AlwaysUpIsFullAvailability)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(5.0, true);
+    tracker.finish(10.0);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 1.0);
+    EXPECT_EQ(tracker.outageCount(), 0u);
+    EXPECT_DOUBLE_EQ(tracker.totalTime(), 10.0);
+    EXPECT_DOUBLE_EQ(tracker.upTime(), 10.0);
+}
+
+TEST(UptimeTracker, SingleOutageAccounting)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(4.0, false);
+    tracker.observe(6.0, true);
+    tracker.finish(10.0);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 0.8);
+    EXPECT_EQ(tracker.outageCount(), 1u);
+    EXPECT_DOUBLE_EQ(tracker.meanOutageDuration(), 2.0);
+    EXPECT_DOUBLE_EQ(tracker.maxOutageDuration(), 2.0);
+}
+
+TEST(UptimeTracker, MultipleOutagesTracked)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(1.0, false);
+    tracker.observe(2.0, true);
+    tracker.observe(5.0, false);
+    tracker.observe(8.0, true);
+    tracker.finish(10.0);
+    EXPECT_EQ(tracker.outageCount(), 2u);
+    EXPECT_DOUBLE_EQ(tracker.meanOutageDuration(), 2.0);
+    EXPECT_DOUBLE_EQ(tracker.maxOutageDuration(), 3.0);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 0.6);
+}
+
+TEST(UptimeTracker, OpenOutageClosedAtFinish)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(7.0, false);
+    tracker.finish(10.0);
+    EXPECT_EQ(tracker.outageCount(), 1u);
+    EXPECT_DOUBLE_EQ(tracker.maxOutageDuration(), 3.0);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 0.7);
+}
+
+TEST(UptimeTracker, StartsDown)
+{
+    UptimeTracker tracker(false);
+    tracker.observe(2.0, true);
+    tracker.finish(4.0);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 0.5);
+    // A trajectory that starts down has no *recorded* outage start,
+    // so the episode counter only counts observed transitions.
+    EXPECT_EQ(tracker.outageCount(), 0u);
+}
+
+TEST(UptimeTracker, RedundantObservationsAreHarmless)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(1.0, true);
+    tracker.observe(2.0, true);
+    tracker.observe(3.0, false);
+    tracker.observe(3.5, false);
+    tracker.observe(4.0, true);
+    tracker.finish(5.0);
+    EXPECT_EQ(tracker.outageCount(), 1u);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 0.8);
+}
+
+TEST(UptimeTracker, RejectsTimeTravel)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(5.0, false);
+    EXPECT_THROW(tracker.observe(4.0, true), sdnav::ModelError);
+}
+
+TEST(UptimeTracker, RejectsUseAfterFinish)
+{
+    UptimeTracker tracker(true);
+    tracker.finish(1.0);
+    EXPECT_THROW(tracker.observe(2.0, true), sdnav::ModelError);
+    EXPECT_THROW(tracker.finish(2.0), sdnav::ModelError);
+}
+
+TEST(UptimeTracker, ZeroTimeAvailabilityIsOne)
+{
+    UptimeTracker tracker(true);
+    EXPECT_DOUBLE_EQ(tracker.availability(), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.meanOutageDuration(), 0.0);
+}
+
+TEST(BatchMeans, ConstantSamples)
+{
+    BatchMeansResult result = batchMeans({0.9, 0.9, 0.9, 0.9});
+    EXPECT_DOUBLE_EQ(result.mean, 0.9);
+    EXPECT_DOUBLE_EQ(result.standardError, 0.0);
+    EXPECT_DOUBLE_EQ(result.halfWidth95(), 0.0);
+    EXPECT_TRUE(result.brackets(0.9));
+    EXPECT_FALSE(result.brackets(0.91));
+}
+
+TEST(BatchMeans, KnownMeanAndError)
+{
+    BatchMeansResult result = batchMeans({0.8, 1.0});
+    EXPECT_DOUBLE_EQ(result.mean, 0.9);
+    // s = sqrt(0.02), se = s / sqrt(2) = 0.1.
+    EXPECT_NEAR(result.standardError, 0.1, 1e-12);
+    // df = 1 -> t = 12.706.
+    EXPECT_NEAR(result.halfWidth95(), 1.2706, 1e-3);
+}
+
+TEST(BatchMeans, TDistributionNarrowsWithMoreBatches)
+{
+    std::vector<double> two{0.8, 1.0};
+    std::vector<double> many;
+    for (int i = 0; i < 40; ++i)
+        many.push_back(i % 2 == 0 ? 0.8 : 1.0);
+    auto wide = batchMeans(two);
+    auto narrow = batchMeans(many);
+    EXPECT_LT(narrow.halfWidth95(), wide.halfWidth95());
+}
+
+TEST(BatchMeans, RequiresTwoSamples)
+{
+    EXPECT_THROW(batchMeans({0.9}), sdnav::ModelError);
+    EXPECT_THROW(batchMeans({}), sdnav::ModelError);
+}
+
+} // anonymous namespace

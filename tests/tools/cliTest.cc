@@ -1,0 +1,179 @@
+/**
+ * @file
+ * End-to-end tests of the sdnav_cli binary: every subcommand is run
+ * as a subprocess and its output checked for the expected content and
+ * numbers. SDNAV_CLI_PATH is injected by CMake.
+ */
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode;
+    std::string output;
+};
+
+CommandResult
+runCli(const std::string &arguments)
+{
+    std::string command =
+        std::string(SDNAV_CLI_PATH) + " " + arguments + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        output += buffer.data();
+    int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+TEST(Cli, HelpListsCommands)
+{
+    auto result = runCli("help");
+    EXPECT_EQ(result.exitCode, 0);
+    for (const char *cmd : {"tables", "analyze", "rank", "outage",
+                            "transient", "cutsets", "fleet",
+                            "figures", "simulate", "export"}) {
+        EXPECT_NE(result.output.find(cmd), std::string::npos) << cmd;
+    }
+}
+
+TEST(Cli, UnknownCommandFails)
+{
+    auto result = runCli("frobnicate");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown command"),
+              std::string::npos);
+}
+
+TEST(Cli, TablesPrintsPaperTables)
+{
+    auto result = runCli("tables");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("Table I."), std::string::npos);
+    EXPECT_NE(result.output.find("Table II."), std::string::npos);
+    EXPECT_NE(result.output.find("Table III."), std::string::npos);
+    EXPECT_NE(result.output.find("config-api"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeReproducesHeadlineNumber)
+{
+    auto result =
+        runCli("analyze --topology small --policy required");
+    EXPECT_EQ(result.exitCode, 0);
+    // The 2S CP availability at defaults.
+    EXPECT_NE(result.output.find("0.99998748"), std::string::npos);
+    EXPECT_NE(result.output.find("6.58"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeAcceptsParameterOverrides)
+{
+    auto result = runCli(
+        "analyze --topology small --policy required --ar 1.0");
+    EXPECT_EQ(result.exitCode, 0);
+    // Removing the rack single point of failure shrinks CP downtime
+    // from 6.58 to ~1.3 m/y.
+    EXPECT_NE(result.output.find("1.3"), std::string::npos);
+}
+
+TEST(Cli, RankFindsVRouterWeakLinks)
+{
+    auto result = runCli("rank --plane dp --top 3");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("supervisor-vrouter"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("vrouter-dpdk"), std::string::npos);
+}
+
+TEST(Cli, CutSetsFindsRackSingleton)
+{
+    auto result =
+        runCli("cutsets --topology small --order 1 --plane cp");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("{rack0}"), std::string::npos);
+}
+
+TEST(Cli, OutageAndFleetRun)
+{
+    auto outage = runCli("outage --topology small --plane cp");
+    EXPECT_EQ(outage.exitCode, 0);
+    EXPECT_NE(outage.output.find("outages/year"), std::string::npos);
+
+    auto fleet = runCli("fleet --topology small --sites 100");
+    EXPECT_EQ(fleet.exitCode, 0);
+    EXPECT_NE(fleet.output.find("100"), std::string::npos);
+    EXPECT_NE(fleet.output.find("P[outage within 1y]"),
+              std::string::npos);
+}
+
+TEST(Cli, TransientShowsRecovery)
+{
+    auto result = runCli("transient --topology small --from down");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("time to steady state"),
+              std::string::npos);
+}
+
+TEST(Cli, ExportAndReimportCatalog)
+{
+    std::string path = testing::TempDir() + "/cli_export_test.json";
+    auto exported =
+        runCli("export catalog " + path + " --catalog raft");
+    EXPECT_EQ(exported.exitCode, 0);
+    auto analyzed = runCli("analyze --catalog-file " + path +
+                           " --topology large --policy required");
+    EXPECT_EQ(analyzed.exitCode, 0);
+    EXPECT_NE(analyzed.output.find("Raft-style"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, ExportTopologyRoundTrips)
+{
+    std::string path = testing::TempDir() + "/cli_topo_test.json";
+    auto exported = runCli("export topology " + path +
+                           " --topology medium");
+    EXPECT_EQ(exported.exitCode, 0);
+    auto analyzed =
+        runCli("analyze --topology-file " + path + " --policy "
+               "not-required");
+    EXPECT_EQ(analyzed.exitCode, 0);
+    EXPECT_NE(analyzed.output.find("Medium"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, BadInputsReportErrorsGracefully)
+{
+    auto bad_policy = runCli("analyze --policy maybe");
+    EXPECT_EQ(bad_policy.exitCode, 1);
+    EXPECT_NE(bad_policy.output.find("error:"), std::string::npos);
+
+    auto bad_file = runCli("analyze --catalog-file /no/such.json");
+    EXPECT_EQ(bad_file.exitCode, 1);
+
+    auto bad_availability = runCli("analyze --a 1.5");
+    EXPECT_EQ(bad_availability.exitCode, 1);
+
+    auto missing_value = runCli("analyze --topology");
+    EXPECT_EQ(missing_value.exitCode, 1);
+}
+
+TEST(Cli, SimulateSmokeRun)
+{
+    auto result = runCli(
+        "simulate --topology small --hours 20000 --mtbf 100 --hosts 6 "
+        "--seed 3");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("Behavioral simulation"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("CP outages"), std::string::npos);
+}
+
+} // anonymous namespace

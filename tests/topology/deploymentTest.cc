@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the deployment topologies of paper section IV.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "topology/deployment.hh"
+
+namespace
+{
+
+using namespace sdnav::topology;
+
+TEST(SmallTopology, MatchesPaperFigure2)
+{
+    DeploymentTopology topo = smallTopology();
+    EXPECT_EQ(topo.roleCount(), 4u);
+    EXPECT_EQ(topo.clusterSize(), 3u);
+    EXPECT_EQ(topo.rackCount(), 1u);
+    EXPECT_EQ(topo.hostCount(), 3u);
+    EXPECT_EQ(topo.vmCount(), 3u);
+    EXPECT_TRUE(topo.hasSharedVms());
+    // Every role of node i shares VM i on host i.
+    for (std::size_t role = 0; role < 4; ++role) {
+        for (std::size_t node = 0; node < 3; ++node) {
+            EXPECT_EQ(topo.vmOf(role, node), node);
+            EXPECT_EQ(topo.hostOf(role, node), node);
+            EXPECT_EQ(topo.rackOf(role, node), 0u);
+        }
+    }
+}
+
+TEST(MediumTopology, MatchesPaperFigure2)
+{
+    DeploymentTopology topo = mediumTopology();
+    EXPECT_EQ(topo.rackCount(), 2u);
+    EXPECT_EQ(topo.hostCount(), 3u);
+    EXPECT_EQ(topo.vmCount(), 12u);
+    EXPECT_FALSE(topo.hasSharedVms());
+    // H1, H2 in rack 1; H3 in rack 2 (paper's layout).
+    EXPECT_EQ(topo.rackOfHost(0), 0u);
+    EXPECT_EQ(topo.rackOfHost(1), 0u);
+    EXPECT_EQ(topo.rackOfHost(2), 1u);
+    // Node i's VMs all live on host i.
+    for (std::size_t role = 0; role < 4; ++role) {
+        for (std::size_t node = 0; node < 3; ++node)
+            EXPECT_EQ(topo.hostOf(role, node), node);
+    }
+}
+
+TEST(LargeTopology, MatchesPaperFigure2)
+{
+    DeploymentTopology topo = largeTopology();
+    EXPECT_EQ(topo.rackCount(), 3u);
+    EXPECT_EQ(topo.hostCount(), 12u);
+    EXPECT_EQ(topo.vmCount(), 12u);
+    EXPECT_FALSE(topo.hasSharedVms());
+    // Each node's four hosts share the node's rack.
+    for (std::size_t role = 0; role < 4; ++role) {
+        for (std::size_t node = 0; node < 3; ++node) {
+            EXPECT_EQ(topo.rackOf(role, node), node);
+        }
+    }
+    // All 12 hosts are distinct.
+    std::set<std::size_t> hosts;
+    for (std::size_t role = 0; role < 4; ++role)
+        for (std::size_t node = 0; node < 3; ++node)
+            hosts.insert(topo.hostOf(role, node));
+    EXPECT_EQ(hosts.size(), 12u);
+}
+
+TEST(ReferenceTopology, DispatchesByKind)
+{
+    EXPECT_EQ(referenceTopology(ReferenceKind::Small).name(), "Small");
+    EXPECT_EQ(referenceTopology(ReferenceKind::Medium).name(),
+              "Medium");
+    EXPECT_EQ(referenceTopology(ReferenceKind::Large).name(), "Large");
+    EXPECT_EQ(referenceKindName(ReferenceKind::Medium), "Medium");
+}
+
+TEST(Topologies, GeneralizeToLargerClusters)
+{
+    DeploymentTopology topo = largeTopology(4, 5);
+    EXPECT_EQ(topo.clusterSize(), 5u);
+    EXPECT_EQ(topo.rackCount(), 5u);
+    EXPECT_EQ(topo.hostCount(), 20u);
+    topo.validate();
+
+    DeploymentTopology small = smallTopology(6, 5);
+    EXPECT_EQ(small.vmCount(), 5u);
+    EXPECT_EQ(small.vmPlacements(0).size(), 6u);
+    small.validate();
+}
+
+TEST(MediumTopology, QuorumOfNodesSharesRackOne)
+{
+    DeploymentTopology topo = mediumTopology(4, 5);
+    // 3 of 5 hosts in rack 0, 2 in rack 1.
+    unsigned in_rack0 = 0;
+    for (std::size_t h = 0; h < topo.hostCount(); ++h) {
+        if (topo.rackOfHost(h) == 0)
+            ++in_rack0;
+    }
+    EXPECT_EQ(in_rack0, 3u);
+}
+
+TEST(RackSweep, DistributesNodesRoundRobin)
+{
+    DeploymentTopology one = rackSweepTopology(1);
+    EXPECT_EQ(one.rackCount(), 1u);
+    for (std::size_t node = 0; node < 3; ++node)
+        EXPECT_EQ(one.rackOf(0, node), 0u);
+
+    DeploymentTopology two = rackSweepTopology(2);
+    EXPECT_EQ(two.rackOf(0, 0), 0u);
+    EXPECT_EQ(two.rackOf(0, 1), 1u);
+    EXPECT_EQ(two.rackOf(0, 2), 0u);
+
+    DeploymentTopology three = rackSweepTopology(3);
+    EXPECT_EQ(three.rackCount(), 3u);
+    for (std::size_t node = 0; node < 3; ++node)
+        EXPECT_EQ(three.rackOf(0, node), node);
+}
+
+TEST(CustomTopology, BuilderValidations)
+{
+    DeploymentTopology topo("custom", 2, 2);
+    std::size_t rack = topo.addRack();
+    std::size_t host = topo.addHost(rack);
+    EXPECT_THROW(topo.addHost(9), sdnav::ModelError);
+    EXPECT_THROW(topo.addVm(9, {{0, 0}}), sdnav::ModelError);
+    EXPECT_THROW(topo.addVm(host, {}), sdnav::ModelError);
+    EXPECT_THROW(topo.addVm(host, {{5, 0}}), sdnav::ModelError);
+    EXPECT_THROW(topo.addVm(host, {{0, 5}}), sdnav::ModelError);
+    topo.addVm(host, {{0, 0}, {0, 1}, {1, 0}});
+    // Double placement rejected.
+    EXPECT_THROW(topo.addVm(host, {{0, 0}}), sdnav::ModelError);
+    // Incomplete placement fails validation.
+    EXPECT_THROW(topo.validate(), sdnav::ModelError);
+    topo.addVm(host, {{1, 1}});
+    EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(CustomTopology, QueriesRejectUnplacedInstances)
+{
+    DeploymentTopology topo("partial", 1, 2);
+    std::size_t rack = topo.addRack();
+    std::size_t host = topo.addHost(rack);
+    topo.addVm(host, {{0, 0}});
+    EXPECT_EQ(topo.vmOf(0, 0), 0u);
+    EXPECT_THROW(topo.vmOf(0, 1), sdnav::ModelError);
+    EXPECT_THROW(topo.vmOf(3, 0), sdnav::ModelError);
+}
+
+TEST(Topology, DescribeIsHumanReadable)
+{
+    DeploymentTopology topo = smallTopology();
+    std::string text = topo.describe();
+    EXPECT_NE(text.find("Small"), std::string::npos);
+    EXPECT_NE(text.find("VM0"), std::string::npos);
+    EXPECT_NE(text.find("rack0"), std::string::npos);
+}
+
+TEST(Topology, ConstructorValidation)
+{
+    EXPECT_THROW(DeploymentTopology("x", 0, 3), sdnav::ModelError);
+    EXPECT_THROW(DeploymentTopology("x", 4, 0), sdnav::ModelError);
+}
+
+} // anonymous namespace

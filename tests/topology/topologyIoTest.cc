@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for topology JSON serialization.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "topology/topologyIo.hh"
+
+namespace
+{
+
+using namespace sdnav::topology;
+using sdnav::ModelError;
+
+void
+expectSameLayout(const DeploymentTopology &a,
+                 const DeploymentTopology &b)
+{
+    EXPECT_EQ(a.roleCount(), b.roleCount());
+    EXPECT_EQ(a.clusterSize(), b.clusterSize());
+    EXPECT_EQ(a.rackCount(), b.rackCount());
+    EXPECT_EQ(a.hostCount(), b.hostCount());
+    EXPECT_EQ(a.vmCount(), b.vmCount());
+    for (std::size_t role = 0; role < a.roleCount(); ++role) {
+        for (std::size_t node = 0; node < a.clusterSize(); ++node) {
+            EXPECT_EQ(a.vmOf(role, node), b.vmOf(role, node));
+            EXPECT_EQ(a.hostOf(role, node), b.hostOf(role, node));
+            EXPECT_EQ(a.rackOf(role, node), b.rackOf(role, node));
+        }
+    }
+}
+
+TEST(TopologyIo, ReferenceTopologiesRoundTrip)
+{
+    for (auto kind : {ReferenceKind::Small, ReferenceKind::Medium,
+                      ReferenceKind::Large}) {
+        DeploymentTopology original = referenceTopology(kind);
+        DeploymentTopology copy =
+            topologyFromJson(topologyToJson(original));
+        expectSameLayout(original, copy);
+    }
+}
+
+TEST(TopologyIo, CustomTopologyRoundTrips)
+{
+    DeploymentTopology topo("mixed", 2, 2);
+    std::size_t r0 = topo.addRack();
+    std::size_t r1 = topo.addRack();
+    std::size_t h0 = topo.addHost(r0);
+    std::size_t h1 = topo.addHost(r1);
+    topo.addVm(h0, {{0, 0}, {1, 0}});
+    topo.addVm(h1, {{0, 1}});
+    topo.addVm(h1, {{1, 1}});
+    topo.validate();
+    DeploymentTopology copy = topologyFromJson(topologyToJson(topo));
+    expectSameLayout(topo, copy);
+    EXPECT_EQ(copy.name(), "mixed");
+    EXPECT_TRUE(copy.vmIsShared(0));
+    EXPECT_FALSE(copy.vmIsShared(1));
+}
+
+TEST(TopologyIo, ReferenceFormDocument)
+{
+    auto value = sdnav::json::parse(
+        R"({"reference": "large", "roles": 4, "nodes": 5})");
+    DeploymentTopology topo = topologyFromJson(value);
+    EXPECT_EQ(topo.clusterSize(), 5u);
+    EXPECT_EQ(topo.rackCount(), 5u);
+    EXPECT_EQ(topo.hostCount(), 20u);
+}
+
+TEST(TopologyIo, ReferenceFormDefaults)
+{
+    auto value = sdnav::json::parse(R"({"reference": "small"})");
+    DeploymentTopology topo = topologyFromJson(value);
+    EXPECT_EQ(topo.roleCount(), 4u);
+    EXPECT_EQ(topo.clusterSize(), 3u);
+}
+
+TEST(TopologyIo, MalformedDocumentsRejected)
+{
+    using sdnav::json::parse;
+    EXPECT_THROW(topologyFromJson(parse("[]")), ModelError);
+    EXPECT_THROW(topologyFromJson(parse(R"({"reference":"huge"})")),
+                 ModelError);
+    // Incomplete placements fail validation.
+    EXPECT_THROW(topologyFromJson(parse(
+                     R"({"roles":2,"nodes":2,"racks":1,
+                        "hosts":[0],
+                        "vms":[{"host":0,"placements":[[0,0]]}]})")),
+                 ModelError);
+    // Non-integer indices.
+    EXPECT_THROW(topologyFromJson(parse(
+                     R"({"roles":1,"nodes":1,"racks":1,
+                        "hosts":[0.5],
+                        "vms":[{"host":0,"placements":[[0,0]]}]})")),
+                 ModelError);
+    // Bad placement arity.
+    EXPECT_THROW(topologyFromJson(parse(
+                     R"({"roles":1,"nodes":1,"racks":1,
+                        "hosts":[0],
+                        "vms":[{"host":0,"placements":[[0]]}]})")),
+                 ModelError);
+}
+
+TEST(TopologyIo, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/sdnav_topo_test.json";
+    saveTopology(mediumTopology(), path);
+    DeploymentTopology loaded = loadTopology(path);
+    expectSameLayout(mediumTopology(), loaded);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadTopology(path), ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * sdnav_cli — command-line front end for the availability framework.
+ *
+ * Subcommands:
+ *   tables      print the Table I/II/III analogues for a catalog
+ *   analyze     CP/DP availability for a catalog x topology x policy
+ *   rank        criticality-importance weak-link ranking
+ *   outage      analytic outage frequency/duration profile
+ *   transient   availability curve after a cold start
+ *   figures     regenerate Figures 3/4/5 (text + optional CSV)
+ *   simulate    discrete-event behavioral simulation
+ *   export      write a built-in catalog or topology as JSON
+ *
+ * Catalogs and topologies come from built-ins (--catalog opencontrail
+ * | raft | fragile; --topology small | medium | large) or JSON files
+ * (--catalog-file / --topology-file; see fmea/catalogIo.hh and
+ * topology/topologyIo.hh for the schemas).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.hh"
+#include "analysis/fleet.hh"
+#include "analysis/outage.hh"
+#include "analysis/sensitivity.hh"
+#include "analysis/summary.hh"
+#include "analysis/transient.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+#include "fmea/catalogIo.hh"
+#include "fmea/openContrail.hh"
+#include "fmea/report.hh"
+#include "model/exactModel.hh"
+#include "rbd/cutSets.hh"
+#include "model/swCentric.hh"
+#include "sim/controllerSim.hh"
+#include "topology/topologyIo.hh"
+
+namespace
+{
+
+using namespace sdnav;
+namespace model = sdnav::model;
+
+/** Parsed command line: positionals plus --key value options. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> options;
+
+    bool has(const std::string &key) const { return options.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+
+    double
+    getNumber(const std::string &key, double fallback) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : std::stod(it->second);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            std::string key = arg.substr(2);
+            require(i + 1 < argc, "option " + arg + " needs a value");
+            args.options[key] = argv[++i];
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+fmea::ControllerCatalog
+resolveCatalog(const Args &args)
+{
+    if (args.has("catalog-file"))
+        return fmea::loadCatalog(args.get("catalog-file", ""));
+    std::string name = args.get("catalog", "opencontrail");
+    if (name == "opencontrail")
+        return fmea::openContrail3();
+    if (name == "raft")
+        return fmea::raftStyleController();
+    if (name == "fragile")
+        return fmea::fragileController();
+    throw ModelError("unknown built-in catalog: " + name);
+}
+
+topology::DeploymentTopology
+resolveTopology(const Args &args, std::size_t roleCount)
+{
+    if (args.has("topology-file"))
+        return topology::loadTopology(args.get("topology-file", ""));
+    std::string name = args.get("topology", "large");
+    std::size_t nodes =
+        static_cast<std::size_t>(args.getNumber("nodes", 3));
+    if (name == "small")
+        return topology::smallTopology(roleCount, nodes);
+    if (name == "medium")
+        return topology::mediumTopology(roleCount, nodes);
+    if (name == "large")
+        return topology::largeTopology(roleCount, nodes);
+    throw ModelError("unknown topology: " + name);
+}
+
+model::SupervisorPolicy
+resolvePolicy(const Args &args)
+{
+    std::string policy = args.get("policy", "required");
+    if (policy == "required")
+        return model::SupervisorPolicy::Required;
+    if (policy == "not-required")
+        return model::SupervisorPolicy::NotRequired;
+    throw ModelError("unknown policy: " + policy +
+                     " (expected required | not-required)");
+}
+
+model::SwParams
+resolveParams(const Args &args)
+{
+    model::SwParams params;
+    params.processAvailability =
+        args.getNumber("a", params.processAvailability);
+    params.manualProcessAvailability =
+        args.getNumber("as", params.manualProcessAvailability);
+    params.vmAvailability =
+        args.getNumber("av", params.vmAvailability);
+    params.hostAvailability =
+        args.getNumber("ah", params.hostAvailability);
+    params.rackAvailability =
+        args.getNumber("ar", params.rackAvailability);
+    params.validate();
+    return params;
+}
+
+int
+cmdTables(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    unsigned cluster =
+        static_cast<unsigned>(args.getNumber("nodes", 3));
+    std::cout << fmea::nodeProcessTable(catalog, cluster).str() << "\n"
+              << fmea::restartModeTable(catalog).str() << "\n"
+              << fmea::quorumTypeTable(catalog).str() << "\n";
+    if (args.get("fmea", "") == "full")
+        std::cout << fmea::fmeaReport(catalog, cluster) << "\n";
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+    model::SwParams params = resolveParams(args);
+
+    model::SwAvailabilityModel m(catalog, topo, policy);
+    std::vector<analysis::SummaryEntry> entries{
+        {"control plane", m.controlPlaneAvailability(params)},
+        {"shared data plane",
+         m.sharedDataPlaneAvailability(params)},
+        {"local data plane", m.localDataPlaneAvailability(params)},
+        {"host data plane", m.hostDataPlaneAvailability(params)},
+    };
+    std::cout << analysis::availabilitySummary(
+                     catalog.name() + " on " + topo.name() +
+                         " (supervisor " +
+                         (policy == model::SupervisorPolicy::Required
+                              ? "required"
+                              : "not required") +
+                         ")",
+                     entries)
+                     .str();
+    if (args.get("sensitivity", "") == "on") {
+        std::cout << "\n"
+                  << analysis::sensitivityTable(
+                         "Control-plane sensitivity",
+                         analysis::swSensitivity(
+                             catalog, topo, policy, params,
+                             fmea::Plane::ControlPlane))
+                         .str();
+    }
+    return 0;
+}
+
+int
+cmdRank(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+    model::SwParams params = resolveParams(args);
+    fmea::Plane plane = args.get("plane", "cp") == "dp"
+        ? fmea::Plane::DataPlane
+        : fmea::Plane::ControlPlane;
+
+    auto system =
+        model::buildExactSystem(catalog, topo, policy, params, plane);
+    auto ranking = system.rankImportance();
+    std::size_t top =
+        static_cast<std::size_t>(args.getNumber("top", 10));
+    TextTable table;
+    table.title("Weak-link ranking (" +
+                std::string(plane == fmea::Plane::DataPlane ? "DP"
+                                                            : "CP") +
+                ", " + topo.name() + ")");
+    table.header({"rank", "component", "criticality", "birnbaum"});
+    for (std::size_t i = 0; i < std::min(top, ranking.size()); ++i) {
+        table.addRow({std::to_string(i + 1), ranking[i].name,
+                      formatFixed(ranking[i].criticality, 5),
+                      formatGeneral(ranking[i].birnbaum, 4)});
+    }
+    std::cout << table.str();
+    return 0;
+}
+
+int
+cmdOutage(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+    model::SwParams params = resolveParams(args);
+    fmea::Plane plane = args.get("plane", "cp") == "dp"
+        ? fmea::Plane::DataPlane
+        : fmea::Plane::ControlPlane;
+    analysis::MtbfClasses classes;
+    classes.processHours = args.getNumber("mtbf", 5000.0);
+    classes.vmHours = args.getNumber("vm-mtbf", classes.vmHours);
+    classes.hostHours = args.getNumber("host-mtbf", classes.hostHours);
+    classes.rackHours = args.getNumber("rack-mtbf", classes.rackHours);
+
+    auto system =
+        model::buildExactSystem(catalog, topo, policy, params, plane);
+    auto profile =
+        analysis::outageProfile(system,
+                                analysis::classifyMtbfs(system,
+                                                        classes));
+    std::cout << analysis::outageProfileTable(
+                     "Outage profile (process MTBF " +
+                         formatGeneral(classes.processHours, 6) +
+                         " h, per-class platform MTBFs)",
+                     profile)
+                     .str()
+              << "\n";
+
+    auto contributions = analysis::outageContributions(
+        system, analysis::classifyMtbfs(system, classes));
+    TextTable table;
+    table.header({"component", "outages/year initiated", "share"});
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(8, contributions.size()); ++i) {
+        table.addRow({contributions[i].name,
+                      formatGeneral(contributions[i].outagesPerYear, 4),
+                      formatFixed(contributions[i].share, 4)});
+    }
+    std::cout << table.str();
+    return 0;
+}
+
+int
+cmdCutSets(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+    model::SwParams params = resolveParams(args);
+    fmea::Plane plane = args.get("plane", "cp") == "dp"
+        ? fmea::Plane::DataPlane
+        : fmea::Plane::ControlPlane;
+
+    auto system =
+        model::buildExactSystem(catalog, topo, policy, params, plane);
+    rbd::CutSetOptions options;
+    options.maxOrder =
+        static_cast<std::size_t>(args.getNumber("order", 2));
+    auto cuts = rbd::minimalCutSets(system, options);
+    std::size_t top =
+        static_cast<std::size_t>(args.getNumber("top", 12));
+
+    TextTable table;
+    table.title("Minimal cut sets (order <= " +
+                std::to_string(options.maxOrder) + ")");
+    table.header({"#", "cut set", "order", "probability"});
+    for (std::size_t i = 0; i < std::min(top, cuts.size()); ++i) {
+        table.addRow({std::to_string(i + 1),
+                      cuts[i].describe(system),
+                      std::to_string(cuts[i].order()),
+                      formatGeneral(cuts[i].probability, 4)});
+    }
+    std::cout << table.str();
+    std::cout << "total " << cuts.size()
+              << " cut sets; rare-event unavailability bound "
+              << formatGeneral(rbd::rareEventUnavailability(cuts), 5)
+              << " (exact "
+              << formatGeneral(1.0 - system.availabilityExact(), 5)
+              << ")\n";
+    return 0;
+}
+
+int
+cmdFleet(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+    model::SwParams params = resolveParams(args);
+    fmea::Plane plane = args.get("plane", "cp") == "dp"
+        ? fmea::Plane::DataPlane
+        : fmea::Plane::ControlPlane;
+    auto system =
+        model::buildExactSystem(catalog, topo, policy, params, plane);
+    analysis::MtbfClasses classes;
+    classes.processHours = args.getNumber("mtbf", 5000.0);
+    auto profile = analysis::outageProfile(
+        system, analysis::classifyMtbfs(system, classes));
+    std::size_t sites =
+        static_cast<std::size_t>(args.getNumber("sites", 500));
+    auto fleet = analysis::fleetFromProfile(sites, profile);
+    std::cout << analysis::outageProfileTable("Per-site profile",
+                                              profile)
+                     .str()
+              << "\n"
+              << analysis::fleetTable("Fleet", fleet).str();
+    return 0;
+}
+
+int
+cmdTransient(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+    model::SwParams params = resolveParams(args);
+    fmea::Plane plane = args.get("plane", "cp") == "dp"
+        ? fmea::Plane::DataPlane
+        : fmea::Plane::ControlPlane;
+    double mtbf = args.getNumber("mtbf", 5000.0);
+    auto initial = args.get("from", "down") == "up"
+        ? analysis::InitialCondition::AllUp
+        : analysis::InitialCondition::AllDown;
+
+    auto system =
+        model::buildExactSystem(catalog, topo, policy, params, plane);
+    std::vector<double> times{0.0,  0.01, 0.05, 0.1, 0.25,
+                              0.5,  1.0,  2.0,  5.0, 10.0};
+    auto curve = analysis::systemTransient(system, mtbf, times,
+                                           initial);
+    std::cout << analysis::transientTable(
+                     "Transient availability from all-" +
+                         args.get("from", "down"),
+                     times, curve)
+                     .str();
+    std::cout << "time to steady state (1e-9): "
+              << formatGeneral(analysis::timeToSteadyState(
+                                   system, mtbf, initial),
+                               4)
+              << " h\n";
+    return 0;
+}
+
+int
+cmdFigures(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    model::HwParams hw;
+    model::SwParams sw = resolveParams(args);
+    std::size_t points =
+        static_cast<std::size_t>(args.getNumber("points", 21));
+    analysis::FigureData fig3 = analysis::figure3(hw, 0.999, 1.0,
+                                                  points);
+    analysis::FigureData fig4 = analysis::figure4(catalog, sw, points);
+    analysis::FigureData fig5 = analysis::figure5(catalog, sw, points);
+    std::cout << fig3.toTable().str() << "\n"
+              << fig4.toTable(8).str() << "\n"
+              << fig5.toTable(8).str() << "\n";
+    if (args.has("csv-dir")) {
+        std::string dir = args.get("csv-dir", ".");
+        fig3.toCsv().writeFile(dir + "/fig3.csv");
+        fig4.toCsv().writeFile(dir + "/fig4.csv");
+        fig5.toCsv().writeFile(dir + "/fig5.csv");
+        std::cout << "CSV written to " << dir << "/fig{3,4,5}.csv\n";
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(args);
+    auto topo = resolveTopology(args, catalog.roles().size());
+    auto policy = resolvePolicy(args);
+
+    sim::ControllerSimConfig config;
+    config.process.mtbfHours = args.getNumber("mtbf", 5000.0);
+    config.process.autoRestartHours = args.getNumber("r", 0.1);
+    config.process.manualRestartHours = args.getNumber("rs", 1.0);
+    config.supervisorMtbfHours =
+        args.getNumber("sup-mtbf", config.process.mtbfHours);
+    config.horizonHours = args.getNumber("hours", 1e6);
+    config.monitoredHosts =
+        static_cast<std::size_t>(args.getNumber("hosts", 24));
+    config.seed =
+        static_cast<std::uint64_t>(args.getNumber("seed", 1));
+    config.rediscoveryDelayHours =
+        args.getNumber("rediscovery-min", 1.0) / 60.0;
+
+    auto result = sim::simulateController(catalog, topo, policy,
+                                          config);
+    model::SwParams params = sim::staticParamsFor(config);
+    model::SwAvailabilityModel analytic(catalog, topo, policy);
+
+    TextTable table;
+    table.title("Behavioral simulation, " +
+                formatGeneral(config.horizonHours, 4) +
+                " simulated hours");
+    table.header({"plane", "analytic", "simulated", "CI95 +-"});
+    table.addRow(
+        {"CP",
+         formatFixed(analytic.controlPlaneAvailability(params), 6),
+         formatFixed(result.cpAvailability.mean, 6),
+         formatFixed(result.cpAvailability.halfWidth95(), 6)});
+    table.addRow(
+        {"DP",
+         formatFixed(analytic.hostDataPlaneAvailability(params), 6),
+         formatFixed(result.dpAvailability.mean, 6),
+         formatFixed(result.dpAvailability.halfWidth95(), 6)});
+    std::cout << table.str();
+    std::cout << "CP outages: " << result.cpOutages << " (mean "
+              << formatFixed(result.cpMeanOutageHours, 2) << " h, max "
+              << formatFixed(result.cpMaxOutageHours, 2)
+              << " h); rediscovery downtime share "
+              << formatGeneral(result.rediscoveryDowntimeFraction, 4)
+              << "\n";
+    return 0;
+}
+
+int
+cmdExport(const Args &args)
+{
+    require(args.positional.size() == 2,
+            "usage: sdnav_cli export <catalog|topology> <out.json>");
+    const std::string &what = args.positional[0];
+    const std::string &path = args.positional[1];
+    if (what == "catalog") {
+        fmea::saveCatalog(resolveCatalog(args), path);
+    } else if (what == "topology") {
+        fmea::ControllerCatalog catalog = resolveCatalog(args);
+        topology::saveTopology(
+            resolveTopology(args, catalog.roles().size()), path);
+    } else {
+        throw ModelError("unknown export kind: " + what);
+    }
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
+void
+printUsage()
+{
+    std::cout <<
+        "usage: sdnav_cli <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  tables      print Table I/II/III analogues for a catalog\n"
+        "  analyze     CP/DP availability summary\n"
+        "  rank        weak-link (criticality) ranking\n"
+        "  outage      outage frequency/duration profile\n"
+        "  transient   availability curve after a cold start\n"
+        "  cutsets     minimal cut sets (failure combinations)\n"
+        "  fleet       fleet-level outage statistics\n"
+        "  figures     regenerate Figures 3/4/5\n"
+        "  simulate    behavioral discrete-event simulation\n"
+        "  export      write a built-in catalog/topology as JSON\n"
+        "\n"
+        "common options:\n"
+        "  --catalog opencontrail|raft|fragile   built-in catalog\n"
+        "  --catalog-file FILE                   catalog JSON\n"
+        "  --topology small|medium|large         reference topology\n"
+        "  --topology-file FILE                  topology JSON\n"
+        "  --nodes N                             cluster size (2N+1)\n"
+        "  --policy required|not-required        supervisor policy\n"
+        "  --plane cp|dp                         plane of interest\n"
+        "  --a --as --av --ah --ar VALUE         availabilities\n"
+        "\n"
+        "examples:\n"
+        "  sdnav_cli analyze --topology small --policy required\n"
+        "  sdnav_cli rank --plane dp --top 5\n"
+        "  sdnav_cli export catalog my.json --catalog raft\n"
+        "  sdnav_cli analyze --catalog-file my.json --topology large\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        printUsage();
+        return 2;
+    }
+    std::string command = argv[1];
+    try {
+        Args args = parseArgs(argc, argv);
+        if (command == "tables")
+            return cmdTables(args);
+        if (command == "analyze")
+            return cmdAnalyze(args);
+        if (command == "rank")
+            return cmdRank(args);
+        if (command == "outage")
+            return cmdOutage(args);
+        if (command == "transient")
+            return cmdTransient(args);
+        if (command == "cutsets")
+            return cmdCutSets(args);
+        if (command == "fleet")
+            return cmdFleet(args);
+        if (command == "figures")
+            return cmdFigures(args);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "export")
+            return cmdExport(args);
+        if (command == "help" || command == "--help") {
+            printUsage();
+            return 0;
+        }
+        std::cerr << "unknown command: " << command << "\n";
+        printUsage();
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
