@@ -16,7 +16,9 @@
  *    paper's "typically within a minute" assumption.
  */
 
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "bench/benchCommon.hh"
 #include "common/textTable.hh"
@@ -26,6 +28,7 @@
 #include "model/swCentric.hh"
 #include "sim/controllerSim.hh"
 #include "sim/renewalSim.hh"
+#include "sim/replication.hh"
 
 namespace
 {
@@ -196,12 +199,82 @@ printBehavioralValidation()
 }
 
 void
+printReplicatedValidation()
+{
+    std::cout << "Replicated validation: 8 independent replications "
+                 "per case, pooled CIs from the\nacross-replication "
+                 "variance (batch means only see within-run "
+                 "correlation):\n\n";
+    auto catalog = fmea::openContrail3();
+    SwParams params = stressParams();
+    auto topo = topology::smallTopology();
+    SwAvailabilityModel engine(catalog, topo,
+                               SupervisorPolicy::Required);
+    double analytic =
+        engine.planeAvailability(params, fmea::Plane::ControlPlane);
+    auto system = buildExactSystem(catalog, topo,
+                                   SupervisorPolicy::Required, params,
+                                   fmea::Plane::ControlPlane);
+    auto timings = exponentialTimingsFor(system, 100.0);
+
+    RenewalSimConfig per;
+    per.horizonHours = 5e4;
+    ReplicatedSimConfig rep;
+    rep.replications = 8;
+    rep.baseSeed = 2026;
+
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    using clock = std::chrono::steady_clock;
+
+    rep.threads = 1;
+    auto t0 = clock::now();
+    auto sequential =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+    auto t1 = clock::now();
+
+    rep.threads = hw;
+    auto parallel =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+    auto t2 = clock::now();
+
+    double seq_s = std::chrono::duration<double>(t1 - t0).count();
+    double par_s = std::chrono::duration<double>(t2 - t1).count();
+
+    TextTable table;
+    table.header({"estimate", "analytic", "pooled", "CI95 +-",
+                  "within SE", "across SE", "inside CI"});
+    table.addRow(
+        {"2S CP", formatFixed(analytic, 6),
+         formatFixed(sequential.availability.mean, 6),
+         formatFixed(sequential.availability.halfWidth95(), 6),
+         formatGeneral(sequential.availability.withinStandardError, 3),
+         formatGeneral(sequential.availability.acrossStandardError, 3),
+         sequential.availability.brackets(analytic) ? "yes" : "NO"});
+    std::cout << table.str() << "\n";
+
+    bool identical =
+        sequential.availability.mean == parallel.availability.mean &&
+        sequential.availability.acrossStandardError ==
+            parallel.availability.acrossStandardError &&
+        sequential.events == parallel.events;
+    std::cout << "threads=1: " << formatFixed(seq_s, 2)
+              << " s, threads=" << hw << ": " << formatFixed(par_s, 2)
+              << " s (speedup " << formatFixed(seq_s / par_s, 2)
+              << "x on " << hw << " hardware threads); pooled results "
+              << (identical ? "bit-identical" : "DIFFER — BUG")
+              << " across thread counts\n\n";
+}
+
+void
 printReport()
 {
     bench::section("Simulation validation (the paper's future work)");
     printRenewalValidation();
     printShapeInsensitivity();
     printBehavioralValidation();
+    printReplicatedValidation();
 }
 
 void
@@ -242,6 +315,37 @@ benchControllerSimThroughput(benchmark::State &state)
     }
 }
 BENCHMARK(benchControllerSimThroughput);
+
+/**
+ * Replicated renewal validation workload at 1..N worker threads; the
+ * per-thread-count timings give the wall-clock speedup of the
+ * replication layer on this machine.
+ */
+void
+benchReplicatedRenewal(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    SwParams params = stressParams();
+    auto system = buildExactSystem(catalog, topo,
+                                   SupervisorPolicy::Required, params,
+                                   fmea::Plane::ControlPlane);
+    auto timings = exponentialTimingsFor(system, 100.0);
+    RenewalSimConfig per;
+    per.horizonHours = 2e4;
+    ReplicatedSimConfig rep;
+    rep.replications = 8;
+    rep.threads = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        rep.baseSeed = seed++;
+        auto result =
+            simulateRenewalSystemReplicated(system, timings, per, rep);
+        benchmark::DoNotOptimize(&result);
+    }
+}
+BENCHMARK(benchReplicatedRenewal)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 } // anonymous namespace
 

@@ -20,6 +20,7 @@
 #include "fmea/openContrail.hh"
 #include "model/swCentric.hh"
 #include "sim/controllerSim.hh"
+#include "sim/replication.hh"
 
 namespace
 {
@@ -27,6 +28,7 @@ namespace
 using namespace sdnav;
 namespace model = sdnav::model;
 using sim::ControllerSimConfig;
+using sim::ReplicatedSimConfig;
 
 ControllerSimConfig
 studyConfig()
@@ -42,10 +44,19 @@ studyConfig()
     config.hostAvailability = 0.998;
     config.rackAvailability = 0.9995;
     config.monitoredHosts = 30;
-    config.horizonHours = 4.0e5; // ~45 simulated years.
+    config.horizonHours = 5.0e4; // Per replication; 8 reps ~ 45 years.
     config.batches = 20;
-    config.seed = 20260705;
     return config;
+}
+
+ReplicatedSimConfig
+studyReplication()
+{
+    ReplicatedSimConfig rep;
+    rep.replications = 8;
+    rep.threads = 0; // One worker per hardware thread.
+    rep.baseSeed = 20260705;
+    return rep;
 }
 
 } // anonymous namespace
@@ -56,36 +67,49 @@ main()
     fmea::ControllerCatalog catalog = fmea::openContrail3();
     auto small = topology::smallTopology();
     ControllerSimConfig config = studyConfig();
+    ReplicatedSimConfig replication = studyReplication();
     model::SwParams params = sim::staticParamsFor(config);
 
     std::cout << "Simulated system: OpenContrail on the Small "
                  "topology, 30 monitored compute hosts,\n"
+              << replication.replications
+              << " independent replications x "
               << formatGeneral(config.horizonHours, 3)
-              << " simulated hours (~45 years).\n\n";
+              << " simulated hours (~45 years total),\nrun in "
+                 "parallel and pooled. CIs come from the "
+                 "across-replication variance.\n\n";
 
     // --- 1. Analytic vs simulated, both policies ---------------------
     TextTable table;
-    table.header({"policy", "plane", "analytic", "simulated",
-                  "CI95 +-"});
+    table.header({"policy", "plane", "analytic", "pooled", "CI95 +-",
+                  "within SE", "across SE"});
     for (auto policy : {model::SupervisorPolicy::NotRequired,
                         model::SupervisorPolicy::Required}) {
         ControllerSimConfig run = config;
         run.modelRediscovery = false; // Static comparison first.
-        auto result =
-            sim::simulateController(catalog, small, policy, run);
+        auto result = sim::simulateControllerReplicated(
+            catalog, small, policy, run, replication);
         model::SwAvailabilityModel analytic(catalog, small, policy);
         std::string tag(1, model::supervisorPolicyTag(policy));
         table.addRow(
             {tag + "S", "CP",
              formatFixed(analytic.controlPlaneAvailability(params), 5),
              formatFixed(result.cpAvailability.mean, 5),
-             formatFixed(result.cpAvailability.halfWidth95(), 5)});
+             formatFixed(result.cpAvailability.halfWidth95(), 5),
+             formatGeneral(result.cpAvailability.withinStandardError,
+                           3),
+             formatGeneral(result.cpAvailability.acrossStandardError,
+                           3)});
         table.addRow(
             {tag + "S", "DP",
              formatFixed(analytic.hostDataPlaneAvailability(params),
                          5),
              formatFixed(result.dpAvailability.mean, 5),
-             formatFixed(result.dpAvailability.halfWidth95(), 5)});
+             formatFixed(result.dpAvailability.halfWidth95(), 5),
+             formatGeneral(result.dpAvailability.withinStandardError,
+                           3),
+             formatGeneral(result.dpAvailability.acrossStandardError,
+                           3)});
     }
     std::cout << table.str();
     std::cout << "(Scenario 1 simulates slightly below the static "
@@ -103,8 +127,9 @@ main()
     for (double minutes : {1.0, 10.0, 30.0}) {
         ControllerSimConfig run = config;
         run.rediscoveryDelayHours = minutes / 60.0;
-        auto result = sim::simulateController(
-            catalog, small, model::SupervisorPolicy::NotRequired, run);
+        auto result = sim::simulateControllerReplicated(
+            catalog, small, model::SupervisorPolicy::NotRequired, run,
+            replication);
         transient.addRow(
             {formatGeneral(minutes, 3) + " min",
              formatFixed(result.dpAvailability.mean, 5),
@@ -117,8 +142,9 @@ main()
                  "is validated.\n";
 
     // --- 3. Outage texture -------------------------------------------
-    auto result = sim::simulateController(
-        catalog, small, model::SupervisorPolicy::Required, config);
+    auto result = sim::simulateControllerReplicated(
+        catalog, small, model::SupervisorPolicy::Required, config,
+        replication);
     std::cout << "\nCP outage texture over the run (scenario 2): "
               << result.cpOutages << " outages, mean "
               << formatFixed(result.cpMeanOutageHours, 2)

@@ -62,10 +62,16 @@ class Rng
     /**
      * Derive an independent child stream: equivalent to a long jump in
      * seed space, so per-entity streams do not overlap in practice.
+     * Depends only on the construction seed, never on how many values
+     * have been drawn — replicated simulations rely on this to give
+     * every replication the same stream regardless of thread count.
      *
      * @param streamIndex Index of the derived stream.
      */
     Rng deriveStream(std::uint64_t streamIndex) const;
+
+    /** The seed this generator was constructed from. */
+    std::uint64_t seed() const { return seed_; }
 
   private:
     std::array<std::uint64_t, 4> state_;

@@ -102,9 +102,9 @@ class ControllerSimulation
     };
 
     void build();
-    void scheduleInfra(std::size_t index);
-    void scheduleProcFailure(std::size_t pid);
-    void scheduleSupFailure(std::size_t sid);
+    void scheduleInfra(std::size_t index, double now);
+    void scheduleProcFailure(std::size_t pid, double now);
+    void scheduleSupFailure(std::size_t sid, double now);
     void push(double time, EventKind kind, std::size_t index);
 
     bool infraChainUp(std::size_t role, std::size_t node) const;
@@ -189,6 +189,7 @@ class ControllerSimulation
 void
 ControllerSimulation::push(double time, EventKind kind, std::size_t index)
 {
+    require(time >= last_time_, "event scheduled in the past");
     queue_.push({time, seq_++, kind, index});
 }
 
@@ -307,33 +308,38 @@ ControllerSimulation::build()
 
     // Initial failure events.
     for (std::size_t i = 0; i < infra_up_.size(); ++i)
-        scheduleInfra(i);
+        scheduleInfra(i, 0.0);
     for (std::size_t pid = 0; pid < proc_up_.size(); ++pid)
-        scheduleProcFailure(pid);
+        scheduleProcFailure(pid, 0.0);
     for (std::size_t sid = 0; sid < sup_up_.size(); ++sid)
-        scheduleSupFailure(sid);
+        scheduleSupFailure(sid, 0.0);
 }
 
+// The next-transition anchor is the handled event's time, passed
+// explicitly: `last_time_` is an accounting cursor that only advances
+// on positive deltas, so with coincident events (maintenance
+// boundaries, deterministic repairs) it is not a safe anchor.
+
 void
-ControllerSimulation::scheduleInfra(std::size_t index)
+ControllerSimulation::scheduleInfra(std::size_t index, double now)
 {
     double hold = infra_up_[index]
         ? rng_.exponential(infra_mtbf_[index])
         : rng_.exponential(infra_mttr_[index]);
-    push(last_time_ + hold, EventKind::InfraFlip, index);
+    push(now + hold, EventKind::InfraFlip, index);
 }
 
 void
-ControllerSimulation::scheduleProcFailure(std::size_t pid)
+ControllerSimulation::scheduleProcFailure(std::size_t pid, double now)
 {
-    push(last_time_ + rng_.exponential(config_.process.mtbfHours),
+    push(now + rng_.exponential(config_.process.mtbfHours),
          EventKind::ProcFail, pid);
 }
 
 void
-ControllerSimulation::scheduleSupFailure(std::size_t sid)
+ControllerSimulation::scheduleSupFailure(std::size_t sid, double now)
 {
-    push(last_time_ + rng_.exponential(config_.supervisorMtbfHours),
+    push(now + rng_.exponential(config_.supervisorMtbfHours),
          EventKind::SupFail, sid);
 }
 
@@ -530,6 +536,13 @@ ControllerSimulation::evaluate(double time)
             static_cast<double>(config_.monitoredHosts);
         redisc_fraction_ = static_cast<double>(hosts_redisc) /
             static_cast<double>(config_.monitoredHosts);
+    } else {
+        // No monitored hosts: there is no DP to measure. Accumulate
+        // zero host-hours rather than the initial 1.0, which would
+        // report perfect DP availability for an unmeasured plane;
+        // the result carries dpMeasured = false.
+        dp_fraction_ = 0.0;
+        redisc_fraction_ = 0.0;
     }
 }
 
@@ -569,7 +582,7 @@ ControllerSimulation::handle(const Event &event)
     switch (event.kind) {
       case EventKind::InfraFlip:
         infra_up_[event.index] = !infra_up_[event.index];
-        scheduleInfra(event.index);
+        scheduleInfra(event.index, event.time);
         break;
       case EventKind::ProcFail:
         if (proc_up_[event.index]) {
@@ -582,7 +595,7 @@ ControllerSimulation::handle(const Event &event)
         break;
       case EventKind::ProcRepair:
         proc_up_[event.index] = true;
-        scheduleProcFailure(event.index);
+        scheduleProcFailure(event.index, event.time);
         break;
       case EventKind::SupFail:
         if (sup_up_[event.index]) {
@@ -604,7 +617,7 @@ ControllerSimulation::handle(const Event &event)
         break;
       case EventKind::SupRepair:
         sup_up_[event.index] = true;
-        scheduleSupFailure(event.index);
+        scheduleSupFailure(event.index, event.time);
         break;
       case EventKind::Rediscover:
         attemptRediscovery(event.index, event.time);
@@ -634,6 +647,7 @@ ControllerSimulation::run()
     ControllerSimResult result;
     result.cpAvailability = batchMeans(cp_batches_);
     result.dpAvailability = batchMeans(dp_batches_);
+    result.dpMeasured = config_.monitoredHosts > 0;
     result.cpOutages = cp_tracker_.outageCount();
     result.cpMeanOutageHours = cp_tracker_.meanOutageDuration();
     result.cpMaxOutageHours = cp_tracker_.maxOutageDuration();

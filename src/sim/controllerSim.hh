@@ -97,8 +97,15 @@ struct ControllerSimResult
     /** Control-plane availability with CI. */
     BatchMeansResult cpAvailability;
 
-    /** Mean per-host data-plane availability with CI. */
+    /**
+     * Mean per-host data-plane availability with CI. Meaningful only
+     * when `dpMeasured`; an unmonitored run reports 0, not a fake
+     * perfect DP.
+     */
     BatchMeansResult dpAvailability;
+
+    /** False when `monitoredHosts == 0` left nothing to measure. */
+    bool dpMeasured = true;
 
     /** CP outage episode statistics. */
     std::size_t cpOutages = 0;

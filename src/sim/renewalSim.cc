@@ -9,6 +9,31 @@
 namespace sdnav::sim
 {
 
+namespace
+{
+
+/**
+ * Availability 1.0 implies a zero repair mean, which no positive
+ * repair distribution can represent. Model the component as an
+ * (effectively) never-failing one instead — the event loop needs no
+ * special case and every timing factory degenerates identically.
+ *
+ * @return true if the timings were replaced with the degenerate pair.
+ */
+bool
+makeNeverFailingIfPerfect(ComponentTimings &t, double mttr)
+{
+    if (mttr > 0.0)
+        return false;
+    t.timeToFailure =
+        std::make_unique<prob::ExponentialDistribution>(1e18);
+    t.timeToRepair =
+        std::make_unique<prob::DeterministicDistribution>(1.0);
+    return true;
+}
+
+} // anonymous namespace
+
 double
 ComponentTimings::impliedAvailability() const
 {
@@ -24,16 +49,11 @@ exponentialTimings(double availability, double mtbfHours)
     requirePositive(availability, "availability");
     requirePositive(mtbfHours, "mtbfHours");
     ComponentTimings t;
+    double mttr = mttrFromAvailability(availability, mtbfHours);
+    if (makeNeverFailingIfPerfect(t, mttr))
+        return t;
     t.timeToFailure =
         std::make_unique<prob::ExponentialDistribution>(mtbfHours);
-    double mttr = mttrFromAvailability(availability, mtbfHours);
-    if (mttr <= 0.0) {
-        // Perfectly available component: model as an (effectively)
-        // never-failing one to keep the event loop simple.
-        t.timeToFailure = std::make_unique<prob::ExponentialDistribution>(
-            1e18);
-        mttr = 1.0;
-    }
     t.timeToRepair =
         std::make_unique<prob::ExponentialDistribution>(mttr);
     return t;
@@ -46,11 +66,11 @@ weibullTimings(double availability, double mtbfHours, double shape)
     requirePositive(availability, "availability");
     requirePositive(mtbfHours, "mtbfHours");
     ComponentTimings t;
+    double mttr = mttrFromAvailability(availability, mtbfHours);
+    if (makeNeverFailingIfPerfect(t, mttr))
+        return t;
     t.timeToFailure = std::make_unique<prob::WeibullDistribution>(
         prob::WeibullDistribution::withMean(shape, mtbfHours));
-    double mttr = mttrFromAvailability(availability, mtbfHours);
-    if (mttr <= 0.0)
-        mttr = 1e-12;
     t.timeToRepair =
         std::make_unique<prob::DeterministicDistribution>(mttr);
     return t;

@@ -1,0 +1,249 @@
+#include "sim/replication.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hh"
+#include "prob/rng.hh"
+
+namespace sdnav::sim
+{
+
+namespace
+{
+
+/**
+ * Run `jobs` indexed tasks over a worker pool. Work is claimed from a
+ * shared atomic counter, so any replication can run on any thread;
+ * callers must make task results depend only on the index.
+ */
+template <typename Body>
+void
+runPool(std::size_t jobs, std::size_t threads, const Body &body)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    threads = std::min(threads, jobs);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < jobs; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        workers.emplace_back(worker);
+    for (std::thread &w : workers)
+        w.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // anonymous namespace
+
+void
+ReplicatedSimConfig::validate() const
+{
+    require(replications >= 1, "need at least one replication");
+}
+
+std::uint64_t
+replicationSeed(std::uint64_t baseSeed, std::size_t replica)
+{
+    return prob::Rng(baseSeed).deriveStream(replica).seed();
+}
+
+double
+PooledEstimate::halfWidth95() const
+{
+    if (replications < 2) {
+        if (batchesPerReplication < 2)
+            return 0.0;
+        return tCritical95(batchesPerReplication - 1) *
+               withinStandardError;
+    }
+    return tCritical95(replications - 1) * acrossStandardError;
+}
+
+bool
+PooledEstimate::brackets(double value) const
+{
+    double hw = halfWidth95();
+    return value >= mean - hw && value <= mean + hw;
+}
+
+PooledEstimate
+poolEstimates(const std::vector<BatchMeansResult> &perReplication)
+{
+    require(!perReplication.empty(),
+            "pooling needs at least one replication");
+    PooledEstimate pooled;
+    pooled.replications = perReplication.size();
+    pooled.batchesPerReplication = perReplication.front().batches;
+
+    double r = static_cast<double>(perReplication.size());
+    double sum = 0.0;
+    for (const BatchMeansResult &rep : perReplication)
+        sum += rep.mean;
+    pooled.mean = sum / r;
+
+    // The grand mean averages R independent replication means, each
+    // with its own batch-means standard error: var(grand) =
+    // sum(se_i^2) / R^2.
+    double within_ss = 0.0;
+    for (const BatchMeansResult &rep : perReplication)
+        within_ss += rep.standardError * rep.standardError;
+    pooled.withinStandardError = std::sqrt(within_ss) / r;
+
+    if (perReplication.size() >= 2) {
+        double ss = 0.0;
+        for (const BatchMeansResult &rep : perReplication) {
+            double d = rep.mean - pooled.mean;
+            ss += d * d;
+        }
+        double variance = ss / (r - 1.0);
+        pooled.acrossStandardError = std::sqrt(variance / r);
+    }
+    return pooled;
+}
+
+namespace
+{
+
+/**
+ * Merge outage episode statistics from per-replication (count, mean,
+ * max) triples, in replication order.
+ */
+struct OutageMerger
+{
+    std::size_t count = 0;
+    double total_hours = 0.0;
+    double max_hours = 0.0;
+
+    void
+    add(std::size_t rep_count, double rep_mean, double rep_max)
+    {
+        count += rep_count;
+        total_hours += rep_mean * static_cast<double>(rep_count);
+        max_hours = std::max(max_hours, rep_max);
+    }
+
+    double
+    meanHours() const
+    {
+        return count > 0 ? total_hours / static_cast<double>(count)
+                         : 0.0;
+    }
+};
+
+} // anonymous namespace
+
+ReplicatedControllerResult
+simulateControllerReplicated(const fmea::ControllerCatalog &catalog,
+                             const topology::DeploymentTopology &topo,
+                             model::SupervisorPolicy policy,
+                             const ControllerSimConfig &perReplication,
+                             const ReplicatedSimConfig &replication)
+{
+    replication.validate();
+
+    std::vector<ControllerSimResult> results(replication.replications);
+    runPool(replication.replications, replication.threads,
+            [&](std::size_t replica) {
+                ControllerSimConfig config = perReplication;
+                config.seed =
+                    replicationSeed(replication.baseSeed, replica);
+                results[replica] =
+                    simulateController(catalog, topo, policy, config);
+            });
+
+    ReplicatedControllerResult merged;
+    std::vector<BatchMeansResult> cp, dp;
+    cp.reserve(results.size());
+    dp.reserve(results.size());
+    OutageMerger outages;
+    double redisc_sum = 0.0;
+    for (const ControllerSimResult &rep : results) {
+        cp.push_back(rep.cpAvailability);
+        dp.push_back(rep.dpAvailability);
+        outages.add(rep.cpOutages, rep.cpMeanOutageHours,
+                    rep.cpMaxOutageHours);
+        redisc_sum += rep.rediscoveryDowntimeFraction;
+        merged.events += rep.events;
+        merged.dpMeasured = rep.dpMeasured;
+    }
+    merged.cpAvailability = poolEstimates(cp);
+    merged.dpAvailability = poolEstimates(dp);
+    merged.cpOutages = outages.count;
+    merged.cpMeanOutageHours = outages.meanHours();
+    merged.cpMaxOutageHours = outages.max_hours;
+    merged.rediscoveryDowntimeFraction =
+        redisc_sum / static_cast<double>(results.size());
+    merged.perReplication = std::move(results);
+    return merged;
+}
+
+ReplicatedRenewalResult
+simulateRenewalSystemReplicated(
+    const rbd::RbdSystem &system,
+    const std::vector<ComponentTimings> &timings,
+    const RenewalSimConfig &perReplication,
+    const ReplicatedSimConfig &replication)
+{
+    replication.validate();
+
+    std::vector<RenewalSimResult> results(replication.replications);
+    runPool(replication.replications, replication.threads,
+            [&](std::size_t replica) {
+                RenewalSimConfig config = perReplication;
+                config.seed =
+                    replicationSeed(replication.baseSeed, replica);
+                results[replica] =
+                    simulateRenewalSystem(system, timings, config);
+            });
+
+    ReplicatedRenewalResult merged;
+    std::vector<BatchMeansResult> avail;
+    avail.reserve(results.size());
+    OutageMerger outages;
+    for (const RenewalSimResult &rep : results) {
+        avail.push_back(rep.availability);
+        outages.add(rep.outageCount, rep.meanOutageHours,
+                    rep.maxOutageHours);
+        merged.events += rep.events;
+    }
+    merged.availability = poolEstimates(avail);
+    merged.outageCount = outages.count;
+    merged.meanOutageHours = outages.meanHours();
+    merged.maxOutageHours = outages.max_hours;
+    merged.perReplication = std::move(results);
+    return merged;
+}
+
+} // namespace sdnav::sim

@@ -68,7 +68,7 @@ UptimeTracker::meanOutageDuration() const
 }
 
 double
-BatchMeansResult::halfWidth95() const
+tCritical95(std::size_t degreesOfFreedom)
 {
     // Two-sided t critical values for 95%, by degrees of freedom;
     // beyond 30 the normal approximation is used.
@@ -77,11 +77,17 @@ BatchMeansResult::halfWidth95() const
         2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
         2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
         2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+    require(degreesOfFreedom >= 1, "t critical value needs df >= 1");
+    return degreesOfFreedom <= 30 ? t_table[degreesOfFreedom - 1]
+                                  : 1.96;
+}
+
+double
+BatchMeansResult::halfWidth95() const
+{
     if (batches < 2)
         return 0.0;
-    std::size_t df = batches - 1;
-    double t = df <= 30 ? t_table[df - 1] : 1.96;
-    return t * standardError;
+    return tCritical95(batches - 1) * standardError;
 }
 
 bool

@@ -92,6 +92,12 @@ struct BatchMeansResult
 /** Compute batch means from per-batch availability samples. */
 BatchMeansResult batchMeans(const std::vector<double> &samples);
 
+/**
+ * Two-sided 95% Student-t critical value for the given degrees of
+ * freedom; the normal approximation beyond 30 df.
+ */
+double tCritical95(std::size_t degreesOfFreedom);
+
 } // namespace sdnav::sim
 
 #endif // SDNAV_SIM_STATS_HH

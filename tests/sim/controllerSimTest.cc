@@ -157,6 +157,77 @@ TEST(ControllerSim, DeterministicPerSeed)
     EXPECT_EQ(a.events, b.events);
 }
 
+TEST(ControllerSim, UnmonitoredDataPlaneIsNotReportedPerfect)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig config = fastConfig();
+    config.monitoredHosts = 0;
+    config.horizonHours = 2e4;
+    auto result = simulateController(catalog, topo,
+                                     SupervisorPolicy::Required,
+                                     config);
+    // With nothing to measure, DP must be flagged unmeasured and
+    // report zero host-hours — not the 1.0 a stale initial fraction
+    // would produce.
+    EXPECT_FALSE(result.dpMeasured);
+    EXPECT_DOUBLE_EQ(result.dpAvailability.mean, 0.0);
+    EXPECT_DOUBLE_EQ(result.rediscoveryDowntimeFraction, 0.0);
+    // CP accounting is unaffected.
+    EXPECT_GT(result.cpAvailability.mean, 0.5);
+    EXPECT_LE(result.cpAvailability.mean, 1.0);
+}
+
+TEST(ControllerSim, MonitoredRunReportsDpMeasured)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig config = fastConfig();
+    config.horizonHours = 2e4;
+    auto result = simulateController(catalog, topo,
+                                     SupervisorPolicy::Required,
+                                     config);
+    EXPECT_TRUE(result.dpMeasured);
+    EXPECT_GT(result.dpAvailability.mean, 0.0);
+}
+
+TEST(ControllerSim, DeterministicRepairsScheduleFromEventTime)
+{
+    // Scenario 1 restores every failed supervisor deterministically at
+    // the next maintenance boundary, so boundary times carry bursts of
+    // coincident SupRepair events; each repaired supervisor's next
+    // failure must be anchored at that boundary, never at a stale
+    // accounting cursor (which would throw the scheduled-in-the-past
+    // guard or bias the duty cycle).
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    ControllerSimConfig config = fastConfig();
+    config.supervisorMtbfHours = 2.0;       // Supervisors fail often...
+    config.maintenanceIntervalHours = 1.0;  // ...and repair coincide.
+    config.monitoredHosts = 24;
+    config.horizonHours = 5e3;
+    auto result = simulateController(
+        catalog, topo, SupervisorPolicy::NotRequired, config);
+
+    // With failure MTBF Fs and a mean wait of interval/2 until the
+    // next boundary, the supervisor duty cycle is Fs / (Fs + w). All
+    // processes needing manual restarts in the exposure window drags
+    // DP below the supervised static model but the run must stay
+    // internally consistent.
+    EXPECT_GT(result.events, 1000u);
+    EXPECT_GT(result.cpAvailability.mean, 0.0);
+    EXPECT_LE(result.cpAvailability.mean, 1.0);
+    EXPECT_GT(result.dpAvailability.mean, 0.0);
+    EXPECT_LE(result.dpAvailability.mean, 1.0);
+
+    // Determinism must survive the coincident-event bursts.
+    auto again = simulateController(
+        catalog, topo, SupervisorPolicy::NotRequired, config);
+    EXPECT_DOUBLE_EQ(result.cpAvailability.mean,
+                     again.cpAvailability.mean);
+    EXPECT_EQ(result.events, again.events);
+}
+
 TEST(ControllerSim, OutageStatisticsPopulated)
 {
     auto catalog = fmea::openContrail3();

@@ -41,6 +41,42 @@ TEST(Timings, PerfectAvailabilityMeansNoFailures)
     EXPECT_GT(t.timeToFailure->mean(), 1e15);
 }
 
+TEST(Timings, DegenerateHandlingIsUniformAcrossFactories)
+{
+    // Availability 1.0 must degenerate identically for every factory:
+    // an (effectively) never-failing component with one positive
+    // repair mean — not exponential-only never-failing with mttr 1.0
+    // while the Weibull path keeps real failures with mttr 1e-12.
+    ComponentTimings e = exponentialTimings(1.0, 250.0);
+    ComponentTimings w = weibullTimings(1.0, 250.0, 2.0);
+    EXPECT_GT(e.timeToFailure->mean(), 1e15);
+    EXPECT_GT(w.timeToFailure->mean(), 1e15);
+    EXPECT_GT(e.timeToRepair->mean(), 0.0);
+    EXPECT_DOUBLE_EQ(e.timeToRepair->mean(), w.timeToRepair->mean());
+    EXPECT_NEAR(e.impliedAvailability(), 1.0, 1e-12);
+    EXPECT_NEAR(w.impliedAvailability(), 1.0, 1e-12);
+}
+
+TEST(RenewalSim, PerfectComponentsNeverFail)
+{
+    // A system of availability-1.0 components must simulate to
+    // exactly 1.0 with zero outages under either factory.
+    rbd::RbdSystem system;
+    auto c0 = system.addComponent("c0", 1.0);
+    auto c1 = system.addComponent("c1", 1.0);
+    system.setRoot(rbd::series({rbd::component(c0),
+                                rbd::component(c1)}));
+    RenewalSimConfig config;
+    config.horizonHours = 1e4;
+    std::vector<ComponentTimings> timings;
+    timings.push_back(weibullTimings(1.0, 100.0, 2.0));
+    timings.push_back(exponentialTimings(1.0, 100.0));
+    auto result = simulateRenewalSystem(system, timings, config);
+    EXPECT_DOUBLE_EQ(result.availability.mean, 1.0);
+    EXPECT_EQ(result.outageCount, 0u);
+    EXPECT_EQ(result.events, 0u);
+}
+
 TEST(Timings, WeibullKeepsTheSameMeans)
 {
     ComponentTimings exp_t = exponentialTimings(0.95, 500.0);

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the parallel multi-replication layer: seed derivation,
+ * estimate pooling, thread-count invariance of the pooled results,
+ * and agreement of the pooled CI with the analytic models.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "fmea/openContrail.hh"
+#include "model/swCentric.hh"
+#include "prob/rng.hh"
+#include "rbd/system.hh"
+#include "sim/replication.hh"
+
+namespace
+{
+
+using namespace sdnav::sim;
+using sdnav::model::SupervisorPolicy;
+using sdnav::prob::Rng;
+namespace fmea = sdnav::fmea;
+namespace rbd = sdnav::rbd;
+namespace topology = sdnav::topology;
+
+ControllerSimConfig
+fastControllerConfig()
+{
+    ControllerSimConfig config;
+    config.process = {50.0, 0.5, 2.0};
+    config.supervisorMtbfHours = 50.0;
+    config.maintenanceIntervalHours = 5.0;
+    config.vmMtbfHours = 200.0;
+    config.hostMtbfHours = 400.0;
+    config.rackMtbfHours = 2000.0;
+    config.vmAvailability = 0.99;
+    config.hostAvailability = 0.995;
+    config.rackAvailability = 0.999;
+    config.monitoredHosts = 12;
+    config.horizonHours = 2e4;
+    config.batches = 10;
+    return config;
+}
+
+rbd::RbdSystem
+twoOfThree(double a)
+{
+    rbd::RbdSystem system;
+    auto c0 = system.addComponent("c0", a);
+    auto c1 = system.addComponent("c1", a);
+    auto c2 = system.addComponent("c2", a);
+    system.setRoot(rbd::kOfN(2, {rbd::component(c0), rbd::component(c1),
+                                 rbd::component(c2)}));
+    return system;
+}
+
+TEST(ReplicationSeed, MatchesDeriveStream)
+{
+    EXPECT_EQ(replicationSeed(99, 5), Rng(99).deriveStream(5).seed());
+    EXPECT_EQ(replicationSeed(99, 5), replicationSeed(99, 5));
+    EXPECT_NE(replicationSeed(99, 5), replicationSeed(99, 6));
+    EXPECT_NE(replicationSeed(99, 5), replicationSeed(98, 5));
+}
+
+TEST(PoolEstimates, GrandMeanAndVariances)
+{
+    BatchMeansResult a{0.90, 0.01, 10};
+    BatchMeansResult b{0.94, 0.03, 10};
+    PooledEstimate pooled = poolEstimates({a, b});
+    EXPECT_EQ(pooled.replications, 2u);
+    EXPECT_EQ(pooled.batchesPerReplication, 10u);
+    EXPECT_DOUBLE_EQ(pooled.mean, 0.92);
+    // within: sqrt(0.01^2 + 0.03^2) / 2.
+    EXPECT_NEAR(pooled.withinStandardError,
+                std::sqrt(0.0001 + 0.0009) / 2.0, 1e-15);
+    // across: sample sd of {0.90, 0.94} is 0.02*sqrt(2)/sqrt(1)...
+    // variance = 2 * 0.02^2 / 1 = 8e-4; SE = sqrt(8e-4 / 2) = 0.02.
+    EXPECT_NEAR(pooled.acrossStandardError, 0.02, 1e-12);
+    // CI uses the across t interval with R - 1 = 1 df.
+    EXPECT_NEAR(pooled.halfWidth95(), 12.706 * 0.02, 1e-9);
+}
+
+TEST(PoolEstimates, SingleReplicationFallsBackToWithin)
+{
+    BatchMeansResult a{0.9, 0.01, 20};
+    PooledEstimate pooled = poolEstimates({a});
+    EXPECT_DOUBLE_EQ(pooled.mean, 0.9);
+    EXPECT_DOUBLE_EQ(pooled.acrossStandardError, 0.0);
+    EXPECT_DOUBLE_EQ(pooled.withinStandardError, 0.01);
+    // Falls back to the batch-means t interval (19 df).
+    EXPECT_NEAR(pooled.halfWidth95(), 2.093 * 0.01, 1e-12);
+    EXPECT_TRUE(pooled.brackets(0.9));
+    EXPECT_FALSE(pooled.brackets(0.8));
+}
+
+TEST(PoolEstimates, RejectsEmptyInput)
+{
+    EXPECT_THROW(poolEstimates({}), sdnav::ModelError);
+}
+
+TEST(ReplicatedSimConfig, Validation)
+{
+    ReplicatedSimConfig rep;
+    rep.replications = 0;
+    auto system = twoOfThree(0.9);
+    auto timings = exponentialTimingsFor(system, 100.0);
+    RenewalSimConfig per;
+    per.horizonHours = 1e3;
+    EXPECT_THROW(
+        simulateRenewalSystemReplicated(system, timings, per, rep),
+        sdnav::ModelError);
+}
+
+TEST(ReplicatedRenewal, ThreadCountInvariance)
+{
+    auto system = twoOfThree(0.9);
+    auto timings = exponentialTimingsFor(system, 100.0);
+    RenewalSimConfig per;
+    per.horizonHours = 2e4;
+    ReplicatedSimConfig rep;
+    rep.replications = 6;
+    rep.baseSeed = 31;
+
+    rep.threads = 1;
+    auto sequential =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+    rep.threads = 8;
+    auto parallel =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+
+    EXPECT_DOUBLE_EQ(sequential.availability.mean,
+                     parallel.availability.mean);
+    EXPECT_DOUBLE_EQ(sequential.availability.acrossStandardError,
+                     parallel.availability.acrossStandardError);
+    EXPECT_DOUBLE_EQ(sequential.availability.withinStandardError,
+                     parallel.availability.withinStandardError);
+    EXPECT_EQ(sequential.events, parallel.events);
+    EXPECT_EQ(sequential.outageCount, parallel.outageCount);
+    EXPECT_DOUBLE_EQ(sequential.meanOutageHours,
+                     parallel.meanOutageHours);
+    ASSERT_EQ(sequential.perReplication.size(),
+              parallel.perReplication.size());
+    for (std::size_t r = 0; r < sequential.perReplication.size(); ++r) {
+        EXPECT_DOUBLE_EQ(sequential.perReplication[r].availability.mean,
+                         parallel.perReplication[r].availability.mean);
+        EXPECT_EQ(sequential.perReplication[r].events,
+                  parallel.perReplication[r].events);
+    }
+}
+
+TEST(ReplicatedController, ThreadCountInvariance)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig per = fastControllerConfig();
+    ReplicatedSimConfig rep;
+    rep.replications = 4;
+    rep.baseSeed = 77;
+
+    rep.threads = 1;
+    auto sequential = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+    rep.threads = 8;
+    auto parallel = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+
+    EXPECT_DOUBLE_EQ(sequential.cpAvailability.mean,
+                     parallel.cpAvailability.mean);
+    EXPECT_DOUBLE_EQ(sequential.dpAvailability.mean,
+                     parallel.dpAvailability.mean);
+    EXPECT_DOUBLE_EQ(sequential.cpAvailability.acrossStandardError,
+                     parallel.cpAvailability.acrossStandardError);
+    EXPECT_EQ(sequential.cpOutages, parallel.cpOutages);
+    EXPECT_DOUBLE_EQ(sequential.cpMaxOutageHours,
+                     parallel.cpMaxOutageHours);
+    EXPECT_EQ(sequential.events, parallel.events);
+}
+
+TEST(ReplicatedController, ReplicationsAreDistinctRuns)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig per = fastControllerConfig();
+    ReplicatedSimConfig rep;
+    rep.replications = 4;
+    rep.threads = 2;
+    rep.baseSeed = 5;
+    auto result = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+    ASSERT_EQ(result.perReplication.size(), 4u);
+    for (std::size_t r = 1; r < result.perReplication.size(); ++r) {
+        EXPECT_NE(result.perReplication[0].events,
+                  result.perReplication[r].events);
+    }
+    // Across-replication spread exists once runs are independent.
+    EXPECT_GT(result.cpAvailability.acrossStandardError, 0.0);
+}
+
+TEST(ReplicatedController, SingleReplicationMatchesDirectRun)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig per = fastControllerConfig();
+    ReplicatedSimConfig rep;
+    rep.replications = 1;
+    rep.threads = 1;
+    rep.baseSeed = 13;
+    auto replicated = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+
+    ControllerSimConfig direct = per;
+    direct.seed = replicationSeed(rep.baseSeed, 0);
+    auto single =
+        simulateController(catalog, topo, SupervisorPolicy::Required,
+                           direct);
+    EXPECT_DOUBLE_EQ(replicated.cpAvailability.mean,
+                     single.cpAvailability.mean);
+    EXPECT_DOUBLE_EQ(replicated.dpAvailability.mean,
+                     single.dpAvailability.mean);
+    EXPECT_EQ(replicated.events, single.events);
+    EXPECT_EQ(replicated.cpOutages, single.cpOutages);
+}
+
+TEST(ReplicatedRenewal, PooledCIBracketsAnalytic)
+{
+    double a = 0.9;
+    auto system = twoOfThree(a);
+    auto timings = exponentialTimingsFor(system, 100.0);
+    RenewalSimConfig per;
+    per.horizonHours = 5e4;
+    ReplicatedSimConfig rep;
+    rep.replications = 8;
+    rep.threads = 0;
+    rep.baseSeed = 41;
+    auto result =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+    double analytic = a * a * (3.0 - 2.0 * a);
+    EXPECT_TRUE(result.availability.brackets(analytic))
+        << result.availability.mean << " +- "
+        << result.availability.halfWidth95() << " vs " << analytic;
+    EXPECT_GT(result.availability.withinStandardError, 0.0);
+    EXPECT_GT(result.availability.acrossStandardError, 0.0);
+    EXPECT_EQ(result.availability.replications, 8u);
+}
+
+TEST(ReplicatedController, UnmonitoredDpPropagates)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig per = fastControllerConfig();
+    per.monitoredHosts = 0;
+    per.horizonHours = 5e3;
+    ReplicatedSimConfig rep;
+    rep.replications = 2;
+    rep.threads = 2;
+    auto result = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+    EXPECT_FALSE(result.dpMeasured);
+    EXPECT_DOUBLE_EQ(result.dpAvailability.mean, 0.0);
+}
+
+} // anonymous namespace

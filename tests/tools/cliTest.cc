@@ -176,4 +176,31 @@ TEST(Cli, SimulateSmokeRun)
     EXPECT_NE(result.output.find("CP outages"), std::string::npos);
 }
 
+TEST(Cli, SimulateReplicatedRun)
+{
+    const std::string base =
+        "simulate --topology small --hours 5000 --mtbf 100 --hosts 6 "
+        "--seed 3 --replications 4";
+    auto result = runCli(base + " --threads 2");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("Replicated behavioral simulation"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("4 x"), std::string::npos);
+    EXPECT_NE(result.output.find("across SE"), std::string::npos);
+
+    // Thread count must not change the pooled numbers.
+    auto sequential = runCli(base + " --threads 1");
+    EXPECT_EQ(sequential.exitCode, 0);
+    EXPECT_EQ(result.output, sequential.output);
+}
+
+TEST(Cli, SimulateWithoutHostsReportsUnmeasuredDp)
+{
+    auto result = runCli(
+        "simulate --topology small --hours 5000 --mtbf 100 --hosts 0 "
+        "--seed 3");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("n/a"), std::string::npos);
+}
+
 } // anonymous namespace
