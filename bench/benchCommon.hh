@@ -9,13 +9,17 @@
 #ifndef SDNAV_BENCH_BENCH_COMMON_HH
 #define SDNAV_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/sweep.hh"
 #include "common/csv.hh"
+#include "common/error.hh"
+#include "common/textTable.hh"
 
 namespace sdnav::bench
 {
@@ -48,6 +52,54 @@ section(const std::string &title)
     std::cout << "\n" << std::string(72, '=') << "\n"
               << title << "\n"
               << std::string(72, '=') << "\n";
+}
+
+/**
+ * Measure a sweep workload serial vs parallel and print the result.
+ *
+ * `run` takes a SweepOptions and returns a comparable result (for the
+ * figure sweeps, FigureData::ys). The speedup is *measured and
+ * reported*, never asserted — CI runners and laptops differ — but the
+ * results themselves must be bit-identical across thread counts, and
+ * that *is* checked.
+ */
+template <typename Run>
+inline void
+reportSweepTiming(const std::string &label, Run &&run)
+{
+    using clock = std::chrono::steady_clock;
+    auto time_ms = [&](const analysis::SweepOptions &opts) {
+        // Best of three keeps scheduler noise out of the report.
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            auto t0 = clock::now();
+            auto result = run(opts);
+            auto t1 = clock::now();
+            benchmark::DoNotOptimize(result);
+            best = std::min(
+                best, std::chrono::duration<double, std::milli>(t1 - t0)
+                          .count());
+        }
+        return best;
+    };
+
+    analysis::SweepOptions serial;
+    serial.threads = 1;
+    analysis::SweepOptions parallel; // 0 = hardware concurrency
+    std::size_t threads = parallel.resolvedThreads();
+
+    bool identical = run(serial) == run(parallel);
+    require(identical, label + ": parallel sweep result differs from "
+                               "serial (determinism contract broken)");
+
+    double serial_ms = time_ms(serial);
+    double parallel_ms = time_ms(parallel);
+    std::cout << "[sweep] " << label << ": serial "
+              << formatFixed(serial_ms, 2) << " ms, " << threads
+              << " threads " << formatFixed(parallel_ms, 2)
+              << " ms, speedup "
+              << formatFixed(serial_ms / parallel_ms, 2)
+              << "x, results bit-identical\n";
 }
 
 /**

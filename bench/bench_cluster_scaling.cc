@@ -77,6 +77,37 @@ printReport()
            "not fix single points\nof failure, the paper's central "
            "process-level insight.\n";
     bench::writeCsv(csv, "cluster_scaling.csv");
+
+    bench::section("Sweep engine — serial vs parallel (cluster "
+                   "scaling)");
+    // Fine downtime-shift sweep over the four cluster sizes; engines
+    // are built once and shared read-only across the pool.
+    std::vector<SwAvailabilityModel> engines;
+    for (unsigned tolerated = 1; tolerated <= 4; ++tolerated) {
+        engines.emplace_back(
+            catalog,
+            topology::largeTopology(4, prob::clusterSize(tolerated)),
+            SupervisorPolicy::Required);
+    }
+    constexpr std::size_t kPoints = 1001;
+    bench::reportSweepTiming(
+        "cluster CP, 4 sizes x 1001-point shift sweep",
+        [&](const auto &sweep) {
+            std::vector<double> ys(engines.size() * kPoints);
+            sdnav::analysis::forEachGridPoint(
+                ys.size(),
+                [&](std::size_t job) {
+                    std::size_t n = job / kPoints;
+                    std::size_t i = job % kPoints;
+                    double shift =
+                        -1.0 + 2.0 * static_cast<double>(i) /
+                                   static_cast<double>(kPoints - 1);
+                    ys[job] = engines[n].controlPlaneAvailability(
+                        params.withDowntimeShift(shift));
+                },
+                sweep);
+            return ys;
+        });
 }
 
 void

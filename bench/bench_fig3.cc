@@ -58,6 +58,13 @@ printReport()
     std::cout << "Third rack saves "
               << formatFixed(saved, 2)
               << " minutes/year of downtime (paper: ~5 m/y).\n";
+
+    bench::section("Sweep engine — serial vs parallel (Figure 3)");
+    bench::reportSweepTiming(
+        "figure3 HW-centric, 20001 points", [&](const auto &sweep) {
+            return analysis::figure3(params, 0.999, 1.0, 20001, sweep)
+                .ys;
+        });
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include "analysis/figures.hh"
 #include "analysis/summary.hh"
+#include "bdd/bdd.hh"
 #include "bench/benchCommon.hh"
 #include "common/units.hh"
 #include "fmea/openContrail.hh"
@@ -74,6 +75,37 @@ printReport()
         std::cout << "  " << analysis::summaryLine(opt.name, exact)
                   << "\n";
     }
+
+    bench::section("Sweep engine — serial vs parallel (Figure 4)");
+    // Closed-form sweep: many cheap points.
+    bench::reportSweepTiming(
+        "figure4 SW-centric, 2001 points", [&](const auto &sweep) {
+            return analysis::figure4(catalog, params, 2001, sweep).ys;
+        });
+    // Exact-BDD sweep: build each option's BDD once, then re-evaluate
+    // per point — the build-once/evaluate-many showcase.
+    bench::reportSweepTiming(
+        "figure4 exact BDD, 501 points", [&](const auto &sweep) {
+            return analysis::figure4Exact(catalog, params, 501, sweep)
+                .ys;
+        });
+
+    // Repeated evaluation must not grow the BDD: probability() is a
+    // read-only traversal, so totalNodes() stays fixed after build.
+    auto topo = topology::largeTopology();
+    ExactPlaneModel engine(catalog, topo, SupervisorPolicy::Required,
+                           fmea::Plane::ControlPlane);
+    std::size_t nodes_after_build = engine.totalBddNodes();
+    bdd::ProbabilityScratch scratch;
+    for (int i = 0; i < 1000; ++i) {
+        double a = engine.availability(
+            params.withDowntimeShift(0.002 * i - 1.0), scratch);
+        benchmark::DoNotOptimize(a);
+    }
+    require(engine.totalBddNodes() == nodes_after_build,
+            "BDD grew during repeated probability evaluation");
+    std::cout << "BDD node count stable across 1000 evaluations ("
+              << nodes_after_build << " nodes).\n";
 }
 
 void
@@ -133,6 +165,55 @@ benchFigure4FullSweep(benchmark::State &state)
     }
 }
 BENCHMARK(benchFigure4FullSweep);
+
+void
+benchFigure4ExactSweepThreads(benchmark::State &state)
+{
+    auto catalog = fmea::openContrail3();
+    SwParams params;
+    analysis::SweepOptions sweep;
+    sweep.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto fig = analysis::figure4Exact(catalog, params, 201, sweep);
+        benchmark::DoNotOptimize(fig.ys.data());
+    }
+}
+BENCHMARK(benchFigure4ExactSweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+benchExactBuildOncePerPoint(benchmark::State &state)
+{
+    // Per-point full reconstruction (the pre-sweep-engine baseline):
+    // what build-once/evaluate-many saves.
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    SwParams params;
+    for (auto _ : state) {
+        double a = exactPlaneAvailability(catalog, topo,
+                                          SupervisorPolicy::Required,
+                                          params,
+                                          fmea::Plane::ControlPlane);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchExactBuildOncePerPoint);
+
+void
+benchExactEvaluateOnly(benchmark::State &state)
+{
+    // Build once outside the loop; time only the re-evaluation.
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    ExactPlaneModel engine(catalog, topo, SupervisorPolicy::Required,
+                           fmea::Plane::ControlPlane);
+    SwParams params;
+    bdd::ProbabilityScratch scratch;
+    for (auto _ : state) {
+        double a = engine.availability(params, scratch);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchExactEvaluateOnly);
 
 } // anonymous namespace
 

@@ -68,6 +68,17 @@ printReport()
     std::cout << table.str() << "\n";
     std::cout << "The vRouter local contribution dominates: the paper's "
                  "single-point-of-failure conclusion.\n";
+
+    bench::section("Sweep engine — serial vs parallel (Figure 5)");
+    bench::reportSweepTiming(
+        "figure5 SW-centric, 2001 points", [&](const auto &sweep) {
+            return analysis::figure5(catalog, params, 2001, sweep).ys;
+        });
+    bench::reportSweepTiming(
+        "figure5 exact BDD, 501 points", [&](const auto &sweep) {
+            return analysis::figure5Exact(catalog, params, 501, sweep)
+                .ys;
+        });
 }
 
 void

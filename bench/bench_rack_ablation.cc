@@ -95,6 +95,34 @@ printReport()
                  "modes); three racks keep the quorum alive through "
                  "any single rack loss.\n";
     bench::writeCsv(csv, "rack_ablation.csv");
+
+    bench::section("Sweep engine — serial vs parallel (rack "
+                   "ablation)");
+    // Fine A_R sweep over the three rack counts (HW-centric exact);
+    // topologies are built once and shared read-only.
+    std::vector<topology::DeploymentTopology> topos;
+    for (std::size_t racks = 1; racks <= 3; ++racks)
+        topos.push_back(topology::rackSweepTopology(racks));
+    constexpr std::size_t kPoints = 401;
+    bench::reportSweepTiming(
+        "rack ablation HW exact, 3 x 401-point A_R sweep",
+        [&](const auto &sweep) {
+            std::vector<double> ys(topos.size() * kPoints);
+            sdnav::analysis::forEachGridPoint(
+                ys.size(),
+                [&](std::size_t job) {
+                    std::size_t t = job / kPoints;
+                    std::size_t i = job % kPoints;
+                    HwParams p;
+                    p.rackAvailability =
+                        0.9999 +
+                        (0.999999 - 0.9999) * static_cast<double>(i) /
+                            static_cast<double>(kPoints - 1);
+                    ys[job] = hwExactAvailability(topos[t], p);
+                },
+                sweep);
+            return ys;
+        });
 }
 
 void

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "bdd/bdd.hh"
 #include "common/error.hh"
+#include "model/exactModel.hh"
 #include "model/hwCentric.hh"
 #include "model/swCentric.hh"
 #include "topology/deployment.hh"
@@ -80,7 +82,7 @@ linspace(double lo, double hi, std::size_t points)
 
 FigureData
 figure3(const model::HwParams &base, double lo, double hi,
-        std::size_t points)
+        std::size_t points, const SweepOptions &sweep)
 {
     FigureData fig;
     fig.title = "Figure 3. Controller availability vs role availability "
@@ -90,24 +92,47 @@ figure3(const model::HwParams &base, double lo, double hi,
     fig.xs = linspace(lo, hi, points);
     fig.labels = {"Small", "Medium", "Large"};
     fig.ys.assign(3, std::vector<double>(points));
-    for (std::size_t i = 0; i < points; ++i) {
-        model::HwParams params = base;
-        params.roleAvailability = fig.xs[i];
-        fig.ys[0][i] = model::hwSmallAvailability(params);
-        fig.ys[1][i] = model::hwMediumAvailability(params);
-        fig.ys[2][i] = model::hwLargeAvailability(params);
-    }
+    forEachGridPoint(
+        points,
+        [&](std::size_t i) {
+            model::HwParams params = base;
+            params.roleAvailability = fig.xs[i];
+            fig.ys[0][i] = model::hwSmallAvailability(params);
+            fig.ys[1][i] = model::hwMediumAvailability(params);
+            fig.ys[2][i] = model::hwLargeAvailability(params);
+        },
+        sweep);
     return fig;
 }
 
 namespace
 {
 
+/** The four paper options over the small/large reference topologies. */
+struct SwOption
+{
+    topology::DeploymentTopology topo;
+    model::SupervisorPolicy policy;
+};
+
+std::vector<SwOption>
+swOptions(const fmea::ControllerCatalog &catalog)
+{
+    topology::DeploymentTopology small =
+        topology::smallTopology(catalog.roles().size());
+    topology::DeploymentTopology large =
+        topology::largeTopology(catalog.roles().size());
+    std::vector<SwOption> options;
+    options.push_back({small, model::SupervisorPolicy::NotRequired});
+    options.push_back({small, model::SupervisorPolicy::Required});
+    options.push_back({large, model::SupervisorPolicy::NotRequired});
+    options.push_back({large, model::SupervisorPolicy::Required});
+    return options;
+}
+
 FigureData
-swFigure(const fmea::ControllerCatalog &catalog,
-         const model::SwParams &base, std::size_t points,
-         fmea::Plane plane, const std::string &title,
-         const std::string &yLabel)
+swFigureSkeleton(const std::string &title, const std::string &yLabel,
+                 std::size_t points)
 {
     FigureData fig;
     fig.title = title;
@@ -116,30 +141,66 @@ swFigure(const fmea::ControllerCatalog &catalog,
     fig.xs = linspace(-1.0, 1.0, points);
     fig.labels = {"1S", "2S", "1L", "2L"};
     fig.ys.assign(4, std::vector<double>(points));
+    return fig;
+}
 
-    topology::DeploymentTopology small =
-        topology::smallTopology(catalog.roles().size());
-    topology::DeploymentTopology large =
-        topology::largeTopology(catalog.roles().size());
-    struct Option
-    {
-        const topology::DeploymentTopology *topo;
-        model::SupervisorPolicy policy;
-    };
-    const Option options[4] = {
-        {&small, model::SupervisorPolicy::NotRequired},
-        {&small, model::SupervisorPolicy::Required},
-        {&large, model::SupervisorPolicy::NotRequired},
-        {&large, model::SupervisorPolicy::Required},
-    };
-    for (std::size_t opt = 0; opt < 4; ++opt) {
-        model::SwAvailabilityModel swmodel(catalog, *options[opt].topo,
-                                           options[opt].policy);
-        for (std::size_t i = 0; i < points; ++i) {
+FigureData
+swFigure(const fmea::ControllerCatalog &catalog,
+         const model::SwParams &base, std::size_t points,
+         fmea::Plane plane, const std::string &title,
+         const std::string &yLabel, const SweepOptions &sweep)
+{
+    FigureData fig = swFigureSkeleton(title, yLabel, points);
+
+    // Construct the four engines once (cheap but not free), then
+    // flatten options x points into one grid so a wide machine stays
+    // busy even with few points per series. planeAvailability() is
+    // const, so the models are shared read-only across the pool.
+    std::vector<SwOption> options = swOptions(catalog);
+    std::vector<model::SwAvailabilityModel> engines;
+    engines.reserve(options.size());
+    for (const SwOption &opt : options)
+        engines.emplace_back(catalog, opt.topo, opt.policy);
+    forEachGridPoint(
+        options.size() * points,
+        [&](std::size_t job) {
+            std::size_t opt = job / points;
+            std::size_t i = job % points;
             model::SwParams params = base.withDowntimeShift(fig.xs[i]);
-            fig.ys[opt][i] = swmodel.planeAvailability(params, plane);
-        }
-    }
+            fig.ys[opt][i] = engines[opt].planeAvailability(params,
+                                                            plane);
+        },
+        sweep);
+    return fig;
+}
+
+FigureData
+exactSwFigure(const fmea::ControllerCatalog &catalog,
+              const model::SwParams &base, std::size_t points,
+              fmea::Plane plane, const std::string &title,
+              const std::string &yLabel, const SweepOptions &sweep)
+{
+    FigureData fig = swFigureSkeleton(title, yLabel, points);
+
+    // Build-once / evaluate-many: each option's structure function is
+    // compiled to a BDD a single time; every sweep point is then one
+    // read-only probability traversal. One scratch per worker thread
+    // keeps the hot loop allocation-free.
+    std::vector<SwOption> options = swOptions(catalog);
+    std::vector<model::ExactPlaneModel> engines;
+    engines.reserve(options.size());
+    for (const SwOption &opt : options)
+        engines.emplace_back(catalog, opt.topo, opt.policy, plane);
+    forEachGridPoint(
+        options.size() * points,
+        [&](std::size_t job) {
+            static thread_local bdd::ProbabilityScratch scratch;
+            std::size_t opt = job / points;
+            std::size_t i = job % points;
+            model::SwParams params = base.withDowntimeShift(fig.xs[i]);
+            fig.ys[opt][i] = engines[opt].availability(params, scratch);
+        },
+        sweep);
     return fig;
 }
 
@@ -147,20 +208,44 @@ swFigure(const fmea::ControllerCatalog &catalog,
 
 FigureData
 figure4(const fmea::ControllerCatalog &catalog,
-        const model::SwParams &base, std::size_t points)
+        const model::SwParams &base, std::size_t points,
+        const SweepOptions &sweep)
 {
     return swFigure(catalog, base, points, fmea::Plane::ControlPlane,
                     "Figure 4. SDN CP availability A_CP (SW-centric)",
-                    "A_CP");
+                    "A_CP", sweep);
 }
 
 FigureData
 figure5(const fmea::ControllerCatalog &catalog,
-        const model::SwParams &base, std::size_t points)
+        const model::SwParams &base, std::size_t points,
+        const SweepOptions &sweep)
 {
     return swFigure(catalog, base, points, fmea::Plane::DataPlane,
                     "Figure 5. Host DP availability A_DP (SW-centric)",
-                    "A_DP");
+                    "A_DP", sweep);
+}
+
+FigureData
+figure4Exact(const fmea::ControllerCatalog &catalog,
+             const model::SwParams &base, std::size_t points,
+             const SweepOptions &sweep)
+{
+    return exactSwFigure(
+        catalog, base, points, fmea::Plane::ControlPlane,
+        "Figure 4 (exact). SDN CP availability A_CP (BDD)", "A_CP",
+        sweep);
+}
+
+FigureData
+figure5Exact(const fmea::ControllerCatalog &catalog,
+             const model::SwParams &base, std::size_t points,
+             const SweepOptions &sweep)
+{
+    return exactSwFigure(
+        catalog, base, points, fmea::Plane::DataPlane,
+        "Figure 5 (exact). Host DP availability A_DP (BDD)", "A_DP",
+        sweep);
 }
 
 } // namespace sdnav::analysis

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sweep.hh"
 #include "common/csv.hh"
 #include "common/textTable.hh"
 #include "fmea/catalog.hh"
@@ -59,9 +60,13 @@ struct FigureData
 /**
  * Figure 3: sweep A_C over [lo, hi]; series "Small", "Medium",
  * "Large" from the HW-centric closed forms.
+ *
+ * All figure sweeps run on the parallel sweep executor; results are
+ * bit-identical for any `sweep.threads`.
  */
 FigureData figure3(const model::HwParams &base, double lo = 0.999,
-                   double hi = 1.0, std::size_t points = 21);
+                   double hi = 1.0, std::size_t points = 21,
+                   const SweepOptions &sweep = {});
 
 /**
  * Figure 4: sweep the process-availability downtime shift over
@@ -70,12 +75,32 @@ FigureData figure3(const model::HwParams &base, double lo = 0.999,
  */
 FigureData figure4(const fmea::ControllerCatalog &catalog,
                    const model::SwParams &base,
-                   std::size_t points = 21);
+                   std::size_t points = 21,
+                   const SweepOptions &sweep = {});
 
 /** Figure 5: same sweep for total per-host DP availability. */
 FigureData figure5(const fmea::ControllerCatalog &catalog,
                    const model::SwParams &base,
-                   std::size_t points = 21);
+                   std::size_t points = 21,
+                   const SweepOptions &sweep = {});
+
+/**
+ * Figure 4 from the exact BDD structure functions instead of the
+ * SW-centric closed forms: each option's diagram is compiled once
+ * (ExactPlaneModel) and re-evaluated per sweep point across the
+ * thread pool. Ground truth for the closed-form figures, and the
+ * showcase workload for build-once/evaluate-many.
+ */
+FigureData figure4Exact(const fmea::ControllerCatalog &catalog,
+                        const model::SwParams &base,
+                        std::size_t points = 21,
+                        const SweepOptions &sweep = {});
+
+/** Exact-BDD variant of Figure 5 (host DP availability). */
+FigureData figure5Exact(const fmea::ControllerCatalog &catalog,
+                        const model::SwParams &base,
+                        std::size_t points = 21,
+                        const SweepOptions &sweep = {});
 
 } // namespace sdnav::analysis
 

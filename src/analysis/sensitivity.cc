@@ -14,34 +14,43 @@ std::vector<SensitivityRow>
 parameterSensitivity(
     const P &base,
     const std::vector<std::pair<std::string, double P::*>> &fields,
-    const std::function<double(const P &)> &evaluate)
+    const std::function<double(const P &)> &evaluate,
+    const SweepOptions &sweep)
 {
-    std::vector<SensitivityRow> rows;
+    std::vector<SensitivityRow> rows(fields.size());
     double base_avail = evaluate(base);
-    for (const auto &[name, member] : fields) {
-        SensitivityRow row;
-        row.parameter = name;
-        row.baseValue = base.*member;
+    // One grid point per parameter: each point makes three
+    // independent evaluations (lo, hi, improved), so the executor
+    // parallelizes across parameters.
+    forEachGridPoint(
+        fields.size(),
+        [&](std::size_t f) {
+            const auto &[name, member] = fields[f];
+            SensitivityRow row;
+            row.parameter = name;
+            row.baseValue = base.*member;
 
-        // Central difference, step scaled to the parameter's
-        // unavailability so near-1 values stay in range.
-        double h = std::max(1e-9, (1.0 - row.baseValue) * 0.01);
-        P lo = base, hi = base;
-        lo.*member = std::max(0.0, row.baseValue - h);
-        hi.*member = std::min(1.0, row.baseValue + h);
-        row.derivative = (evaluate(hi) - evaluate(lo)) /
-                         ((hi.*member) - (lo.*member));
+            // Central difference, step scaled to the parameter's
+            // unavailability so near-1 values stay in range.
+            double h = std::max(1e-9, (1.0 - row.baseValue) * 0.01);
+            P lo = base, hi = base;
+            lo.*member = std::max(0.0, row.baseValue - h);
+            hi.*member = std::min(1.0, row.baseValue + h);
+            row.derivative = (evaluate(hi) - evaluate(lo)) /
+                             ((hi.*member) - (lo.*member));
 
-        // 10x less downtime for this parameter alone.
-        P improved = base;
-        improved.*member = shiftAvailabilityDowntime(row.baseValue, 1.0);
-        row.improvedAvailability = evaluate(improved);
-        row.downtimeSavedMinutes =
-            availabilityToDowntimeMinutesPerYear(base_avail) -
-            availabilityToDowntimeMinutesPerYear(
-                row.improvedAvailability);
-        rows.push_back(row);
-    }
+            // 10x less downtime for this parameter alone.
+            P improved = base;
+            improved.*member =
+                shiftAvailabilityDowntime(row.baseValue, 1.0);
+            row.improvedAvailability = evaluate(improved);
+            row.downtimeSavedMinutes =
+                availabilityToDowntimeMinutesPerYear(base_avail) -
+                availabilityToDowntimeMinutesPerYear(
+                    row.improvedAvailability);
+            rows[f] = std::move(row);
+        },
+        sweep);
     std::sort(rows.begin(), rows.end(),
               [](const SensitivityRow &a, const SensitivityRow &b) {
                   return a.downtimeSavedMinutes > b.downtimeSavedMinutes;
@@ -54,16 +63,19 @@ template std::vector<SensitivityRow>
 parameterSensitivity<model::HwParams>(
     const model::HwParams &,
     const std::vector<std::pair<std::string, double model::HwParams::*>> &,
-    const std::function<double(const model::HwParams &)> &);
+    const std::function<double(const model::HwParams &)> &,
+    const SweepOptions &);
 
 template std::vector<SensitivityRow>
 parameterSensitivity<model::SwParams>(
     const model::SwParams &,
     const std::vector<std::pair<std::string, double model::SwParams::*>> &,
-    const std::function<double(const model::SwParams &)> &);
+    const std::function<double(const model::SwParams &)> &,
+    const SweepOptions &);
 
 std::vector<SensitivityRow>
-hwSensitivity(topology::ReferenceKind kind, const model::HwParams &params)
+hwSensitivity(topology::ReferenceKind kind, const model::HwParams &params,
+              const SweepOptions &sweep)
 {
     std::vector<std::pair<std::string, double model::HwParams::*>> fields{
         {"A_C (role)", &model::HwParams::roleAvailability},
@@ -72,16 +84,19 @@ hwSensitivity(topology::ReferenceKind kind, const model::HwParams &params)
         {"A_R (rack)", &model::HwParams::rackAvailability},
     };
     return parameterSensitivity<model::HwParams>(
-        params, fields, [kind](const model::HwParams &p) {
+        params, fields,
+        [kind](const model::HwParams &p) {
             return model::hwAvailability(kind, p);
-        });
+        },
+        sweep);
 }
 
 std::vector<SensitivityRow>
 swSensitivity(const fmea::ControllerCatalog &catalog,
               const topology::DeploymentTopology &topo,
               model::SupervisorPolicy policy,
-              const model::SwParams &params, fmea::Plane plane)
+              const model::SwParams &params, fmea::Plane plane,
+              const SweepOptions &sweep)
 {
     std::vector<std::pair<std::string, double model::SwParams::*>> fields{
         {"A (auto process)", &model::SwParams::processAvailability},
@@ -93,9 +108,11 @@ swSensitivity(const fmea::ControllerCatalog &catalog,
     };
     model::SwAvailabilityModel swmodel(catalog, topo, policy);
     return parameterSensitivity<model::SwParams>(
-        params, fields, [&swmodel, plane](const model::SwParams &p) {
+        params, fields,
+        [&swmodel, plane](const model::SwParams &p) {
             return swmodel.planeAvailability(p, plane);
-        });
+        },
+        sweep);
 }
 
 TextTable

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sweep.hh"
 #include "common/textTable.hh"
 #include "fmea/catalog.hh"
 #include "model/params.hh"
@@ -50,23 +51,29 @@ struct SensitivityRow
  * Generic sensitivity sweep: for each named parameter (accessed via
  * getter/setter pairs on a parameter block P), compute the derivative
  * and the 10x-improvement effect of `evaluate`.
+ *
+ * Rows are evaluated on the parallel sweep executor; `evaluate` must
+ * be safe to call concurrently (the analytic engines are). Results
+ * are identical for any `sweep.threads`.
  */
 template <typename P>
 std::vector<SensitivityRow> parameterSensitivity(
     const P &base,
     const std::vector<std::pair<std::string, double P::*>> &fields,
-    const std::function<double(const P &)> &evaluate);
+    const std::function<double(const P &)> &evaluate,
+    const SweepOptions &sweep = {});
 
 /** HW-centric sensitivity for a reference topology. */
 std::vector<SensitivityRow> hwSensitivity(
-    topology::ReferenceKind kind, const model::HwParams &params);
+    topology::ReferenceKind kind, const model::HwParams &params,
+    const SweepOptions &sweep = {});
 
 /** SW-centric sensitivity for a catalog/topology/policy/plane. */
 std::vector<SensitivityRow> swSensitivity(
     const fmea::ControllerCatalog &catalog,
     const topology::DeploymentTopology &topo,
     model::SupervisorPolicy policy, const model::SwParams &params,
-    fmea::Plane plane);
+    fmea::Plane plane, const SweepOptions &sweep = {});
 
 /** Render sensitivity rows as a table. */
 TextTable sensitivityTable(const std::string &title,

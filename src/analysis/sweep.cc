@@ -1,0 +1,97 @@
+#include "analysis/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sdnav::analysis
+{
+
+std::size_t
+SweepOptions::resolvedThreads() const
+{
+    std::size_t t = threads;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    return t;
+}
+
+namespace
+{
+
+/**
+ * Chunk size giving each worker ~4 chunks to claim: large enough that
+ * the atomic claim is off the per-point path, small enough that an
+ * uneven grid (expensive points clustered at one end) still balances.
+ */
+std::size_t
+autoChunk(std::size_t points, std::size_t threads)
+{
+    std::size_t chunks_wanted = threads * 4;
+    std::size_t chunk = (points + chunks_wanted - 1) / chunks_wanted;
+    return std::max<std::size_t>(1, chunk);
+}
+
+} // anonymous namespace
+
+void
+forEachGridPoint(std::size_t points,
+                 const std::function<void(std::size_t)> &body,
+                 const SweepOptions &options)
+{
+    if (points == 0)
+        return;
+
+    std::size_t threads = std::min(options.resolvedThreads(), points);
+    std::size_t chunk = options.chunk != 0
+        ? options.chunk
+        : autoChunk(points, threads);
+    std::size_t chunk_count = (points + chunk - 1) / chunk;
+    threads = std::min(threads, chunk_count);
+
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < points; ++i)
+            body(i);
+        return;
+    }
+
+    // Workers claim whole chunks from a shared counter. Any chunk may
+    // run on any thread; determinism comes from results being keyed
+    // by grid index, not by completion order.
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    auto worker = [&] {
+        for (;;) {
+            std::size_t c = next.fetch_add(1);
+            if (c >= chunk_count)
+                return;
+            std::size_t begin = c * chunk;
+            std::size_t end = std::min(points, begin + chunk);
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        workers.emplace_back(worker);
+    for (std::thread &w : workers)
+        w.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace sdnav::analysis

@@ -193,35 +193,52 @@ BddManager::restrictRec(NodeRef f, unsigned index, bool value,
 double
 BddManager::probability(NodeRef f, std::span<const double> probs) const
 {
-    std::unordered_map<NodeRef, double> memo;
+    ProbabilityScratch scratch;
+    return probability(f, probs, scratch);
+}
+
+double
+BddManager::probability(NodeRef f, std::span<const double> probs,
+                        ProbabilityScratch &scratch) const
+{
+    // Dense memo keyed by NodeRef (refs index nodes_ directly). The
+    // assign() calls reuse the scratch's capacity, so after the first
+    // evaluation at a given manager size this allocates nothing.
+    std::vector<double> &value = scratch.value_;
+    std::vector<std::uint8_t> &known = scratch.known_;
+    std::vector<NodeRef> &stack = scratch.stack_;
+    value.assign(nodes_.size(), 0.0);
+    known.assign(nodes_.size(), 0);
+    value[trueNode] = 1.0;
+    known[falseNode] = 1;
+    known[trueNode] = 1;
+
     // Explicit stack to avoid deep recursion on long chains.
-    std::vector<NodeRef> stack{f};
-    memo.emplace(falseNode, 0.0);
-    memo.emplace(trueNode, 1.0);
+    stack.clear();
+    stack.push_back(f);
     while (!stack.empty()) {
         NodeRef cur = stack.back();
-        if (memo.count(cur)) {
+        if (known[cur]) {
             stack.pop_back();
             continue;
         }
         const Node &node = nodes_[cur];
         require(node.var < probs.size(),
                 "probability(): probs does not cover all BDD variables");
-        auto lo = memo.find(node.low);
-        auto hi = memo.find(node.high);
-        if (lo != memo.end() && hi != memo.end()) {
+        if (known[node.low] && known[node.high]) {
             double p = probs[node.var];
-            memo.emplace(cur,
-                         p * hi->second + (1.0 - p) * lo->second);
+            value[cur] = p * value[node.high] +
+                         (1.0 - p) * value[node.low];
+            known[cur] = 1;
             stack.pop_back();
         } else {
-            if (hi == memo.end())
+            if (!known[node.high])
                 stack.push_back(node.high);
-            if (lo == memo.end())
+            if (!known[node.low])
                 stack.push_back(node.low);
         }
     }
-    return memo.at(f);
+    return value[f];
 }
 
 bool

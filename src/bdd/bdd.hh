@@ -41,6 +41,41 @@ constexpr NodeRef falseNode = 0;
 constexpr NodeRef trueNode = 1;
 
 /**
+ * Caller-owned workspace for BddManager::probability().
+ *
+ * Evaluating a probability needs a per-node memo and a traversal
+ * stack. A sweep calling probability() thousands of times with only
+ * the per-variable probabilities changing would otherwise pay a fresh
+ * hash-map allocation per point; holding one scratch per thread (the
+ * scratch is NOT thread-safe, the manager's read-only evaluation is)
+ * makes repeated evaluation allocation-free after the first call.
+ */
+class ProbabilityScratch
+{
+  public:
+    ProbabilityScratch() = default;
+
+    /** Release the held buffers. */
+    void
+    clear()
+    {
+        value_.clear();
+        value_.shrink_to_fit();
+        known_.clear();
+        known_.shrink_to_fit();
+        stack_.clear();
+        stack_.shrink_to_fit();
+    }
+
+  private:
+    friend class BddManager;
+
+    std::vector<double> value_;
+    std::vector<std::uint8_t> known_;
+    std::vector<NodeRef> stack_;
+};
+
+/**
  * Owns all BDD nodes and implements the BDD algebra.
  *
  * Nodes are immutable and hash-consed: structurally equal functions
@@ -100,11 +135,22 @@ class BddManager
      * Probability that the function is true when each variable i is
      * independently true with probability probs[i].
      *
+     * Evaluation is read-only: a const manager can serve concurrent
+     * probability() calls from many threads (each thread passing its
+     * own scratch), which is what the parallel sweep engine does.
+     *
      * @param f The function to evaluate.
      * @param probs Per-variable probabilities; must cover every
      *              variable appearing in f.
      */
     double probability(NodeRef f, std::span<const double> probs) const;
+
+    /**
+     * As probability(), reusing a caller-owned scratch so repeated
+     * evaluation (sweeps) allocates nothing after the first call.
+     */
+    double probability(NodeRef f, std::span<const double> probs,
+                       ProbabilityScratch &scratch) const;
 
     /** Evaluate the function on a concrete assignment. */
     bool evaluate(NodeRef f, const std::vector<bool> &assignment) const;

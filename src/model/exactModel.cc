@@ -13,11 +13,29 @@ using fmea::Plane;
 using fmea::QuorumBlock;
 using fmea::RestartMode;
 
+double
+exactClassAvailability(ExactComponentClass cls, const SwParams &params)
+{
+    switch (cls) {
+      case ExactComponentClass::Rack:
+        return params.rackAvailability;
+      case ExactComponentClass::Host:
+        return params.hostAvailability;
+      case ExactComponentClass::Vm:
+        return params.vmAvailability;
+      case ExactComponentClass::AutoProcess:
+        return params.processAvailability;
+      case ExactComponentClass::ManualProcess:
+        return params.manualProcessAvailability;
+    }
+    return 0.0; // Unreachable.
+}
+
 rbd::RbdSystem
 buildExactSystem(const fmea::ControllerCatalog &catalog,
                  const topology::DeploymentTopology &topo,
                  SupervisorPolicy policy, const SwParams &params,
-                 Plane plane)
+                 Plane plane, std::vector<ExactComponentClass> *classes)
 {
     catalog.validate();
     topo.validate();
@@ -26,26 +44,35 @@ buildExactSystem(const fmea::ControllerCatalog &catalog,
             "catalog role count does not match topology role count");
 
     rbd::RbdSystem system;
-    auto process_avail = [&params](RestartMode mode) {
+    if (classes)
+        classes->clear();
+    auto add_component = [&](std::string name,
+                             ExactComponentClass cls) {
+        if (classes)
+            classes->push_back(cls);
+        return system.addComponent(std::move(name),
+                                   exactClassAvailability(cls, params));
+    };
+    auto process_class = [](RestartMode mode) {
         return mode == RestartMode::Auto
-            ? params.processAvailability
-            : params.manualProcessAvailability;
+            ? ExactComponentClass::AutoProcess
+            : ExactComponentClass::ManualProcess;
     };
 
     // Shared infrastructure first: racks, hosts, VMs. Keeping shared
     // variables early in the BDD order bounds the diagram width.
     std::vector<rbd::ComponentId> racks;
     for (std::size_t r = 0; r < topo.rackCount(); ++r)
-        racks.push_back(system.addComponent("rack" + std::to_string(r),
-                                            params.rackAvailability));
+        racks.push_back(add_component("rack" + std::to_string(r),
+                                      ExactComponentClass::Rack));
     std::vector<rbd::ComponentId> hosts;
     for (std::size_t h = 0; h < topo.hostCount(); ++h)
-        hosts.push_back(system.addComponent("host" + std::to_string(h),
-                                            params.hostAvailability));
+        hosts.push_back(add_component("host" + std::to_string(h),
+                                      ExactComponentClass::Host));
     std::vector<rbd::ComponentId> vms;
     for (std::size_t v = 0; v < topo.vmCount(); ++v)
-        vms.push_back(system.addComponent("vm" + std::to_string(v),
-                                          params.vmAvailability));
+        vms.push_back(add_component("vm" + std::to_string(v),
+                                    ExactComponentClass::Vm));
 
     // Per node-role supervisors (also effectively shared: every block
     // of a role on a node depends on the same supervisor).
@@ -56,10 +83,10 @@ buildExactSystem(const fmea::ControllerCatalog &catalog,
         supervisors.resize(role_count * n);
         for (std::size_t role = 0; role < role_count; ++role) {
             for (std::size_t node = 0; node < n; ++node) {
-                supervisors[role * n + node] = system.addComponent(
+                supervisors[role * n + node] = add_component(
                     "supervisor-" + catalog.role(role).name + "-" +
                         std::to_string(node),
-                    params.manualProcessAvailability);
+                    ExactComponentClass::ManualProcess);
             }
         }
     }
@@ -84,9 +111,8 @@ buildExactSystem(const fmea::ControllerCatalog &catalog,
         if (slot != unassigned)
             return;
         const fmea::ProcessSpec &proc = catalog.role(role).processes[p];
-        slot = system.addComponent(proc.name + "-" +
-                                       std::to_string(node),
-                                   process_avail(proc.restart));
+        slot = add_component(proc.name + "-" + std::to_string(node),
+                             process_class(proc.restart));
     };
     for (std::size_t role = 0; role < role_count; ++role) {
         for (const QuorumBlock &block :
@@ -142,13 +168,13 @@ buildExactSystem(const fmea::ControllerCatalog &catalog,
         for (const fmea::HostProcessSpec &proc : catalog.hostProcesses()) {
             if (!proc.requiredForDp)
                 continue;
-            top.push_back(rbd::component(system.addComponent(
-                proc.name, process_avail(proc.restart))));
+            top.push_back(rbd::component(add_component(
+                proc.name, process_class(proc.restart))));
         }
         if (policy == SupervisorPolicy::Required) {
-            top.push_back(rbd::component(system.addComponent(
+            top.push_back(rbd::component(add_component(
                 "supervisor-vrouter",
-                params.manualProcessAvailability)));
+                ExactComponentClass::ManualProcess)));
         }
     }
 
@@ -165,6 +191,57 @@ exactPlaneAvailability(const fmea::ControllerCatalog &catalog,
 {
     return buildExactSystem(catalog, topo, policy, params, plane)
         .availabilityExact();
+}
+
+namespace
+{
+
+/**
+ * Helper so ExactPlaneModel's members initialize in one pass:
+ * system_ and classes_ come out of the same build.
+ */
+rbd::RbdSystem
+buildWithClasses(const fmea::ControllerCatalog &catalog,
+                 const topology::DeploymentTopology &topo,
+                 SupervisorPolicy policy, Plane plane,
+                 std::vector<ExactComponentClass> &classes)
+{
+    // The table availabilities are placeholders (paper defaults);
+    // evaluation always rebuilds the probability vector from the
+    // classes and the caller's params.
+    return buildExactSystem(catalog, topo, policy, SwParams{}, plane,
+                            &classes);
+}
+
+} // anonymous namespace
+
+ExactPlaneModel::ExactPlaneModel(const fmea::ControllerCatalog &catalog,
+                                 const topology::DeploymentTopology &topo,
+                                 SupervisorPolicy policy, Plane plane)
+    : system_(buildWithClasses(catalog, topo, policy, plane, classes_)),
+      compiled_(system_)
+{
+}
+
+double
+ExactPlaneModel::availability(const SwParams &params) const
+{
+    bdd::ProbabilityScratch scratch;
+    return availability(params, scratch);
+}
+
+double
+ExactPlaneModel::availability(const SwParams &params,
+                              bdd::ProbabilityScratch &scratch) const
+{
+    params.validate();
+    // Small fixed-size stack vector would do; the probability vector
+    // is one double per component, reused sizes are tiny next to the
+    // BDD traversal itself.
+    std::vector<double> probs(classes_.size());
+    for (std::size_t i = 0; i < classes_.size(); ++i)
+        probs[i] = exactClassAvailability(classes_[i], params);
+    return compiled_.probability(probs, scratch);
 }
 
 } // namespace sdnav::model

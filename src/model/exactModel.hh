@@ -33,23 +33,93 @@ namespace sdnav::model
 {
 
 /**
+ * Which SwParams field a component of the exact RBD draws its
+ * availability from. The structure function itself never depends on
+ * the parameter values, so recording the class per component lets a
+ * sweep rebuild the per-component availability vector for new
+ * parameters without rebuilding the system (see ExactPlaneModel).
+ */
+enum class ExactComponentClass
+{
+    Rack,
+    Host,
+    Vm,
+    AutoProcess,
+    ManualProcess,
+};
+
+/** The SwParams value an exact-model component class evaluates to. */
+double exactClassAvailability(ExactComponentClass cls,
+                              const SwParams &params);
+
+/**
  * Build the exact RBD for one plane of a catalog on a topology.
  *
  * Components are added in BDD-friendly order (shared infrastructure
  * first, then per-node supervisors and processes grouped by node) so
  * availabilityExact() stays cheap.
+ *
+ * @param classes When non-null, receives one ExactComponentClass per
+ *                component, indexed by ComponentId.
  */
-rbd::RbdSystem buildExactSystem(const fmea::ControllerCatalog &catalog,
-                                const topology::DeploymentTopology &topo,
-                                SupervisorPolicy policy,
-                                const SwParams &params,
-                                fmea::Plane plane);
+rbd::RbdSystem buildExactSystem(
+    const fmea::ControllerCatalog &catalog,
+    const topology::DeploymentTopology &topo, SupervisorPolicy policy,
+    const SwParams &params, fmea::Plane plane,
+    std::vector<ExactComponentClass> *classes = nullptr);
 
 /** Exact plane availability via BDD compilation of the full RBD. */
 double exactPlaneAvailability(const fmea::ControllerCatalog &catalog,
                               const topology::DeploymentTopology &topo,
                               SupervisorPolicy policy,
                               const SwParams &params, fmea::Plane plane);
+
+/**
+ * Exact plane model compiled once, evaluated many times.
+ *
+ * exactPlaneAvailability() rebuilds the component table and
+ * recompiles the BDD on every call even though only the per-variable
+ * probabilities change between sweep points. This class does the
+ * expensive work once per (catalog, topology, policy, plane) and
+ * makes each sweep point a single linear-time BDD traversal.
+ *
+ * availability() is const and evaluation-only: one model can be
+ * shared read-only across sweep worker threads, each thread passing
+ * its own scratch.
+ */
+class ExactPlaneModel
+{
+  public:
+    ExactPlaneModel(const fmea::ControllerCatalog &catalog,
+                    const topology::DeploymentTopology &topo,
+                    SupervisorPolicy policy, fmea::Plane plane);
+
+    /** Exact plane availability at the given parameters. */
+    double availability(const SwParams &params) const;
+
+    /** As availability(), reusing a caller-owned scratch buffer. */
+    double availability(const SwParams &params,
+                        bdd::ProbabilityScratch &scratch) const;
+
+    /** The underlying component table and structure tree. */
+    const rbd::RbdSystem &system() const { return system_; }
+
+    /** Compiled diagram size (reachable nodes). */
+    std::size_t bddNodeCount() const { return compiled_.nodeCount(); }
+
+    /**
+     * Total nodes allocated in the compiled manager. Evaluation must
+     * never grow this; sweep benches assert it stays constant.
+     */
+    std::size_t totalBddNodes() const { return compiled_.totalNodes(); }
+
+  private:
+    // Declaration order is load-bearing: system_'s initializer fills
+    // classes_, and compiled_ compiles system_.
+    std::vector<ExactComponentClass> classes_;
+    rbd::RbdSystem system_;
+    rbd::CompiledRbd compiled_;
+};
 
 } // namespace sdnav::model
 

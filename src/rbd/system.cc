@@ -217,6 +217,30 @@ RbdSystem::availabilityMonteCarlo(std::size_t samples,
     return result;
 }
 
+CompiledRbd::CompiledRbd(const RbdSystem &system)
+    : root_(system.compile(manager_))
+{
+}
+
+double
+CompiledRbd::probability(std::span<const double> availabilities) const
+{
+    return manager_.probability(root_, availabilities);
+}
+
+double
+CompiledRbd::probability(std::span<const double> availabilities,
+                         bdd::ProbabilityScratch &scratch) const
+{
+    return manager_.probability(root_, availabilities, scratch);
+}
+
+std::size_t
+CompiledRbd::nodeCount() const
+{
+    return manager_.nodeCount(root_);
+}
+
 double
 RbdSystem::birnbaumImportance(ComponentId id) const
 {

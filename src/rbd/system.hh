@@ -151,6 +151,13 @@ class RbdSystem
      */
     bdd::NodeRef compile(bdd::BddManager &manager) const;
 
+    /** A snapshot of the current per-component availabilities. */
+    const std::vector<double> &
+    availabilities() const
+    {
+        return availabilities_;
+    }
+
   private:
     void checkComponent(ComponentId id) const;
     bdd::NodeRef compileBlock(bdd::BddManager &manager,
@@ -160,6 +167,53 @@ class RbdSystem
     std::vector<std::string> names_;
     std::vector<double> availabilities_;
     std::optional<Block> root_;
+};
+
+/**
+ * A structure function compiled to a BDD once, for repeated
+ * probability evaluation with varying per-component availabilities.
+ *
+ * availabilityExact() rebuilds the diagram on every call, which is
+ * the dominant cost of sweep loops: the structure function depends
+ * only on the topology, not on the availabilities. Compile once,
+ * then evaluate per sweep point.
+ *
+ * Evaluation is const and touches no manager state, so one compiled
+ * system can serve read-only evaluation from many threads
+ * concurrently (give each thread its own ProbabilityScratch).
+ */
+class CompiledRbd
+{
+  public:
+    /** Compile the system's structure function. */
+    explicit CompiledRbd(const RbdSystem &system);
+
+    /**
+     * Probability that the system is up under the given
+     * per-component availabilities (indexed by ComponentId; must
+     * cover every component in the structure function).
+     */
+    double probability(std::span<const double> availabilities) const;
+
+    /** As probability(), reusing a caller-owned scratch buffer. */
+    double probability(std::span<const double> availabilities,
+                       bdd::ProbabilityScratch &scratch) const;
+
+    /** Nodes reachable from the root (diagram size). */
+    std::size_t nodeCount() const;
+
+    /** Total nodes allocated in the manager (growth diagnostics). */
+    std::size_t totalNodes() const { return manager_.totalNodes(); }
+
+    /** The compiled root function. */
+    bdd::NodeRef root() const { return root_; }
+
+    /** The owning manager (read-only evaluation entry points). */
+    const bdd::BddManager &manager() const { return manager_; }
+
+  private:
+    bdd::BddManager manager_;
+    bdd::NodeRef root_;
 };
 
 } // namespace sdnav::rbd

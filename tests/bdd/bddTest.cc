@@ -121,6 +121,54 @@ TEST(Bdd, ProbabilityRejectsShortVector)
     NodeRef f = m.var(5);
     std::vector<double> p{0.5};
     EXPECT_THROW(m.probability(f, p), sdnav::ModelError);
+    ProbabilityScratch scratch;
+    EXPECT_THROW(m.probability(f, p, scratch), sdnav::ModelError);
+}
+
+TEST(Bdd, ScratchEvaluationMatchesPlainEvaluation)
+{
+    BddManager m;
+    NodeRef f = m.orOp(m.andOp(m.var(0), m.var(1)),
+                       m.andOp(m.var(1), m.notOp(m.var(2))));
+    std::vector<double> p{0.2, 0.6, 0.9};
+    ProbabilityScratch scratch;
+    EXPECT_EQ(m.probability(f, p, scratch), m.probability(f, p));
+}
+
+TEST(Bdd, ScratchIsReusableAcrossFunctionsAndManagers)
+{
+    ProbabilityScratch scratch;
+    BddManager m;
+    std::vector<NodeRef> vars{m.var(0), m.var(1), m.var(2)};
+    std::vector<double> p{0.9, 0.8, 0.7};
+    // Interleave different functions through one scratch; each call
+    // must be independent of what the scratch held before.
+    for (unsigned k = 0; k <= 3; ++k) {
+        NodeRef f = m.atLeast(vars, k);
+        EXPECT_EQ(m.probability(f, p, scratch), m.probability(f, p))
+            << "k=" << k;
+    }
+    scratch.clear();
+    BddManager other;
+    NodeRef g = other.xorOp(other.var(0), other.var(1));
+    std::vector<double> q{0.25, 0.5};
+    EXPECT_EQ(other.probability(g, q, scratch),
+              other.probability(g, q));
+}
+
+TEST(Bdd, ScratchEvaluationDoesNotGrowManager)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 12; ++i)
+        vars.push_back(m.var(i));
+    NodeRef f = m.atLeast(vars, 7);
+    std::size_t nodes = m.totalNodes();
+    ProbabilityScratch scratch;
+    std::vector<double> p(12, 0.75);
+    for (int rep = 0; rep < 100; ++rep)
+        m.probability(f, p, scratch);
+    EXPECT_EQ(m.totalNodes(), nodes);
 }
 
 TEST(Bdd, AtLeastMatchesBinomialTail)

@@ -180,4 +180,74 @@ TEST(ExactModel, RoleMismatchRejected)
                  sdnav::ModelError);
 }
 
+TEST(ExactPlaneModelTest, BuildOnceMatchesPerPointReconstruction)
+{
+    // The compiled model re-evaluated over a parameter grid must
+    // match a full per-point rebuild of the structure function to
+    // floating-point identity (the BDD is the same; only the
+    // per-class probabilities change).
+    auto catalog = fmea::openContrail3();
+    for (auto kind : {topology::ReferenceKind::Small,
+                      topology::ReferenceKind::Large}) {
+        auto topo = topology::referenceTopology(kind);
+        for (auto plane : {Plane::ControlPlane, Plane::DataPlane}) {
+            ExactPlaneModel engine(catalog, topo,
+                                   SupervisorPolicy::Required, plane);
+            SwParams base;
+            for (double shift : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+                SwParams params = base.withDowntimeShift(shift);
+                double rebuilt = exactPlaneAvailability(
+                    catalog, topo, SupervisorPolicy::Required, params,
+                    plane);
+                EXPECT_NEAR(engine.availability(params), rebuilt,
+                            1e-15)
+                    << topology::referenceKindName(kind) << " shift "
+                    << shift;
+            }
+        }
+    }
+}
+
+TEST(ExactPlaneModelTest, ScratchAndScratchlessAgreeBitExactly)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::largeTopology();
+    ExactPlaneModel engine(catalog, topo, SupervisorPolicy::Required,
+                           Plane::ControlPlane);
+    sdnav::bdd::ProbabilityScratch scratch;
+    SwParams base;
+    for (double shift : {-1.0, 0.0, 1.0}) {
+        SwParams params = base.withDowntimeShift(shift);
+        EXPECT_EQ(engine.availability(params),
+                  engine.availability(params, scratch));
+    }
+}
+
+TEST(ExactPlaneModelTest, RepeatedEvaluationDoesNotGrowBdd)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ExactPlaneModel engine(catalog, topo, SupervisorPolicy::Required,
+                           Plane::ControlPlane);
+    std::size_t nodes = engine.totalBddNodes();
+    sdnav::bdd::ProbabilityScratch scratch;
+    SwParams base;
+    for (int i = 0; i < 200; ++i) {
+        engine.availability(base.withDowntimeShift(0.01 * i - 1.0),
+                            scratch);
+    }
+    EXPECT_EQ(engine.totalBddNodes(), nodes);
+}
+
+TEST(ExactPlaneModelTest, InvalidParamsRejected)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ExactPlaneModel engine(catalog, topo, SupervisorPolicy::Required,
+                           Plane::ControlPlane);
+    SwParams params;
+    params.processAvailability = 1.5;
+    EXPECT_THROW(engine.availability(params), sdnav::ModelError);
+}
+
 } // anonymous namespace

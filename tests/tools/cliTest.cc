@@ -194,6 +194,33 @@ TEST(Cli, SimulateReplicatedRun)
     EXPECT_EQ(result.output, sequential.output);
 }
 
+TEST(Cli, FiguresIdenticalAcrossThreadCounts)
+{
+    const std::string base = "figures --points 11";
+    auto serial = runCli(base + " --threads 1");
+    EXPECT_EQ(serial.exitCode, 0);
+    EXPECT_NE(serial.output.find("Figure 3."), std::string::npos);
+    EXPECT_NE(serial.output.find("Figure 4."), std::string::npos);
+    EXPECT_NE(serial.output.find("Figure 5."), std::string::npos);
+    for (const char *threads : {"2", "8"}) {
+        auto parallel =
+            runCli(base + " --threads " + std::string(threads));
+        EXPECT_EQ(parallel.exitCode, 0);
+        EXPECT_EQ(serial.output, parallel.output)
+            << threads << " threads";
+    }
+}
+
+TEST(Cli, FiguresExactVariantsPrinted)
+{
+    auto result = runCli("figures --points 5 --exact on --threads 2");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("Figure 4 (exact)."),
+              std::string::npos);
+    EXPECT_NE(result.output.find("Figure 5 (exact)."),
+              std::string::npos);
+}
+
 TEST(Cli, SimulateWithoutHostsReportsUnmeasuredDp)
 {
     auto result = runCli(

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end tests of the csv_diff binary (the golden-CSV gate's
+ * comparator): exit codes, tolerance semantics, and header handling.
+ * SDNAV_CSV_DIFF_PATH is injected by CMake.
+ */
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode;
+    std::string output;
+};
+
+CommandResult
+runCsvDiff(const std::string &arguments)
+{
+    std::string command =
+        std::string(SDNAV_CSV_DIFF_PATH) + " " + arguments + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        output += buffer.data();
+    int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+/** Write a temp CSV and return its path. */
+std::string
+writeCsv(const std::string &name, const std::string &content)
+{
+    std::string path =
+        testing::TempDir() + "/csv_diff_" + name + ".csv";
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+TEST(CsvDiff, IdenticalFilesMatch)
+{
+    std::string a = writeCsv("id_a", "x,y\n1.5,2.25\n3,4\n");
+    std::string b = writeCsv("id_b", "x,y\n1.5,2.25\n3,4\n");
+    EXPECT_EQ(runCsvDiff(a + " " + b).exitCode, 0);
+}
+
+TEST(CsvDiff, DifferenceWithinRtolMatches)
+{
+    std::string a = writeCsv("tol_a", "x\n1.0\n");
+    std::string b = writeCsv("tol_b", "x\n1.0000000001\n");
+    EXPECT_EQ(runCsvDiff(a + " " + b).exitCode, 0); // default 1e-9
+    auto strict = runCsvDiff("--rtol 1e-12 " + a + " " + b);
+    EXPECT_EQ(strict.exitCode, 1);
+    EXPECT_NE(strict.output.find("row 2 col 1"), std::string::npos);
+}
+
+TEST(CsvDiff, AtolCoversValuesNearZero)
+{
+    std::string a = writeCsv("atol_a", "x\n0\n");
+    std::string b = writeCsv("atol_b", "x\n1e-14\n");
+    // rtol alone cannot pass a zero-vs-tiny comparison.
+    EXPECT_EQ(runCsvDiff(a + " " + b).exitCode, 1);
+    EXPECT_EQ(runCsvDiff("--atol 1e-12 " + a + " " + b).exitCode, 0);
+}
+
+TEST(CsvDiff, HeaderComparesExactlyEvenWhenNumeric)
+{
+    // A numeric-looking header cell must not get tolerance treatment.
+    std::string a = writeCsv("hdr_a", "1.0,y\n1,2\n");
+    std::string b = writeCsv("hdr_b", "1.00,y\n1,2\n");
+    EXPECT_EQ(runCsvDiff(a + " " + b).exitCode, 1);
+}
+
+TEST(CsvDiff, TextCellsCompareExactly)
+{
+    std::string a = writeCsv("txt_a", "name,v\nsmall,1\n");
+    std::string b = writeCsv("txt_b", "name,v\nlarge,1\n");
+    auto result = runCsvDiff(a + " " + b);
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("\"small\" vs \"large\""),
+              std::string::npos);
+}
+
+TEST(CsvDiff, RowAndColumnCountMismatchesReported)
+{
+    std::string a = writeCsv("shape_a", "x,y\n1,2\n3,4\n");
+    std::string b = writeCsv("shape_b", "x,y\n1,2\n");
+    auto fewer = runCsvDiff(a + " " + b);
+    EXPECT_EQ(fewer.exitCode, 1);
+    EXPECT_NE(fewer.output.find("row count differs"),
+              std::string::npos);
+    std::string c = writeCsv("shape_c", "x,y\n1,2,9\n3,4\n");
+    auto wider = runCsvDiff(a + " " + c);
+    EXPECT_EQ(wider.exitCode, 1);
+    EXPECT_NE(wider.output.find("column count differs"),
+              std::string::npos);
+}
+
+TEST(CsvDiff, QuotedCellsWithCommasParse)
+{
+    std::string a = writeCsv("q_a", "name,v\n\"a, b\",1\n");
+    std::string b = writeCsv("q_b", "name,v\n\"a, b\",1\n");
+    EXPECT_EQ(runCsvDiff(a + " " + b).exitCode, 0);
+}
+
+TEST(CsvDiff, MissingFileIsUsageError)
+{
+    std::string a = writeCsv("missing_a", "x\n1\n");
+    EXPECT_EQ(runCsvDiff(a + " /nonexistent/no.csv").exitCode, 2);
+    EXPECT_EQ(runCsvDiff(a).exitCode, 2);
+    EXPECT_EQ(runCsvDiff("--bogus " + a + " " + a).exitCode, 2);
+}
+
+} // anonymous namespace

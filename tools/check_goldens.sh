@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Golden-CSV gate: regenerate bench_results/*.csv from the bench
+# report phases (google-benchmark timing skipped via an unmatchable
+# filter) and compare against the committed goldens/ directory with
+# tools/csv_diff.
+#
+# usage: tools/check_goldens.sh <build-dir> [--bless]
+#
+# --bless copies the regenerated CSVs over goldens/ instead of
+# diffing; commit the result after reviewing the diff (see
+# EXPERIMENTS.md, "Golden CSV gate").
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: tools/check_goldens.sh <build-dir> [--bless]" >&2
+    exit 2
+fi
+BUILD_DIR=$1
+MODE=${2:-check}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CSV_DIFF="$BUILD_DIR/tools/csv_diff"
+
+if [ ! -x "$CSV_DIFF" ]; then
+    echo "check_goldens: $CSV_DIFF not built" >&2
+    exit 2
+fi
+
+# Every bench whose report phase writes CSVs. Reports are
+# deterministic: analytic engines plus fixed-seed simulations.
+BENCHES=(
+    bench_table1
+    bench_table2
+    bench_table3
+    bench_fig3
+    bench_fig4
+    bench_fig5
+    bench_approximations
+    bench_maintenance_tiers
+    bench_supervisor
+    bench_rack_ablation
+    bench_cluster_scaling
+    bench_simulation_validation
+    bench_importance
+    bench_failure_modes
+    bench_operations
+)
+
+cd "$ROOT"
+rm -rf bench_results
+for bench in "${BENCHES[@]}"; do
+    echo "check_goldens: running $bench report"
+    "$BUILD_DIR/bench/$bench" --benchmark_filter='^$' > /dev/null
+done
+
+if [ "$MODE" = "--bless" ]; then
+    mkdir -p goldens
+    cp bench_results/*.csv goldens/
+    echo "check_goldens: blessed $(ls goldens/*.csv | wc -l) CSVs" \
+         "into goldens/"
+    exit 0
+fi
+
+fail=0
+for golden in goldens/*.csv; do
+    name=$(basename "$golden")
+    actual="bench_results/$name"
+    if [ ! -f "$actual" ]; then
+        echo "check_goldens: $name missing from bench_results/" >&2
+        fail=1
+        continue
+    fi
+    # Simulation-derived CSVs get a looser tolerance: event times go
+    # through libm (exp/log), which may differ by an ulp across
+    # toolchains and accumulate over a long horizon. Analytic CSVs
+    # hold the tight default.
+    rtol=1e-9
+    case "$name" in
+        simulation_validation.csv|rediscovery.csv) rtol=1e-6 ;;
+    esac
+    if "$CSV_DIFF" --rtol "$rtol" "$golden" "$actual"; then
+        echo "check_goldens: $name OK (rtol $rtol)"
+    else
+        fail=1
+    fi
+done
+for actual in bench_results/*.csv; do
+    name=$(basename "$actual")
+    if [ ! -f "goldens/$name" ]; then
+        echo "check_goldens: $name has no golden — run" \
+             "tools/check_goldens.sh <build-dir> --bless" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_goldens: FAILED — if the change is intentional," \
+         "re-bless (see EXPERIMENTS.md)" >&2
+fi
+exit "$fail"

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * csv_diff — numeric-aware CSV comparison for the golden-results CI
+ * gate.
+ *
+ * usage: csv_diff [--rtol X] [--atol Y] expected.csv actual.csv
+ *
+ * Headers (first row) must match exactly. Data cells that parse as
+ * numbers on both sides compare with |a - b| <= atol + rtol *
+ * max(|a|, |b|); anything else compares as an exact string. Exit 0 on
+ * match, 1 on any difference, 2 on usage or I/O errors.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using Row = std::vector<std::string>;
+
+/**
+ * RFC4180-ish parse: quoted fields may contain commas, doubled quotes
+ * escape a quote. Tolerates CRLF and a missing final newline.
+ */
+std::vector<Row>
+parseCsv(std::istream &in)
+{
+    std::vector<Row> rows;
+    Row row;
+    std::string cell;
+    bool quoted = false;
+    bool any = false;
+    char c;
+    while (in.get(c)) {
+        any = true;
+        if (quoted) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    in.get(c);
+                    cell.push_back('"');
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell.push_back(c);
+            }
+        } else if (c == '"' && cell.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            row.push_back(std::move(cell));
+            cell.clear();
+        } else if (c == '\n') {
+            if (!cell.empty() && cell.back() == '\r')
+                cell.pop_back();
+            row.push_back(std::move(cell));
+            cell.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+            any = false;
+        } else {
+            cell.push_back(c);
+        }
+    }
+    if (any || !cell.empty() || !row.empty()) {
+        row.push_back(std::move(cell));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+bool
+parseNumber(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    std::istringstream stream(text);
+    stream >> out;
+    return stream && stream.eof();
+}
+
+struct Options
+{
+    double rtol = 1e-9;
+    double atol = 0.0;
+    std::string expectedPath;
+    std::string actualPath;
+};
+
+int
+usage()
+{
+    std::cerr << "usage: csv_diff [--rtol X] [--atol Y] expected.csv "
+                 "actual.csv\n";
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--rtol" || arg == "--atol") {
+            if (i + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            double value = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0')
+                return usage();
+            (arg == "--rtol" ? opts.rtol : opts.atol) = value;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2)
+        return usage();
+    opts.expectedPath = positional[0];
+    opts.actualPath = positional[1];
+
+    std::ifstream expected_file(opts.expectedPath);
+    if (!expected_file) {
+        std::cerr << "csv_diff: cannot open " << opts.expectedPath
+                  << "\n";
+        return 2;
+    }
+    std::ifstream actual_file(opts.actualPath);
+    if (!actual_file) {
+        std::cerr << "csv_diff: cannot open " << opts.actualPath
+                  << "\n";
+        return 2;
+    }
+    std::vector<Row> expected = parseCsv(expected_file);
+    std::vector<Row> actual = parseCsv(actual_file);
+
+    int mismatches = 0;
+    constexpr int kMaxReported = 10;
+    auto report = [&](const std::string &what) {
+        if (++mismatches <= kMaxReported)
+            std::cerr << "csv_diff: " << what << "\n";
+    };
+
+    if (expected.size() != actual.size()) {
+        report("row count differs: expected " +
+               std::to_string(expected.size()) + ", actual " +
+               std::to_string(actual.size()));
+    }
+    std::size_t rows = std::min(expected.size(), actual.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const Row &erow = expected[r];
+        const Row &arow = actual[r];
+        if (erow.size() != arow.size()) {
+            report("row " + std::to_string(r + 1) +
+                   ": column count differs: expected " +
+                   std::to_string(erow.size()) + ", actual " +
+                   std::to_string(arow.size()));
+            continue;
+        }
+        for (std::size_t c = 0; c < erow.size(); ++c) {
+            const std::string &e = erow[c];
+            const std::string &a = arow[c];
+            double ev = 0.0, av = 0.0;
+            // Header row (r == 0) always compares exactly.
+            if (r > 0 && parseNumber(e, ev) && parseNumber(a, av)) {
+                double tol = opts.atol +
+                             opts.rtol *
+                                 std::max(std::fabs(ev),
+                                          std::fabs(av));
+                if (std::fabs(ev - av) <= tol)
+                    continue;
+                std::ostringstream msg;
+                msg.precision(17);
+                msg << "row " << (r + 1) << " col " << (c + 1)
+                    << ": " << ev << " vs " << av << " (|diff| "
+                    << std::fabs(ev - av) << " > tol " << tol << ")";
+                report(msg.str());
+            } else if (e != a) {
+                report("row " + std::to_string(r + 1) + " col " +
+                       std::to_string(c + 1) + ": \"" + e +
+                       "\" vs \"" + a + "\"");
+            }
+        }
+    }
+
+    if (mismatches > kMaxReported) {
+        std::cerr << "csv_diff: ... and "
+                  << (mismatches - kMaxReported) << " more\n";
+    }
+    if (mismatches > 0) {
+        std::cerr << "csv_diff: " << opts.actualPath << " differs "
+                  << "from " << opts.expectedPath << " ("
+                  << mismatches << " mismatches, rtol " << opts.rtol
+                  << ", atol " << opts.atol << ")\n";
+        return 1;
+    }
+    return 0;
+}

@@ -132,6 +132,15 @@ resolvePolicy(const Args &args)
                      " (expected required | not-required)");
 }
 
+analysis::SweepOptions
+resolveSweep(const Args &args)
+{
+    analysis::SweepOptions sweep;
+    sweep.threads =
+        static_cast<std::size_t>(args.getNumber("threads", 0));
+    return sweep;
+}
+
 model::SwParams
 resolveParams(const Args &args)
 {
@@ -195,7 +204,8 @@ cmdAnalyze(const Args &args)
                          "Control-plane sensitivity",
                          analysis::swSensitivity(
                              catalog, topo, policy, params,
-                             fmea::Plane::ControlPlane))
+                             fmea::Plane::ControlPlane,
+                             resolveSweep(args)))
                          .str();
     }
     return 0;
@@ -385,13 +395,24 @@ cmdFigures(const Args &args)
     model::SwParams sw = resolveParams(args);
     std::size_t points =
         static_cast<std::size_t>(args.getNumber("points", 21));
+    analysis::SweepOptions sweep = resolveSweep(args);
     analysis::FigureData fig3 = analysis::figure3(hw, 0.999, 1.0,
-                                                  points);
-    analysis::FigureData fig4 = analysis::figure4(catalog, sw, points);
-    analysis::FigureData fig5 = analysis::figure5(catalog, sw, points);
+                                                  points, sweep);
+    analysis::FigureData fig4 = analysis::figure4(catalog, sw, points,
+                                                  sweep);
+    analysis::FigureData fig5 = analysis::figure5(catalog, sw, points,
+                                                  sweep);
     std::cout << fig3.toTable().str() << "\n"
               << fig4.toTable(8).str() << "\n"
               << fig5.toTable(8).str() << "\n";
+    if (args.get("exact", "") == "on") {
+        analysis::FigureData fig4e =
+            analysis::figure4Exact(catalog, sw, points, sweep);
+        analysis::FigureData fig5e =
+            analysis::figure5Exact(catalog, sw, points, sweep);
+        std::cout << fig4e.toTable(8).str() << "\n"
+                  << fig5e.toTable(8).str() << "\n";
+    }
     if (args.has("csv-dir")) {
         std::string dir = args.get("csv-dir", ".");
         fig3.toCsv().writeFile(dir + "/fig3.csv");
@@ -555,6 +576,18 @@ printUsage()
         "  --policy required|not-required        supervisor policy\n"
         "  --plane cp|dp                         plane of interest\n"
         "  --a --as --av --ah --ar VALUE         availabilities\n"
+        "  --threads T                           sweep worker threads\n"
+        "                                        (0 = hardware); used\n"
+        "                                        by figures and\n"
+        "                                        analyze --sensitivity\n"
+        "                                        on; results are bit-\n"
+        "                                        identical for any T\n"
+        "\n"
+        "figures options:\n"
+        "  --points N         sweep points per figure (default 21)\n"
+        "  --exact on         also print the exact-BDD Figure 4/5\n"
+        "                     variants (build-once, evaluate-many)\n"
+        "  --csv-dir DIR      also write fig{3,4,5}.csv under DIR\n"
         "\n"
         "simulate options:\n"
         "  --replications R   independent replications (default 1);\n"
