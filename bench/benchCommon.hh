@@ -4,22 +4,36 @@
  * the table or figure it regenerates (and writes the CSV), then runs
  * its google-benchmark timing section. Reports go to stdout so
  * running every binary under build/bench captures the evaluation.
+ *
+ * Alongside the CSVs, every report run emits a machine-readable
+ * `BENCH_<name>.json` — report wall time, measured serial-vs-parallel
+ * speedups, the obs metrics snapshot, git SHA, and thread count —
+ * which `tools/bench_compare.py` gates against the committed
+ * `bench_baselines/` in CI (see EXPERIMENTS.md, "Perf-baseline
+ * gate").
  */
 
 #ifndef SDNAV_BENCH_BENCH_COMMON_HH
 #define SDNAV_BENCH_BENCH_COMMON_HH
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "analysis/sweep.hh"
 #include "common/csv.hh"
 #include "common/error.hh"
+#include "common/json.hh"
 #include "common/textTable.hh"
+#include "obs/obs.hh"
 
 namespace sdnav::bench
 {
@@ -52,6 +66,29 @@ section(const std::string &title)
     std::cout << "\n" << std::string(72, '=') << "\n"
               << title << "\n"
               << std::string(72, '=') << "\n";
+}
+
+/** One measured serial-vs-parallel comparison, kept for the JSON. */
+struct SweepTimingRecord
+{
+    std::string label;
+    double serialMs = 0.0;
+    double parallelMs = 0.0;
+    std::size_t threads = 1;
+
+    double
+    speedup() const
+    {
+        return parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
+    }
+};
+
+/** Timings recorded by reportSweepTiming() during this report run. */
+inline std::vector<SweepTimingRecord> &
+sweepTimingRecords()
+{
+    static std::vector<SweepTimingRecord> records;
+    return records;
 }
 
 /**
@@ -94,12 +131,79 @@ reportSweepTiming(const std::string &label, Run &&run)
 
     double serial_ms = time_ms(serial);
     double parallel_ms = time_ms(parallel);
+    sweepTimingRecords().push_back(
+        {label, serial_ms, parallel_ms, threads});
     std::cout << "[sweep] " << label << ": serial "
               << formatFixed(serial_ms, 2) << " ms, " << threads
               << " threads " << formatFixed(parallel_ms, 2)
               << " ms, speedup "
               << formatFixed(serial_ms / parallel_ms, 2)
               << "x, results bit-identical\n";
+}
+
+/**
+ * Commit the binary ran from: $GITHUB_SHA in CI, `git rev-parse HEAD`
+ * locally, "unknown" outside a work tree. Recorded in the bench JSON
+ * so a perf artifact is always attributable to a revision.
+ */
+inline std::string
+gitSha()
+{
+    if (const char *env = std::getenv("GITHUB_SHA"))
+        return env;
+    std::string sha;
+    if (FILE *pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buffer[128];
+        if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr)
+            sha = buffer;
+        pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+/**
+ * Write bench_results/BENCH_<name>.json: the machine-readable twin of
+ * the report that just printed. Schema (v1):
+ *
+ *   {"schema_version", "bench", "git_sha", "threads",
+ *    "report_wall_ms",
+ *    "speedups": [{"label", "serial_ms", "parallel_ms", "threads",
+ *                  "speedup"}, ...],
+ *    "metrics": <obs::Registry snapshot>}
+ */
+inline void
+writeBenchJson(const std::string &name, double reportWallMs)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("schema_version", 1);
+    doc.set("bench", name);
+    doc.set("git_sha", gitSha());
+    doc.set("threads",
+            static_cast<double>(
+                analysis::SweepOptions{}.resolvedThreads()));
+    doc.set("report_wall_ms", reportWallMs);
+    json::Value speedups = json::Value::makeArray();
+    for (const SweepTimingRecord &record : sweepTimingRecords()) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("label", record.label);
+        entry.set("serial_ms", record.serialMs);
+        entry.set("parallel_ms", record.parallelMs);
+        entry.set("threads", static_cast<double>(record.threads));
+        entry.set("speedup", record.speedup());
+        speedups.push(std::move(entry));
+    }
+    doc.set("speedups", std::move(speedups));
+    doc.set("metrics", obs::Registry::global().snapshot());
+
+    std::string path = resultsDir() + "/BENCH_" + name + ".json";
+    std::ofstream out(path);
+    out << doc.dump(2) << "\n";
+    if (out.good())
+        std::cout << "[json] wrote " << path << "\n";
+    else
+        std::cout << "[json] FAILED to write " << path << "\n";
 }
 
 /**
@@ -116,6 +220,25 @@ runBenchmarks(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;
+}
+
+/**
+ * Full bench main: run the timed report, emit BENCH_<name>.json, then
+ * hand over to google-benchmark. `name` is the binary name minus the
+ * bench_ prefix.
+ */
+inline int
+benchMain(const std::string &name,
+          const std::function<void()> &printReport, int argc,
+          char **argv)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    printReport();
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    writeBenchJson(name, wall_ms);
+    return runBenchmarks(argc, argv);
 }
 
 } // namespace sdnav::bench

@@ -106,6 +106,5 @@ BENCHMARK(benchClosedVsApproxSweep);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("approximations", printReport, argc, argv);
 }

@@ -145,6 +145,5 @@ BENCHMARK(benchNineNodeEngine);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("cluster_scaling", printReport, argc, argv);
 }

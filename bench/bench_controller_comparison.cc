@@ -127,6 +127,5 @@ BENCHMARK(benchThreeControllerSweep);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("controller_comparison", printReport, argc, argv);
 }

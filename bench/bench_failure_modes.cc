@@ -151,6 +151,5 @@ BENCHMARK(benchCutSetOrder3);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("failure_modes", printReport, argc, argv);
 }

@@ -129,6 +129,5 @@ BENCHMARK(benchFigure3FullSweep);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("fig3", printReport, argc, argv);
 }

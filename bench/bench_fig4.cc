@@ -220,6 +220,5 @@ BENCHMARK(benchExactEvaluateOnly);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("fig4", printReport, argc, argv);
 }

@@ -113,6 +113,5 @@ BENCHMARK(benchFigure5FullSweep);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("fig5", printReport, argc, argv);
 }

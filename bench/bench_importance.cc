@@ -107,6 +107,5 @@ BENCHMARK(benchImportanceRanking);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("importance", printReport, argc, argv);
 }

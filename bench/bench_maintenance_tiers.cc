@@ -131,6 +131,5 @@ BENCHMARK(benchTierSweep);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("maintenance_tiers", printReport, argc, argv);
 }

@@ -152,6 +152,5 @@ BENCHMARK(benchOptimalPeriodSearch);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("operations", printReport, argc, argv);
 }

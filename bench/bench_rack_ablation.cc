@@ -145,6 +145,5 @@ BENCHMARK(benchRackSweep);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("rack_ablation", printReport, argc, argv);
 }

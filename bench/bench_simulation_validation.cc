@@ -352,6 +352,5 @@ BENCHMARK(benchReplicatedRenewal)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("simulation_validation", printReport, argc, argv);
 }

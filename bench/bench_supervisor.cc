@@ -136,6 +136,5 @@ BENCHMARK(benchScenario2Ctmc);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("supervisor", printReport, argc, argv);
 }

@@ -65,6 +65,5 @@ BENCHMARK(benchTableRendering);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("table1", printReport, argc, argv);
 }

@@ -59,6 +59,5 @@ BENCHMARK(benchRestartCounts);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("table2", printReport, argc, argv);
 }

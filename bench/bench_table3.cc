@@ -65,6 +65,5 @@ BENCHMARK(benchQuorumDerivation);
 int
 main(int argc, char **argv)
 {
-    printReport();
-    return sdnav::bench::runBenchmarks(argc, argv);
+    return sdnav::bench::benchMain("table3", printReport, argc, argv);
 }

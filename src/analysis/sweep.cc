@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
+
+#include "obs/obs.hh"
 
 namespace sdnav::analysis
 {
@@ -37,6 +41,37 @@ autoChunk(std::size_t points, std::size_t threads)
     return std::max<std::size_t>(1, chunk);
 }
 
+/**
+ * Publish one executed sweep: how it was chunked, each worker's busy
+ * time, and the busy-time imbalance (max-min)/max across workers — 0
+ * means perfectly balanced claiming, 1 means a worker sat idle the
+ * whole sweep. "sweep.points" is thread-count independent;
+ * "sweep.chunks" legitimately varies with the pool size.
+ */
+void
+recordSweepMetrics(std::size_t points, std::size_t chunks,
+                   const std::vector<double> &worker_busy_ms)
+{
+    obs::Registry &registry = obs::Registry::global();
+    registry.counter("sweep.points").add(points);
+    registry.counter("sweep.chunks").add(chunks);
+    registry.counter("sweep.runs").add();
+    obs::Timer &busy = registry.timer("sweep.worker_busy");
+    double max_busy = 0.0;
+    double min_busy = worker_busy_ms.empty()
+        ? 0.0
+        : std::numeric_limits<double>::infinity();
+    for (double ms : worker_busy_ms) {
+        busy.record(ms);
+        max_busy = std::max(max_busy, ms);
+        min_busy = std::min(min_busy, ms);
+    }
+    if (worker_busy_ms.size() > 1 && max_busy > 0.0) {
+        registry.gauge("sweep.imbalance")
+            .setMax((max_busy - min_busy) / max_busy);
+    }
+}
+
 } // anonymous namespace
 
 void
@@ -54,9 +89,16 @@ forEachGridPoint(std::size_t points,
     std::size_t chunk_count = (points + chunk - 1) / chunk;
     threads = std::min(threads, chunk_count);
 
+    using clock = std::chrono::steady_clock;
+
     if (threads <= 1) {
+        auto t0 = clock::now();
         for (std::size_t i = 0; i < points; ++i)
             body(i);
+        double busy =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+        recordSweepMetrics(points, chunk_count, {busy});
         return;
     }
 
@@ -66,11 +108,13 @@ forEachGridPoint(std::size_t points,
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr error;
-    auto worker = [&] {
+    std::vector<double> worker_busy_ms(threads, 0.0);
+    auto worker = [&](std::size_t slot) {
+        auto t0 = clock::now();
         for (;;) {
             std::size_t c = next.fetch_add(1);
             if (c >= chunk_count)
-                return;
+                break;
             std::size_t begin = c * chunk;
             std::size_t end = std::min(points, begin + chunk);
             try {
@@ -80,16 +124,22 @@ forEachGridPoint(std::size_t points,
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)
                     error = std::current_exception();
-                return;
+                break;
             }
         }
+        // Each slot is written by exactly one worker and read only
+        // after join().
+        worker_busy_ms[slot] =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
     };
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t)
-        workers.emplace_back(worker);
+        workers.emplace_back(worker, t);
     for (std::thread &w : workers)
         w.join();
+    recordSweepMetrics(points, chunk_count, worker_busy_ms);
     if (error)
         std::rethrow_exception(error);
 }

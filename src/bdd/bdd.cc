@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/error.hh"
+#include "obs/obs.hh"
 
 namespace sdnav::bdd
 {
@@ -29,8 +30,11 @@ BddManager::makeNode(unsigned var, NodeRef low, NodeRef high)
         return low; // Reduction rule: redundant test.
     NodeKey key{var, low, high};
     auto it = unique_.find(key);
-    if (it != unique_.end())
+    if (it != unique_.end()) {
+        ++unique_hits_;
         return it->second;
+    }
+    ++unique_misses_;
     require(nodes_.size() < std::numeric_limits<NodeRef>::max(),
             "BDD node capacity exhausted");
     NodeRef ref = static_cast<NodeRef>(nodes_.size());
@@ -70,8 +74,11 @@ BddManager::ite(NodeRef f, NodeRef g, NodeRef h)
 
     IteKey key{f, g, h};
     auto it = ite_cache_.find(key);
-    if (it != ite_cache_.end())
+    if (it != ite_cache_.end()) {
+        ++ite_cache_hits_;
         return it->second;
+    }
+    ++ite_cache_misses_;
 
     // Shannon expansion around the smallest top variable.
     unsigned v = topVar(f);
@@ -201,6 +208,19 @@ double
 BddManager::probability(NodeRef f, std::span<const double> probs,
                         ProbabilityScratch &scratch) const
 {
+    {
+        static obs::Counter &evals =
+            obs::Registry::global().counter("bdd.prob_evals");
+        static obs::Counter &reuses =
+            obs::Registry::global().counter("bdd.scratch_reuses");
+        evals.add();
+        if (scratch.value_.capacity() >= nodes_.size() &&
+            !scratch.value_.empty()) {
+            ++scratch.reuses_;
+            reuses.add();
+        }
+    }
+
     // Dense memo keyed by NodeRef (refs index nodes_ directly). The
     // assign() calls reuse the scratch's capacity, so after the first
     // evaluation at a given manager size this allocates nothing.
@@ -267,6 +287,37 @@ BddManager::nodeCount(NodeRef f) const
         stack.push_back(nodes_[cur].high);
     }
     return seen.size();
+}
+
+BddStats
+BddManager::stats() const
+{
+    BddStats s;
+    s.iteCacheHits = ite_cache_hits_;
+    s.iteCacheMisses = ite_cache_misses_;
+    s.uniqueTableHits = unique_hits_;
+    s.uniqueTableMisses = unique_misses_;
+    s.uniqueTableSize = unique_.size();
+    s.peakNodes = nodes_.size();
+    s.variables = variable_count_;
+    return s;
+}
+
+void
+BddManager::recordMetrics() const
+{
+    obs::Registry &registry = obs::Registry::global();
+    BddStats s = stats();
+    registry.counter("bdd.ite_cache_hits").add(s.iteCacheHits);
+    registry.counter("bdd.ite_cache_misses").add(s.iteCacheMisses);
+    registry.counter("bdd.unique_table_hits").add(s.uniqueTableHits);
+    registry.counter("bdd.unique_table_misses")
+        .add(s.uniqueTableMisses);
+    registry.counter("bdd.managers_published").add();
+    registry.gauge("bdd.unique_table_size")
+        .setMax(static_cast<double>(s.uniqueTableSize));
+    registry.gauge("bdd.peak_nodes")
+        .setMax(static_cast<double>(s.peakNodes));
 }
 
 unsigned

@@ -34,6 +34,36 @@ namespace sdnav::bdd
 /** Handle to a BDD node within a BddManager. */
 using NodeRef = std::uint32_t;
 
+/**
+ * Engine statistics, accumulated by a manager over its lifetime.
+ *
+ * Nodes are never freed, so totalNodes is also the peak; unique-table
+ * and ITE-cache hit/miss counts are exact operation counts. All
+ * fields are deterministic functions of the sequence of operations
+ * performed on the manager (construction is single-threaded), so two
+ * identical builds report identical stats regardless of what other
+ * threads do elsewhere.
+ */
+struct BddStats
+{
+    /** ITE memo cache hits / misses (recursive calls included). */
+    std::uint64_t iteCacheHits = 0;
+    std::uint64_t iteCacheMisses = 0;
+
+    /** Unique-table (hash-consing) hits / misses in makeNode. */
+    std::uint64_t uniqueTableHits = 0;
+    std::uint64_t uniqueTableMisses = 0;
+
+    /** Entries in the unique table (distinct non-terminal nodes). */
+    std::size_t uniqueTableSize = 0;
+
+    /** Nodes allocated, terminals included; equals the peak. */
+    std::size_t peakNodes = 0;
+
+    /** Distinct variables created. */
+    unsigned variables = 0;
+};
+
 /** The constant-false terminal. */
 constexpr NodeRef falseNode = 0;
 
@@ -67,8 +97,17 @@ class ProbabilityScratch
         stack_.shrink_to_fit();
     }
 
+    /**
+     * Evaluations served from already-sized buffers (no allocation).
+     * First use and post-clear() use are not reuses; the count is
+     * per-scratch, so per-thread sweep scratches each start at zero.
+     */
+    std::uint64_t reuseCount() const { return reuses_; }
+
   private:
     friend class BddManager;
+
+    std::uint64_t reuses_ = 0;
 
     std::vector<double> value_;
     std::vector<std::uint8_t> known_;
@@ -180,6 +219,17 @@ class BddManager
     /** Highest variable index created so far, plus one. */
     unsigned variableCount() const { return variable_count_; }
 
+    /** Lifetime engine statistics (cache behaviour, table sizes). */
+    BddStats stats() const;
+
+    /**
+     * Fold this manager's stats into the global obs registry
+     * (counters "bdd.*", gauges "bdd.unique_table_size" /
+     * "bdd.peak_nodes" as set-max high-water marks). Callers that own
+     * a manager publish once, after the build phase.
+     */
+    void recordMetrics() const;
+
   private:
     struct Node
     {
@@ -255,6 +305,10 @@ class BddManager
     std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
     std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
     unsigned variable_count_ = 0;
+    std::uint64_t ite_cache_hits_ = 0;
+    std::uint64_t ite_cache_misses_ = 0;
+    std::uint64_t unique_hits_ = 0;
+    std::uint64_t unique_misses_ = 0;
 };
 
 } // namespace sdnav::bdd

@@ -1,0 +1,288 @@
+#include "obs/obs.hh"
+
+#include <limits>
+#include <unordered_map>
+
+namespace sdnav::obs
+{
+
+#if SDNAV_METRICS_ENABLED
+
+namespace
+{
+
+/**
+ * Metric instance ids are allocated once and never reused, so a
+ * thread-local cache entry for a destroyed metric can never alias a
+ * newer metric that happens to land at the same address.
+ */
+std::atomic<std::uint64_t> next_metric_id{1};
+
+/**
+ * Per-thread cell cache: metric id -> that thread's cell. Entries for
+ * dead metrics are simply never looked up again. The map is touched
+ * only by its owning thread.
+ */
+thread_local std::unordered_map<std::uint64_t, void *> t_cell_cache;
+
+std::uint64_t
+allocateMetricId()
+{
+    return next_metric_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // anonymous namespace
+
+/**
+ * One thread's accumulator. Written only by the owning thread (relaxed
+ * atomics keep a concurrent snapshot race-free); cache-line aligned so
+ * two threads' cells never share a line.
+ */
+struct alignas(64) Counter::Cell
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+Counter::Counter() : id_(allocateMetricId()) {}
+
+Counter::~Counter() = default;
+
+Counter::Cell &
+Counter::cell()
+{
+    auto it = t_cell_cache.find(id_);
+    if (it != t_cell_cache.end())
+        return *static_cast<Cell *>(it->second);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(std::make_unique<Cell>());
+    Cell *c = cells_.back().get();
+    t_cell_cache.emplace(id_, c);
+    return *c;
+}
+
+void
+Counter::add(std::uint64_t n)
+{
+    auto &v = cell().value;
+    v.store(v.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+}
+
+std::uint64_t
+Counter::value() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t sum = 0;
+    for (const auto &c : cells_)
+        sum += c->value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void
+Counter::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &c : cells_)
+        c->value.store(0, std::memory_order_relaxed);
+}
+
+void
+Gauge::setMax(double v)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** One thread's interval accumulator; see Counter::Cell. */
+struct alignas(64) Timer::Cell
+{
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> total{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+Timer::Timer() : id_(allocateMetricId()) {}
+
+Timer::~Timer() = default;
+
+Timer::Cell &
+Timer::cell()
+{
+    auto it = t_cell_cache.find(id_);
+    if (it != t_cell_cache.end())
+        return *static_cast<Cell *>(it->second);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(std::make_unique<Cell>());
+    Cell *c = cells_.back().get();
+    t_cell_cache.emplace(id_, c);
+    return *c;
+}
+
+void
+Timer::record(double ms)
+{
+    Cell &c = cell();
+    c.count.store(c.count.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    c.total.store(c.total.load(std::memory_order_relaxed) + ms,
+                  std::memory_order_relaxed);
+    if (ms < c.min.load(std::memory_order_relaxed))
+        c.min.store(ms, std::memory_order_relaxed);
+    if (ms > c.max.load(std::memory_order_relaxed))
+        c.max.store(ms, std::memory_order_relaxed);
+}
+
+TimerStats
+Timer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TimerStats folded;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    for (const auto &c : cells_) {
+        std::uint64_t count = c->count.load(std::memory_order_relaxed);
+        if (count == 0)
+            continue;
+        folded.count += count;
+        folded.totalMs += c->total.load(std::memory_order_relaxed);
+        min = std::min(min, c->min.load(std::memory_order_relaxed));
+        max = std::max(max, c->max.load(std::memory_order_relaxed));
+    }
+    if (folded.count > 0) {
+        folded.minMs = min;
+        folded.maxMs = max;
+    }
+    return folded;
+}
+
+void
+Timer::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &c : cells_) {
+        c->count.store(0, std::memory_order_relaxed);
+        c->total.store(0.0, std::memory_order_relaxed);
+        c->min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        c->max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    }
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Timer &
+Registry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = timers_[name];
+    if (!slot)
+        slot = std::make_unique<Timer>();
+    return *slot;
+}
+
+json::Value
+Registry::snapshot() const
+{
+    // Copy the metric pointers under the lock, fold outside it: the
+    // fold takes each metric's own mutex, and lock ordering stays
+    // one-at-a-time.
+    std::vector<std::pair<std::string, const Counter *>> counters;
+    std::vector<std::pair<std::string, const Gauge *>> gauges;
+    std::vector<std::pair<std::string, const Timer *>> timers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, c] : counters_)
+            counters.emplace_back(name, c.get());
+        for (const auto &[name, g] : gauges_)
+            gauges.emplace_back(name, g.get());
+        for (const auto &[name, t] : timers_)
+            timers.emplace_back(name, t.get());
+    }
+
+    json::Value root = json::Value::makeObject();
+    root.set("enabled", true);
+    json::Value counter_obj = json::Value::makeObject();
+    for (const auto &[name, c] : counters)
+        counter_obj.set(name, static_cast<double>(c->value()));
+    root.set("counters", std::move(counter_obj));
+    json::Value gauge_obj = json::Value::makeObject();
+    for (const auto &[name, g] : gauges)
+        gauge_obj.set(name, g->value());
+    root.set("gauges", std::move(gauge_obj));
+    json::Value timer_obj = json::Value::makeObject();
+    for (const auto &[name, t] : timers) {
+        TimerStats stats = t->stats();
+        json::Value entry = json::Value::makeObject();
+        entry.set("count", static_cast<double>(stats.count));
+        entry.set("total_ms", stats.totalMs);
+        entry.set("min_ms", stats.minMs);
+        entry.set("mean_ms", stats.meanMs());
+        entry.set("max_ms", stats.maxMs);
+        timer_obj.set(name, std::move(entry));
+    }
+    root.set("timers", std::move(timer_obj));
+    return root;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : counters_)
+        entry.second->reset();
+    for (auto &entry : gauges_)
+        entry.second->reset();
+    for (auto &entry : timers_)
+        entry.second->reset();
+}
+
+#else // !SDNAV_METRICS_ENABLED
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+json::Value
+Registry::snapshot() const
+{
+    json::Value root = json::Value::makeObject();
+    root.set("enabled", false);
+    return root;
+}
+
+#endif // SDNAV_METRICS_ENABLED
+
+} // namespace sdnav::obs

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Lightweight runtime metrics: counters, gauges, and scoped timers.
+ *
+ * The parallel simulation and sweep engines are judged by measured
+ * behaviour — events/sec, cache hit rates, worker imbalance — but
+ * until now that evidence only existed as human-readable timing text.
+ * This library gives the hot subsystems a zero-dependency place to
+ * record those numbers and one `Registry::snapshot()` that serializes
+ * them through common/json, so the CLI (`--metrics`), every bench
+ * binary (`BENCH_<name>.json`), and the CI perf gate all read the
+ * same machine-readable artifact.
+ *
+ * Thread-safety model: counters and timers accumulate into per-thread
+ * cells (registered on a thread's first touch, folded at snapshot
+ * time), so the hot path is an uncontended relaxed atomic update —
+ * no locks, no shared cache line ping-pong. Gauges are a single
+ * atomic with set / set-max semantics. A concurrent snapshot is safe
+ * and sees some consistent partial sum; quiescent snapshots are
+ * exact. Counter folds are integer sums, so any counter whose
+ * per-thread increments are deterministic folds to a bit-identical
+ * value for every thread count.
+ *
+ * Building with -DSDNAV_METRICS=OFF defines SDNAV_METRICS_ENABLED=0
+ * and swaps every class for an empty-bodied no-op with the same API,
+ * so instrumented code compiles away without #ifdefs at call sites.
+ */
+
+#ifndef SDNAV_OBS_OBS_HH
+#define SDNAV_OBS_OBS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+#ifndef SDNAV_METRICS_ENABLED
+#define SDNAV_METRICS_ENABLED 1
+#endif
+
+namespace sdnav::obs
+{
+
+/** Folded view of one timer across all threads. */
+struct TimerStats
+{
+    /** Number of recorded intervals. */
+    std::uint64_t count = 0;
+
+    /** Sum of recorded intervals (milliseconds). */
+    double totalMs = 0.0;
+
+    /** Shortest recorded interval; 0 when count == 0. */
+    double minMs = 0.0;
+
+    /** Longest recorded interval; 0 when count == 0. */
+    double maxMs = 0.0;
+
+    double
+    meanMs() const
+    {
+        return count > 0 ? totalMs / static_cast<double>(count) : 0.0;
+    }
+};
+
+#if SDNAV_METRICS_ENABLED
+
+/**
+ * A monotonic counter. add() touches only the calling thread's cell;
+ * value() folds all cells (exact once writers are quiescent).
+ */
+class Counter
+{
+  public:
+    Counter();
+    ~Counter();
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    /** Increment this thread's cell. */
+    void add(std::uint64_t n = 1);
+
+    /** Sum over every thread's cell. */
+    std::uint64_t value() const;
+
+    /** Zero every cell (for test setup; not for concurrent use). */
+    void reset();
+
+  private:
+    struct Cell;
+
+    Cell &cell();
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Cell>> cells_;
+    std::uint64_t id_;
+};
+
+/** A single value with set / set-max semantics (e.g. high-water marks). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    /** Overwrite the value. */
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Raise the value to v if v is larger (atomic max). */
+    void setMax(double v);
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero (for test setup; not for concurrent use). */
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * A wall-clock interval accumulator (count / total / min / max in
+ * milliseconds), per-thread cells like Counter.
+ */
+class Timer
+{
+  public:
+    Timer();
+    ~Timer();
+    Timer(const Timer &) = delete;
+    Timer &operator=(const Timer &) = delete;
+
+    /** Record one interval, in milliseconds. */
+    void record(double ms);
+
+    /** Fold all cells. */
+    TimerStats stats() const;
+
+    /** Zero every cell (for test setup; not for concurrent use). */
+    void reset();
+
+  private:
+    struct Cell;
+
+    Cell &cell();
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Cell>> cells_;
+    std::uint64_t id_;
+};
+
+/** RAII wall-clock scope: records into the timer on destruction. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &timer)
+        : timer_(&timer), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        auto end = std::chrono::steady_clock::now();
+        timer_->record(
+            std::chrono::duration<double, std::milli>(end - start_)
+                .count());
+    }
+
+  private:
+    Timer *timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Named metric store. Metrics are created on first lookup and live
+ * for the registry's lifetime, so callers may cache references:
+ *
+ *     static obs::Counter &hits =
+ *         obs::Registry::global().counter("bdd.ite_cache_hits");
+ *     hits.add();
+ *
+ * Names are dotted lowercase `subsystem.metric`. snapshot() emits all
+ * metrics in name order, so two snapshots of equal state serialize
+ * identically.
+ */
+class Registry
+{
+  public:
+    /** The process-wide registry every subsystem records into. */
+    static Registry &global();
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Timer &timer(const std::string &name);
+
+    /**
+     * Serialize every metric:
+     *
+     *   {"enabled": true,
+     *    "counters": {name: value, ...},
+     *    "gauges":   {name: value, ...},
+     *    "timers":   {name: {"count", "total_ms", "min_ms",
+     *                        "mean_ms", "max_ms"}, ...}}
+     */
+    json::Value snapshot() const;
+
+    /** Zero every metric (keeps registrations and cached references). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+#else // !SDNAV_METRICS_ENABLED — same API, empty bodies.
+
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void add(std::uint64_t = 1) {}
+    std::uint64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void set(double) {}
+    void setMax(double) {}
+    double value() const { return 0.0; }
+    void reset() {}
+};
+
+class Timer
+{
+  public:
+    Timer() = default;
+    Timer(const Timer &) = delete;
+    Timer &operator=(const Timer &) = delete;
+
+    void record(double) {}
+    TimerStats stats() const { return {}; }
+    void reset() {}
+};
+
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &) {}
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+};
+
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &) { return counter_; }
+    Gauge &gauge(const std::string &) { return gauge_; }
+    Timer &timer(const std::string &) { return timer_; }
+
+    /** {"enabled": false} — consumers can tell a no-op build apart. */
+    json::Value snapshot() const;
+
+    void reset() {}
+
+  private:
+    Counter counter_;
+    Gauge gauge_;
+    Timer timer_;
+};
+
+#endif // SDNAV_METRICS_ENABLED
+
+} // namespace sdnav::obs
+
+#endif // SDNAV_OBS_OBS_HH

@@ -220,6 +220,9 @@ RbdSystem::availabilityMonteCarlo(std::size_t samples,
 CompiledRbd::CompiledRbd(const RbdSystem &system)
     : root_(system.compile(manager_))
 {
+    // The build phase is over; evaluation never grows the manager, so
+    // this is the moment the cache/table stats are final.
+    manager_.recordMetrics();
 }
 
 double

@@ -184,6 +184,7 @@ class ControllerSimulation
     double batch_dp_mark_ = 0.0;
     std::size_t next_batch_ = 1;
     std::size_t events_ = 0;
+    std::size_t queue_hwm_ = 0;
 };
 
 void
@@ -191,6 +192,7 @@ ControllerSimulation::push(double time, EventKind kind, std::size_t index)
 {
     require(time >= last_time_, "event scheduled in the past");
     queue_.push({time, seq_++, kind, index});
+    queue_hwm_ = std::max(queue_hwm_, queue_.size());
 }
 
 void
@@ -656,6 +658,8 @@ ControllerSimulation::run()
             ? redisc_hosthours_ / config_.horizonHours
             : 0.0;
     result.events = events_;
+    result.queueHighWater = queue_hwm_;
+    recordSimMetrics(events_, queue_hwm_);
     return result;
 }
 

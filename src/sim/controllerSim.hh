@@ -119,6 +119,12 @@ struct ControllerSimResult
      */
     double rediscoveryDowntimeFraction = 0.0;
 
+    /**
+     * Peak pending-event count — a pure function of the seed, so it
+     * is identical for any thread count in a replicated run.
+     */
+    std::size_t queueHighWater = 0;
+
     /** Total events processed. */
     std::size_t events = 0;
 };

@@ -118,6 +118,7 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
         }
     };
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    std::size_t queue_hwm = 0;
 
     std::vector<bool> up(n, true);
     std::uint64_t seq = 0;
@@ -125,6 +126,7 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
         double t = timings[c].timeToFailure->sample(rng);
         queue.push({t, seq++, c});
     }
+    queue_hwm = queue.size();
 
     const rbd::Block &root = system.root();
     bool system_up = root.evaluate(up);
@@ -164,6 +166,7 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
             ? timings[ev.component].timeToFailure->sample(rng)
             : timings[ev.component].timeToRepair->sample(rng);
         queue.push({ev.time + hold, seq++, ev.component});
+        queue_hwm = std::max(queue_hwm, queue.size());
 
         bool now_up = root.evaluate(up);
         if (now_up != system_up) {
@@ -189,6 +192,8 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
     result.meanOutageHours = tracker.meanOutageDuration();
     result.maxOutageHours = tracker.maxOutageDuration();
     result.events = events;
+    result.queueHighWater = queue_hwm;
+    recordSimMetrics(events, queue_hwm);
     return result;
 }
 

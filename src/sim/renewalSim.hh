@@ -86,6 +86,9 @@ struct RenewalSimResult
 
     /** Total state-transition events processed. */
     std::size_t events = 0;
+
+    /** Peak pending-event count (deterministic per seed). */
+    std::size_t queueHighWater = 0;
 };
 
 /**

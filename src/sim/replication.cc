@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/error.hh"
+#include "obs/obs.hh"
 #include "prob/rng.hh"
 
 namespace sdnav::sim
@@ -63,6 +65,42 @@ runPool(std::size_t jobs, std::size_t threads, const Body &body)
         w.join();
     if (error)
         std::rethrow_exception(error);
+}
+
+/**
+ * Run one replication body under the per-replication wall timer and
+ * accumulate total busy milliseconds for the events/sec gauge.
+ */
+template <typename Body>
+void
+timedReplication(std::atomic<double> &busy_ms_total, const Body &body)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        obs::ScopedTimer scope(
+            obs::Registry::global().timer("sim.replication_wall"));
+        body();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double cur = busy_ms_total.load(std::memory_order_relaxed);
+    while (!busy_ms_total.compare_exchange_weak(
+        cur, cur + ms, std::memory_order_relaxed)) {
+    }
+}
+
+/** Publish pooled throughput after a replicated run. */
+void
+recordReplicationThroughput(std::size_t replications,
+                            std::size_t events, double busy_ms)
+{
+    obs::Registry &registry = obs::Registry::global();
+    registry.counter("sim.replications").add(replications);
+    if (busy_ms > 0.0) {
+        registry.gauge("sim.events_per_sec")
+            .set(static_cast<double>(events) / (busy_ms / 1000.0));
+    }
 }
 
 } // anonymous namespace
@@ -174,13 +212,16 @@ simulateControllerReplicated(const fmea::ControllerCatalog &catalog,
     replication.validate();
 
     std::vector<ControllerSimResult> results(replication.replications);
+    std::atomic<double> busy_ms{0.0};
     runPool(replication.replications, replication.threads,
             [&](std::size_t replica) {
-                ControllerSimConfig config = perReplication;
-                config.seed =
-                    replicationSeed(replication.baseSeed, replica);
-                results[replica] =
-                    simulateController(catalog, topo, policy, config);
+                timedReplication(busy_ms, [&] {
+                    ControllerSimConfig config = perReplication;
+                    config.seed =
+                        replicationSeed(replication.baseSeed, replica);
+                    results[replica] = simulateController(
+                        catalog, topo, policy, config);
+                });
             });
 
     ReplicatedControllerResult merged;
@@ -206,6 +247,9 @@ simulateControllerReplicated(const fmea::ControllerCatalog &catalog,
     merged.rediscoveryDowntimeFraction =
         redisc_sum / static_cast<double>(results.size());
     merged.perReplication = std::move(results);
+    recordReplicationThroughput(replication.replications,
+                                merged.events,
+                                busy_ms.load(std::memory_order_relaxed));
     return merged;
 }
 
@@ -219,13 +263,16 @@ simulateRenewalSystemReplicated(
     replication.validate();
 
     std::vector<RenewalSimResult> results(replication.replications);
+    std::atomic<double> busy_ms{0.0};
     runPool(replication.replications, replication.threads,
             [&](std::size_t replica) {
-                RenewalSimConfig config = perReplication;
-                config.seed =
-                    replicationSeed(replication.baseSeed, replica);
-                results[replica] =
-                    simulateRenewalSystem(system, timings, config);
+                timedReplication(busy_ms, [&] {
+                    RenewalSimConfig config = perReplication;
+                    config.seed =
+                        replicationSeed(replication.baseSeed, replica);
+                    results[replica] =
+                        simulateRenewalSystem(system, timings, config);
+                });
             });
 
     ReplicatedRenewalResult merged;
@@ -243,6 +290,9 @@ simulateRenewalSystemReplicated(
     merged.meanOutageHours = outages.meanHours();
     merged.maxOutageHours = outages.max_hours;
     merged.perReplication = std::move(results);
+    recordReplicationThroughput(replication.replications,
+                                merged.events,
+                                busy_ms.load(std::memory_order_relaxed));
     return merged;
 }
 

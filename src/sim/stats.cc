@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "obs/obs.hh"
 
 namespace sdnav::sim
 {
@@ -116,6 +117,20 @@ batchMeans(const std::vector<double> &samples)
     result.standardError =
         std::sqrt(variance / static_cast<double>(samples.size()));
     return result;
+}
+
+void
+recordSimMetrics(std::size_t events, std::size_t queueHighWater)
+{
+    static obs::Counter &event_counter =
+        obs::Registry::global().counter("sim.events");
+    static obs::Counter &run_counter =
+        obs::Registry::global().counter("sim.runs");
+    static obs::Gauge &queue_gauge =
+        obs::Registry::global().gauge("sim.queue_high_water");
+    event_counter.add(events);
+    run_counter.add();
+    queue_gauge.setMax(static_cast<double>(queueHighWater));
 }
 
 } // namespace sdnav::sim

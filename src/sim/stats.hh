@@ -98,6 +98,16 @@ BatchMeansResult batchMeans(const std::vector<double> &samples);
  */
 double tCritical95(std::size_t degreesOfFreedom);
 
+/**
+ * Fold one finished simulation run into the global obs registry:
+ * counters "sim.events" / "sim.runs" and the "sim.queue_high_water"
+ * set-max gauge. Both discrete-event engines call this once per run
+ * from whatever worker thread ran the replication; event counts are
+ * per-seed deterministic, so the folded totals are thread-count
+ * independent.
+ */
+void recordSimMetrics(std::size_t events, std::size_t queueHighWater);
+
 } // namespace sdnav::sim
 
 #endif // SDNAV_SIM_STATS_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the src/obs metrics library: counter/gauge/timer
+ * correctness, snapshot shape and determinism, and the per-thread
+ * cell design under real thread churn (this suite runs in the TSan
+ * CI job alongside the other threaded suites).
+ *
+ * Every assertion branches on SDNAV_METRICS_ENABLED so the same
+ * suite passes in the -DSDNAV_METRICS=OFF no-op build, proving the
+ * stub API keeps compiling and linking.
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "obs/obs.hh"
+
+namespace
+{
+
+using namespace sdnav;
+
+#if SDNAV_METRICS_ENABLED
+constexpr bool kEnabled = true;
+#else
+constexpr bool kEnabled = false;
+#endif
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    obs::Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), kEnabled ? 42u : 0u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, SumsAcrossThreadsExactly)
+{
+    obs::Counter counter;
+    constexpr std::size_t threads = 8;
+    constexpr std::uint64_t per_thread = 10000;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < per_thread; ++i)
+                counter.add();
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+    EXPECT_EQ(counter.value(), kEnabled ? threads * per_thread : 0u);
+}
+
+TEST(Counter, CellsSurviveThreadExit)
+{
+    // A thread's contribution must not disappear when the thread
+    // does: cells belong to the counter, not to the thread.
+    obs::Counter counter;
+    std::thread([&counter] { counter.add(7); }).join();
+    std::thread([&counter] { counter.add(5); }).join();
+    EXPECT_EQ(counter.value(), kEnabled ? 12u : 0u);
+}
+
+TEST(Gauge, SetAndSetMax)
+{
+    obs::Gauge gauge;
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+    gauge.set(3.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), kEnabled ? 3.5 : 0.0);
+    gauge.setMax(2.0); // lower: no effect
+    EXPECT_DOUBLE_EQ(gauge.value(), kEnabled ? 3.5 : 0.0);
+    gauge.setMax(9.0); // higher: raises
+    EXPECT_DOUBLE_EQ(gauge.value(), kEnabled ? 9.0 : 0.0);
+}
+
+TEST(Gauge, SetMaxRacesToTheMaximum)
+{
+    obs::Gauge gauge;
+    constexpr int threads = 8;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&gauge, t] {
+            for (int i = 0; i < 1000; ++i)
+                gauge.setMax(static_cast<double>(t * 1000 + i));
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+    EXPECT_DOUBLE_EQ(gauge.value(), kEnabled ? 7999.0 : 0.0);
+}
+
+TEST(Timer, FoldsCountTotalMinMax)
+{
+    obs::Timer timer;
+    EXPECT_EQ(timer.stats().count, 0u);
+    EXPECT_DOUBLE_EQ(timer.stats().meanMs(), 0.0);
+    timer.record(2.0);
+    timer.record(6.0);
+    timer.record(4.0);
+    obs::TimerStats stats = timer.stats();
+    if (kEnabled) {
+        EXPECT_EQ(stats.count, 3u);
+        EXPECT_DOUBLE_EQ(stats.totalMs, 12.0);
+        EXPECT_DOUBLE_EQ(stats.minMs, 2.0);
+        EXPECT_DOUBLE_EQ(stats.maxMs, 6.0);
+        EXPECT_DOUBLE_EQ(stats.meanMs(), 4.0);
+    } else {
+        EXPECT_EQ(stats.count, 0u);
+    }
+}
+
+TEST(Timer, FoldsAcrossThreads)
+{
+    obs::Timer timer;
+    std::thread([&timer] { timer.record(1.0); }).join();
+    std::thread([&timer] { timer.record(3.0); }).join();
+    obs::TimerStats stats = timer.stats();
+    if (kEnabled) {
+        EXPECT_EQ(stats.count, 2u);
+        EXPECT_DOUBLE_EQ(stats.minMs, 1.0);
+        EXPECT_DOUBLE_EQ(stats.maxMs, 3.0);
+    } else {
+        EXPECT_EQ(stats.count, 0u);
+    }
+}
+
+TEST(ScopedTimer, RecordsOneIntervalOnDestruction)
+{
+    obs::Timer timer;
+    {
+        obs::ScopedTimer scope(timer);
+    }
+    EXPECT_EQ(timer.stats().count, kEnabled ? 1u : 0u);
+    EXPECT_GE(timer.stats().totalMs, 0.0);
+}
+
+TEST(Registry, ReturnsStableReferences)
+{
+    obs::Registry registry;
+    obs::Counter &a = registry.counter("test.counter");
+    obs::Counter &b = registry.counter("test.counter");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(registry.counter("test.counter").value(),
+              kEnabled ? 3u : 0u);
+}
+
+TEST(Registry, SnapshotShape)
+{
+    obs::Registry registry;
+    registry.counter("x.count").add(2);
+    registry.gauge("x.level").set(1.5);
+    registry.timer("x.time").record(4.0);
+
+    json::Value snap = registry.snapshot();
+    ASSERT_TRUE(snap.isObject());
+    ASSERT_TRUE(snap.contains("enabled"));
+    EXPECT_EQ(snap.at("enabled").asBool(), kEnabled);
+    if (!kEnabled)
+        return; // the no-op snapshot carries only the flag
+
+    ASSERT_TRUE(snap.contains("counters"));
+    ASSERT_TRUE(snap.contains("gauges"));
+    ASSERT_TRUE(snap.contains("timers"));
+    EXPECT_DOUBLE_EQ(snap.at("counters").at("x.count").asNumber(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(snap.at("gauges").at("x.level").asNumber(), 1.5);
+    const json::Value &timer = snap.at("timers").at("x.time");
+    EXPECT_DOUBLE_EQ(timer.at("count").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(timer.at("total_ms").asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(timer.at("min_ms").asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(timer.at("mean_ms").asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(timer.at("max_ms").asNumber(), 4.0);
+}
+
+TEST(Registry, SnapshotOfEqualStateSerializesIdentically)
+{
+    // Metrics are stored name-ordered, so two registries holding the
+    // same values dump byte-identical JSON regardless of the order
+    // the metrics were first touched in.
+    obs::Registry first;
+    first.counter("a.one").add(1);
+    first.counter("b.two").add(2);
+    first.gauge("c.g").set(3.0);
+
+    obs::Registry second;
+    second.gauge("c.g").set(3.0);
+    second.counter("b.two").add(2);
+    second.counter("a.one").add(1);
+
+    EXPECT_EQ(first.snapshot().dump(2), second.snapshot().dump(2));
+}
+
+TEST(Registry, ResetZeroesEverythingButKeepsReferences)
+{
+    obs::Registry registry;
+    obs::Counter &counter = registry.counter("r.count");
+    counter.add(9);
+    registry.gauge("r.gauge").set(2.0);
+    registry.timer("r.timer").record(1.0);
+    registry.reset();
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_DOUBLE_EQ(registry.gauge("r.gauge").value(), 0.0);
+    EXPECT_EQ(registry.timer("r.timer").stats().count, 0u);
+    counter.add(); // cached reference still valid after reset
+    EXPECT_EQ(counter.value(), kEnabled ? 1u : 0u);
+}
+
+TEST(Registry, ConcurrentHammerWithLiveSnapshots)
+{
+    // 8 writer threads hammer one registry while the main thread
+    // takes snapshots mid-flight. Under TSan this is the data-race
+    // proof for the per-thread cell design; the final quiescent
+    // fold must still be exact.
+    obs::Registry registry;
+    constexpr std::size_t threads = 8;
+    constexpr std::uint64_t per_thread = 20000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&registry, &go] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            obs::Counter &counter =
+                registry.counter("hammer.count");
+            obs::Timer &timer = registry.timer("hammer.time");
+            obs::Gauge &gauge = registry.gauge("hammer.gauge");
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                counter.add();
+                if (i % 1000 == 0) {
+                    timer.record(0.5);
+                    gauge.setMax(static_cast<double>(i));
+                }
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (int i = 0; i < 50; ++i) {
+        json::Value snap = registry.snapshot();
+        ASSERT_TRUE(snap.isObject());
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+    EXPECT_EQ(registry.counter("hammer.count").value(),
+              kEnabled ? threads * per_thread : 0u);
+    EXPECT_EQ(registry.timer("hammer.time").stats().count,
+              kEnabled ? threads * (per_thread / 1000) : 0u);
+}
+
+TEST(Registry, GlobalIsASingleton)
+{
+    EXPECT_EQ(&obs::Registry::global(), &obs::Registry::global());
+}
+
+} // anonymous namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * End-to-end tests of tools/bench_compare.py (the perf-regression
+ * gate) against synthetic BENCH_*.json directories: pass, wall-time
+ * regression, metric-shape warning, missing baseline, and the
+ * --bless flow. SDNAV_BENCH_COMPARE_PATH is injected by CMake; the
+ * suite skips when python3 is unavailable.
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode;
+    std::string output;
+};
+
+CommandResult
+runCommand(const std::string &command)
+{
+    FILE *pipe = popen((command + " 2>&1").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        output += buffer.data();
+    int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+bool
+havePython3()
+{
+    return runCommand("python3 --version").exitCode == 0;
+}
+
+CommandResult
+runBenchCompare(const std::string &arguments)
+{
+    return runCommand(std::string("python3 ") +
+                      SDNAV_BENCH_COMPARE_PATH + " " + arguments);
+}
+
+/** A fixture providing fresh baseline/result dirs per test. */
+class BenchCompare : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!havePython3())
+            GTEST_SKIP() << "python3 not available";
+        root_ = testing::TempDir() + "/bench_compare_" +
+                testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name();
+        baselines_ = root_ + "/baselines";
+        results_ = root_ + "/results";
+        std::filesystem::remove_all(root_);
+        std::filesystem::create_directories(baselines_);
+        std::filesystem::create_directories(results_);
+    }
+
+    /** Write a minimal BENCH_<name>.json into dir. */
+    void
+    writeBench(const std::string &dir, const std::string &name,
+               double wallMs,
+               const std::string &counters = "\"sim.events\": 100")
+    {
+        std::ofstream out(dir + "/BENCH_" + name + ".json");
+        out << "{\n"
+            << "  \"schema_version\": 1,\n"
+            << "  \"bench\": \"" << name << "\",\n"
+            << "  \"git_sha\": \"test\",\n"
+            << "  \"threads\": 1,\n"
+            << "  \"report_wall_ms\": " << wallMs << ",\n"
+            << "  \"speedups\": [],\n"
+            << "  \"metrics\": {\"enabled\": true, \"counters\": {"
+            << counters << "}, \"gauges\": {}, \"timers\": {}}\n"
+            << "}\n";
+    }
+
+    CommandResult
+    compare(const std::string &extra = "")
+    {
+        return runBenchCompare("--baselines " + baselines_ +
+                               " --results " + results_ + " " + extra);
+    }
+
+    std::string root_, baselines_, results_;
+};
+
+TEST_F(BenchCompare, MatchingResultsPass)
+{
+    writeBench(baselines_, "alpha", 1000.0);
+    writeBench(results_, "alpha", 1040.0);
+    auto result = compare();
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("within budget"), std::string::npos);
+}
+
+TEST_F(BenchCompare, SlightGrowthWithinBudgetPasses)
+{
+    writeBench(baselines_, "alpha", 1000.0);
+    writeBench(results_, "alpha", 1200.0); // +20% < default 25%
+    EXPECT_EQ(compare().exitCode, 0);
+}
+
+TEST_F(BenchCompare, SubMillisecondNoiseNeverFails)
+{
+    // A 6x blowup on a 0.2 ms report is scheduler noise, not a
+    // regression: the absolute slack floor must absorb it.
+    writeBench(baselines_, "tiny", 0.2);
+    writeBench(results_, "tiny", 1.3);
+    EXPECT_EQ(compare().exitCode, 0);
+    // Zeroing the slack restores the strict relative budget.
+    EXPECT_EQ(compare("--min-wall-ms 0").exitCode, 1);
+}
+
+TEST_F(BenchCompare, DoubledWallTimeFails)
+{
+    writeBench(baselines_, "alpha", 1000.0);
+    writeBench(results_, "alpha", 2000.0);
+    auto result = compare();
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("exceeds"), std::string::npos);
+}
+
+TEST_F(BenchCompare, MaxRegressionFlagLoosensTheBudget)
+{
+    writeBench(baselines_, "alpha", 1000.0);
+    writeBench(results_, "alpha", 2000.0);
+    EXPECT_EQ(compare("--max-regression 1.5").exitCode, 0);
+}
+
+TEST_F(BenchCompare, MetricShapeMismatchOnlyWarns)
+{
+    writeBench(baselines_, "alpha", 100.0, "\"sim.events\": 100");
+    writeBench(results_, "alpha", 100.0, "\"sim.other\": 5");
+    auto result = compare();
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("warning:"), std::string::npos);
+    EXPECT_NE(result.output.find("sim.other"), std::string::npos);
+    EXPECT_NE(result.output.find("sim.events"), std::string::npos);
+}
+
+TEST_F(BenchCompare, MissingBaselineFailsWithBlessHint)
+{
+    writeBench(results_, "newbench", 50.0);
+    writeBench(baselines_, "alpha", 100.0);
+    writeBench(results_, "alpha", 100.0);
+    auto result = compare();
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("no committed baseline"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("--bless"), std::string::npos);
+}
+
+TEST_F(BenchCompare, MissingResultFails)
+{
+    writeBench(baselines_, "alpha", 100.0);
+    auto result = compare();
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("no result was produced"),
+              std::string::npos);
+}
+
+TEST_F(BenchCompare, BlessThenCompareRoundTrips)
+{
+    writeBench(results_, "alpha", 100.0);
+    writeBench(results_, "beta", 200.0);
+    auto bless = compare("--bless");
+    EXPECT_EQ(bless.exitCode, 0);
+    EXPECT_NE(bless.output.find("blessed"), std::string::npos);
+    EXPECT_EQ(compare().exitCode, 0);
+}
+
+TEST_F(BenchCompare, EmptyBaselinesDirectoryFails)
+{
+    writeBench(results_, "alpha", 100.0);
+    auto result = compare();
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("bless first"), std::string::npos);
+}
+
+TEST_F(BenchCompare, NegativeMaxRegressionIsUsageError)
+{
+    EXPECT_EQ(compare("--max-regression -0.5").exitCode, 2);
+    EXPECT_EQ(compare("--min-wall-ms -1").exitCode, 2);
+}
+
+} // anonymous namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Argument-validation tests for tools/check_goldens.sh: a bad
+ * invocation must always get usage + exit 2 before the script goes
+ * anywhere near a build tree. Guards the regression where a typo'd
+ * mode (e.g. "-bless") silently ran a plain check.
+ * SDNAV_CHECK_GOLDENS_PATH is injected by CMake.
+ */
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode;
+    std::string output;
+};
+
+CommandResult
+runCheckGoldens(const std::string &arguments)
+{
+    std::string command = std::string(SDNAV_CHECK_GOLDENS_PATH) + " " +
+                          arguments + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        output += buffer.data();
+    int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+TEST(CheckGoldens, NoArgumentsIsUsageError)
+{
+    auto result = runCheckGoldens("");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CheckGoldens, UnknownModeIsUsageError)
+{
+    // "-bless", "bless", "--blessx": anything that is not exactly
+    // --bless must be rejected, not silently treated as a check run.
+    for (const char *mode : {"-bless", "bless", "--blessx", "check2"}) {
+        auto result =
+            runCheckGoldens(std::string("some-build-dir ") + mode);
+        EXPECT_EQ(result.exitCode, 2) << "mode: " << mode;
+        EXPECT_NE(result.output.find("unknown mode"),
+                  std::string::npos)
+            << "mode: " << mode;
+        EXPECT_NE(result.output.find("usage:"), std::string::npos)
+            << "mode: " << mode;
+    }
+}
+
+TEST(CheckGoldens, TooManyArgumentsIsUsageError)
+{
+    auto result = runCheckGoldens("build --bless extra");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CheckGoldens, ValidModeReachesBuildDirCheck)
+{
+    // With well-formed arguments but a nonexistent build dir, the
+    // script must get past argument validation and fail on the
+    // missing csv_diff binary instead — still exit 2, different
+    // message.
+    auto result = runCheckGoldens("/nonexistent-build-dir");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("not built"), std::string::npos);
+    EXPECT_EQ(result.output.find("unknown mode"), std::string::npos);
+}
+
+} // anonymous namespace

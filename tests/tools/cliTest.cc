@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.hh"
+
 namespace
 {
 
@@ -219,6 +221,99 @@ TEST(Cli, FiguresExactVariantsPrinted)
               std::string::npos);
     EXPECT_NE(result.output.find("Figure 5 (exact)."),
               std::string::npos);
+}
+
+TEST(Cli, MetricsFlagWritesParseableSnapshot)
+{
+    std::string path = testing::TempDir() + "/cli_metrics_test.json";
+    // --exact on routes Figures 4/5 through the BDD engine so the
+    // bdd.* counters are exercised too.
+    auto result = runCli("figures --points 5 --exact on --threads 2 "
+                         "--metrics " + path);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("[metrics] wrote"),
+              std::string::npos);
+
+    sdnav::json::Value doc = sdnav::json::parseFile(path);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.at("schema_version").asNumber(), 1.0);
+    EXPECT_EQ(doc.at("command").asString(), "figures");
+    EXPECT_DOUBLE_EQ(doc.at("threads").asNumber(), 2.0);
+    const sdnav::json::Value &metrics = doc.at("metrics");
+    ASSERT_TRUE(metrics.isObject());
+    ASSERT_TRUE(metrics.contains("enabled"));
+    if (metrics.at("enabled").asBool()) {
+        // The figures sweep must have recorded grid points and BDD
+        // probability evaluations.
+        EXPECT_GT(metrics.at("counters").at("sweep.points").asNumber(),
+                  0.0);
+        EXPECT_GT(
+            metrics.at("counters").at("bdd.prob_evals").asNumber(),
+            0.0);
+        EXPECT_TRUE(metrics.contains("timers"));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Cli, MetricsForSimulateCountsEvents)
+{
+    std::string path = testing::TempDir() + "/cli_sim_metrics.json";
+    auto result = runCli(
+        "simulate --topology small --hours 5000 --mtbf 100 --hosts 6 "
+        "--seed 3 --metrics " + path);
+    EXPECT_EQ(result.exitCode, 0);
+
+    sdnav::json::Value doc = sdnav::json::parseFile(path);
+    EXPECT_EQ(doc.at("command").asString(), "simulate");
+    const sdnav::json::Value &metrics = doc.at("metrics");
+    if (metrics.at("enabled").asBool()) {
+        EXPECT_GT(metrics.at("counters").at("sim.events").asNumber(),
+                  0.0);
+        EXPECT_GT(
+            metrics.at("gauges").at("sim.queue_high_water").asNumber(),
+            0.0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Cli, DeterministicCountersIdenticalAcrossThreadCounts)
+{
+    // The determinism contract extends to the metrics layer: counters
+    // fed by per-index work (grid points, probability evaluations,
+    // simulated events) must fold to the same totals whatever the
+    // thread count. Scheduling-dependent metrics (chunk counts,
+    // timers, scratch reuse) are exempt.
+    std::string path1 = testing::TempDir() + "/cli_metrics_t1.json";
+    std::string path8 = testing::TempDir() + "/cli_metrics_t8.json";
+    const std::string base = "figures --points 11 --exact on";
+    EXPECT_EQ(
+        runCli(base + " --threads 1 --metrics " + path1).exitCode, 0);
+    EXPECT_EQ(
+        runCli(base + " --threads 8 --metrics " + path8).exitCode, 0);
+
+    sdnav::json::Value m1 =
+        sdnav::json::parseFile(path1).at("metrics");
+    sdnav::json::Value m8 =
+        sdnav::json::parseFile(path8).at("metrics");
+    if (m1.at("enabled").asBool()) {
+        for (const char *name : {"sweep.points", "sweep.runs",
+                                 "bdd.prob_evals",
+                                 "bdd.unique_table_misses"}) {
+            EXPECT_DOUBLE_EQ(m1.at("counters").at(name).asNumber(),
+                             m8.at("counters").at(name).asNumber())
+                << name;
+        }
+    }
+    std::remove(path1.c_str());
+    std::remove(path8.c_str());
+}
+
+TEST(Cli, MetricsToUnwritablePathFails)
+{
+    auto result = runCli(
+        "figures --points 5 --metrics /nonexistent-dir/m.json");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("error:"), std::string::npos);
 }
 
 TEST(Cli, SimulateWithoutHostsReportsUnmeasuredDp)

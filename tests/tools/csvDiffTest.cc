@@ -106,6 +106,20 @@ TEST(CsvDiff, RowAndColumnCountMismatchesReported)
               std::string::npos);
 }
 
+TEST(CsvDiff, MismatchNamesTheHeaderColumn)
+{
+    // Reports cite the offending column by header name, so a failed
+    // golden check reads "col 2 (availability)" not just an index.
+    std::string a =
+        writeCsv("col_a", "nines,availability\n3,0.999\n");
+    std::string b =
+        writeCsv("col_b", "nines,availability\n3,0.998\n");
+    auto result = runCsvDiff(a + " " + b);
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("row 2 col 2 (availability)"),
+              std::string::npos);
+}
+
 TEST(CsvDiff, QuotedCellsWithCommasParse)
 {
     std::string a = writeCsv("q_a", "name,v\n\"a, b\",1\n");

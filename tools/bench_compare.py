@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Gate bench JSON artifacts against committed perf baselines.
+
+Every bench binary's report run writes bench_results/BENCH_<name>.json
+(see bench/benchCommon.hh). This tool compares those artifacts against
+the blessed copies in bench_baselines/:
+
+  * wall-time regression beyond --max-regression (default 25%) AND
+    --min-wall-ms of absolute slack (default 100 ms, so sub-ms
+    reports cannot flake on scheduler noise) FAILS;
+  * metric-shape mismatches (counter/gauge/timer keys appearing or
+    disappearing) only WARN -- new instrumentation is expected churn;
+  * a result with no baseline, or a baseline with no result, FAILS
+    with a hint to re-bless.
+
+Re-bless after an intentional perf change, mirroring the golden-CSV
+flow (tools/check_goldens.sh --bless):
+
+  python3 tools/bench_compare.py --bless
+  git add bench_baselines/
+
+Exit codes: 0 = pass, 1 = comparison failure, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def load_bench_files(directory):
+    """Map bench name -> parsed JSON for BENCH_*.json files in dir."""
+    found = {}
+    if not os.path.isdir(directory):
+        return found
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        name = entry[len("BENCH_"):-len(".json")]
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                found[name] = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            raise SystemExit(f"error: cannot parse {path}: {err}")
+    return found
+
+
+def metric_shape(doc):
+    """Sorted metric names per family, for shape comparison."""
+    metrics = doc.get("metrics", {})
+    return {
+        family: sorted(metrics.get(family, {}))
+        for family in ("counters", "gauges", "timers")
+    }
+
+
+def compare(baselines, results, max_regression, min_wall_ms):
+    """Return (failures, warnings) comparing results to baselines."""
+    failures = []
+    warnings = []
+    bless_hint = ("re-bless with `python3 tools/bench_compare.py "
+                  "--bless` if intentional")
+
+    for name in sorted(set(baselines) - set(results)):
+        failures.append(
+            f"{name}: baseline exists but no result was produced "
+            f"(bench not run or renamed; {bless_hint})")
+    for name in sorted(set(results) - set(baselines)):
+        failures.append(
+            f"{name}: no committed baseline ({bless_hint})")
+
+    for name in sorted(set(baselines) & set(results)):
+        base = baselines[name]
+        result = results[name]
+
+        base_wall = base.get("report_wall_ms")
+        result_wall = result.get("report_wall_ms")
+        if not isinstance(base_wall, (int, float)) or base_wall <= 0:
+            failures.append(
+                f"{name}: baseline report_wall_ms missing or invalid")
+        elif not isinstance(result_wall, (int, float)):
+            failures.append(
+                f"{name}: result report_wall_ms missing or invalid")
+        else:
+            # The relative budget alone would make sub-millisecond
+            # reports flake on scheduler noise, so a regression must
+            # also clear an absolute slack floor.
+            ratio = result_wall / base_wall
+            allowed = base_wall * (1.0 + max_regression) + min_wall_ms
+            verdict = (f"{name}: wall {result_wall:.1f} ms vs baseline "
+                       f"{base_wall:.1f} ms ({ratio:.2f}x)")
+            if result_wall > allowed:
+                failures.append(
+                    f"{verdict} exceeds +{max_regression:.0%} "
+                    f"+ {min_wall_ms:g} ms budget "
+                    f"({allowed:.1f} ms allowed)")
+            else:
+                print(f"ok: {verdict}")
+
+        if metric_shape(base) != metric_shape(result):
+            base_shape = metric_shape(base)
+            result_shape = metric_shape(result)
+            for family in ("counters", "gauges", "timers"):
+                gone = sorted(set(base_shape[family]) -
+                              set(result_shape[family]))
+                new = sorted(set(result_shape[family]) -
+                             set(base_shape[family]))
+                if gone:
+                    warnings.append(
+                        f"{name}: {family} disappeared: "
+                        f"{', '.join(gone)}")
+                if new:
+                    warnings.append(
+                        f"{name}: new {family}: {', '.join(new)}")
+
+    return failures, warnings
+
+
+def bless(baselines_dir, results_dir, results):
+    """Copy every result artifact over the committed baselines."""
+    if not results:
+        raise SystemExit(
+            f"error: no BENCH_*.json found in {results_dir}; run the "
+            "bench binaries first")
+    os.makedirs(baselines_dir, exist_ok=True)
+    for name in sorted(results):
+        src = os.path.join(results_dir, f"BENCH_{name}.json")
+        dst = os.path.join(baselines_dir, f"BENCH_{name}.json")
+        shutil.copyfile(src, dst)
+        print(f"blessed {dst}")
+    print(f"{len(results)} baseline(s) blessed; "
+          "commit bench_baselines/ to lock them in")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baselines", default="bench_baselines",
+                        help="committed baseline dir "
+                             "(default: bench_baselines)")
+    parser.add_argument("--results", default="bench_results",
+                        help="freshly produced artifact dir "
+                             "(default: bench_results)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed wall-time growth as a fraction "
+                             "(default: 0.25 = 25%%)")
+    parser.add_argument("--min-wall-ms", type=float, default=100.0,
+                        help="absolute slack added to every budget so "
+                             "tiny reports cannot flake "
+                             "(default: 100 ms)")
+    parser.add_argument("--bless", action="store_true",
+                        help="overwrite baselines with the current "
+                             "results instead of comparing")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as err:
+        # argparse exits 2 on usage errors already; re-raise as-is.
+        raise err
+    if args.max_regression < 0:
+        parser.error("--max-regression must be >= 0")
+    if args.min_wall_ms < 0:
+        parser.error("--min-wall-ms must be >= 0")
+
+    results = load_bench_files(args.results)
+    if args.bless:
+        bless(args.baselines, args.results, results)
+        return 0
+
+    baselines = load_bench_files(args.baselines)
+    if not baselines:
+        print(f"error: no baselines in {args.baselines}; bless first "
+              "with --bless", file=sys.stderr)
+        return 1
+
+    failures, warnings = compare(baselines, results,
+                                 args.max_regression,
+                                 args.min_wall_ms)
+    for message in warnings:
+        print(f"warning: {message}")
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} failure(s), {len(warnings)} warning(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(baselines)} bench(es) within budget, "
+          f"{len(warnings)} warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

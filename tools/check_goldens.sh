@@ -11,12 +11,22 @@
 # EXPERIMENTS.md, "Golden CSV gate").
 set -euo pipefail
 
-if [ $# -lt 1 ]; then
+# Validate arguments before anything that needs a built tree, so a
+# bad invocation always gets usage + exit 2 (a typo like "-bless"
+# must never silently run a plain check).
+usage() {
     echo "usage: tools/check_goldens.sh <build-dir> [--bless]" >&2
     exit 2
+}
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+    usage
 fi
 BUILD_DIR=$1
 MODE=${2:-check}
+if [ "$MODE" != "check" ] && [ "$MODE" != "--bless" ]; then
+    echo "check_goldens: unknown mode '$MODE'" >&2
+    usage
+fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 CSV_DIFF="$BUILD_DIR/tools/csv_diff"
 

@@ -149,6 +149,17 @@ main(int argc, char **argv)
         if (++mismatches <= kMaxReported)
             std::cerr << "csv_diff: " << what << "\n";
     };
+    // Name cells by their header column when the expected file has
+    // one, so a mismatch report reads "col 3 (availability)" instead
+    // of leaving the reader to count commas.
+    auto col_label = [&](std::size_t c) {
+        std::string label = "col " + std::to_string(c + 1);
+        if (!expected.empty() && c < expected[0].size() &&
+            !expected[0][c].empty()) {
+            label += " (" + expected[0][c] + ")";
+        }
+        return label;
+    };
 
     if (expected.size() != actual.size()) {
         report("row count differs: expected " +
@@ -180,14 +191,14 @@ main(int argc, char **argv)
                     continue;
                 std::ostringstream msg;
                 msg.precision(17);
-                msg << "row " << (r + 1) << " col " << (c + 1)
+                msg << "row " << (r + 1) << " " << col_label(c)
                     << ": " << ev << " vs " << av << " (|diff| "
                     << std::fabs(ev - av) << " > tol " << tol << ")";
                 report(msg.str());
             } else if (e != a) {
-                report("row " + std::to_string(r + 1) + " col " +
-                       std::to_string(c + 1) + ": \"" + e +
-                       "\" vs \"" + a + "\"");
+                report("row " + std::to_string(r + 1) + " " +
+                       col_label(c) + ": \"" + e + "\" vs \"" + a +
+                       "\"");
             }
         }
     }

@@ -19,6 +19,7 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -36,6 +37,7 @@
 #include "fmea/openContrail.hh"
 #include "fmea/report.hh"
 #include "model/exactModel.hh"
+#include "obs/obs.hh"
 #include "rbd/cutSets.hh"
 #include "model/swCentric.hh"
 #include "sim/controllerSim.hh"
@@ -549,6 +551,32 @@ cmdExport(const Args &args)
     return 0;
 }
 
+/**
+ * Write the run's metrics snapshot as JSON when --metrics FILE was
+ * given. Every subcommand that exercises an instrumented subsystem
+ * (simulate, figures, analyze --sensitivity, rank, ...) fills the
+ * global registry as a side effect of running; this serializes
+ * whatever accumulated.
+ */
+void
+writeMetricsFile(const Args &args, const std::string &command)
+{
+    if (!args.has("metrics"))
+        return;
+    std::string path = args.get("metrics", "");
+    json::Value doc = json::Value::makeObject();
+    doc.set("schema_version", 1);
+    doc.set("command", command);
+    doc.set("threads",
+            static_cast<double>(resolveSweep(args).resolvedThreads()));
+    doc.set("metrics", obs::Registry::global().snapshot());
+    std::ofstream out(path);
+    out << doc.dump(2) << "\n";
+    require(out.good(), "cannot write metrics file: " + path);
+    // stderr so --metrics never perturbs stdout golden comparisons.
+    std::cerr << "[metrics] wrote " << path << "\n";
+}
+
 void
 printUsage()
 {
@@ -576,6 +604,11 @@ printUsage()
         "  --policy required|not-required        supervisor policy\n"
         "  --plane cp|dp                         plane of interest\n"
         "  --a --as --av --ah --ar VALUE         availabilities\n"
+        "  --metrics FILE                        write the runtime\n"
+        "                                        metrics snapshot as\n"
+        "                                        JSON (see README,\n"
+        "                                        \"Metrics & bench\n"
+        "                                        JSON\")\n"
         "  --threads T                           sweep worker threads\n"
         "                                        (0 = hardware); used\n"
         "                                        by figures and\n"
@@ -617,33 +650,38 @@ main(int argc, char **argv)
     std::string command = argv[1];
     try {
         Args args = parseArgs(argc, argv);
+        int rc;
         if (command == "tables")
-            return cmdTables(args);
-        if (command == "analyze")
-            return cmdAnalyze(args);
-        if (command == "rank")
-            return cmdRank(args);
-        if (command == "outage")
-            return cmdOutage(args);
-        if (command == "transient")
-            return cmdTransient(args);
-        if (command == "cutsets")
-            return cmdCutSets(args);
-        if (command == "fleet")
-            return cmdFleet(args);
-        if (command == "figures")
-            return cmdFigures(args);
-        if (command == "simulate")
-            return cmdSimulate(args);
-        if (command == "export")
-            return cmdExport(args);
-        if (command == "help" || command == "--help") {
+            rc = cmdTables(args);
+        else if (command == "analyze")
+            rc = cmdAnalyze(args);
+        else if (command == "rank")
+            rc = cmdRank(args);
+        else if (command == "outage")
+            rc = cmdOutage(args);
+        else if (command == "transient")
+            rc = cmdTransient(args);
+        else if (command == "cutsets")
+            rc = cmdCutSets(args);
+        else if (command == "fleet")
+            rc = cmdFleet(args);
+        else if (command == "figures")
+            rc = cmdFigures(args);
+        else if (command == "simulate")
+            rc = cmdSimulate(args);
+        else if (command == "export")
+            rc = cmdExport(args);
+        else if (command == "help" || command == "--help") {
             printUsage();
             return 0;
+        } else {
+            std::cerr << "unknown command: " << command << "\n";
+            printUsage();
+            return 2;
         }
-        std::cerr << "unknown command: " << command << "\n";
-        printUsage();
-        return 2;
+        if (rc == 0)
+            writeMetricsFile(args, command);
+        return rc;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
