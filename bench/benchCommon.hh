@@ -28,6 +28,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/attribution.hh"
 #include "analysis/sweep.hh"
 #include "common/csv.hh"
 #include "common/error.hh"
@@ -141,6 +142,55 @@ reportSweepTiming(const std::string &label, Run &&run)
               << "x, results bit-identical\n";
 }
 
+/** One top-downtime-cause summary, kept for the bench JSON. */
+struct AttributionRecord
+{
+    std::string label;
+    std::string topCause;
+    double share = 0.0;
+    double minutesPerYear = 0.0;
+};
+
+/** Records captured by recordAttribution() during this report run. */
+inline std::vector<AttributionRecord> &
+attributionRecords()
+{
+    static std::vector<AttributionRecord> records;
+    return records;
+}
+
+/**
+ * Print and record the dominant downtime cause of a simulated run.
+ * The records land in the bench JSON's "attribution" array;
+ * tools/bench_compare.py warns (non-fatally) when a bench's top
+ * cause drifts from the committed baseline — a drift is not a perf
+ * regression, but it is the kind of behavioral change a perf artifact
+ * should surface.
+ */
+inline void
+recordAttribution(const std::string &label,
+                  const sim::AttributionTotals &totals)
+{
+    analysis::AttributionReport report =
+        analysis::attributionReport(totals);
+    AttributionRecord record;
+    record.label = label;
+    if (report.rows.empty()) {
+        record.topCause = "none";
+    } else {
+        const analysis::AttributionRow &top = report.rows.front();
+        record.topCause = sim::componentClassName(top.cls);
+        record.share = top.share;
+        record.minutesPerYear = top.minutesPerYear;
+    }
+    attributionRecords().push_back(record);
+    std::cout << "[attribution] " << record.label << ": top cause "
+              << record.topCause << " (share "
+              << formatFixed(record.share, 4) << ", "
+              << formatGeneral(record.minutesPerYear, 4)
+              << " min/year)\n";
+}
+
 /**
  * Commit the binary ran from: $GITHUB_SHA in CI, `git rev-parse HEAD`
  * locally, "unknown" outside a work tree. Recorded in the bench JSON
@@ -171,6 +221,8 @@ gitSha()
  *    "report_wall_ms",
  *    "speedups": [{"label", "serial_ms", "parallel_ms", "threads",
  *                  "speedup"}, ...],
+ *    "attribution": [{"label", "top_cause", "share",
+ *                     "minutes_per_year"}, ...],
  *    "metrics": <obs::Registry snapshot>}
  */
 inline void
@@ -195,6 +247,16 @@ writeBenchJson(const std::string &name, double reportWallMs)
         speedups.push(std::move(entry));
     }
     doc.set("speedups", std::move(speedups));
+    json::Value attribution = json::Value::makeArray();
+    for (const AttributionRecord &record : attributionRecords()) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("label", record.label);
+        entry.set("top_cause", record.topCause);
+        entry.set("share", record.share);
+        entry.set("minutes_per_year", record.minutesPerYear);
+        attribution.push(std::move(entry));
+    }
+    doc.set("attribution", std::move(attribution));
     doc.set("metrics", obs::Registry::global().snapshot());
 
     std::string path = resultsDir() + "/BENCH_" + name + ".json";

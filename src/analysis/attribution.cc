@@ -1,0 +1,212 @@
+#include "analysis/attribution.hh"
+
+#include <algorithm>
+
+#include "common/units.hh"
+
+namespace sdnav::analysis
+{
+
+using sim::ComponentClass;
+using sim::componentClassFromName;
+using sim::componentClassName;
+using sim::kComponentClassCount;
+
+AttributionReport
+attributionReport(const sim::AttributionTotals &totals)
+{
+    AttributionReport report;
+    report.observedHours = totals.observedHours;
+    report.censoredEpisodes = totals.censoredEpisodes;
+    report.censoredHours = totals.censoredHours;
+
+    // Fixed class-enum order for the sum: the report total is the
+    // exact value the rows must add back up to.
+    double total = 0.0;
+    for (const sim::ClassTotals &cls : totals.classes)
+        total += cls.downtimeHours;
+    report.totalDowntimeHours = total;
+
+    for (std::size_t i = 0; i < kComponentClassCount; ++i) {
+        const sim::ClassTotals &cls = totals.classes[i];
+        if (cls.episodes == 0 && cls.prolongedEpisodes == 0)
+            continue;
+        AttributionRow row;
+        row.cls = static_cast<ComponentClass>(i);
+        row.episodes = cls.episodes;
+        row.prolongedEpisodes = cls.prolongedEpisodes;
+        row.downtimeHours = cls.downtimeHours;
+        row.share = total > 0.0 ? cls.downtimeHours / total : 0.0;
+        if (report.observedHours > 0.0) {
+            double unavailability =
+                cls.downtimeHours / report.observedHours;
+            row.minutesPerYear = unavailability * minutesPerYear;
+            row.availability = 1.0 - unavailability;
+        }
+        report.rows.push_back(row);
+    }
+    std::stable_sort(report.rows.begin(), report.rows.end(),
+                     [](const AttributionRow &a,
+                        const AttributionRow &b) {
+                         return a.downtimeHours > b.downtimeHours;
+                     });
+    return report;
+}
+
+std::array<double, kComponentClassCount>
+analyticClassShares(const rbd::RbdSystem &system)
+{
+    std::array<double, kComponentClassCount> shares{};
+    double total = 0.0;
+    for (rbd::ComponentId id = 0; id < system.componentCount();
+         ++id) {
+        double criticality = system.criticalityImportance(id);
+        std::size_t cls = static_cast<std::size_t>(
+            componentClassFromName(system.componentName(id)));
+        shares[cls] += criticality;
+        total += criticality;
+    }
+    if (total > 0.0) {
+        for (double &share : shares)
+            share /= total;
+    }
+    return shares;
+}
+
+void
+attachAnalyticShares(AttributionReport &report,
+                     const rbd::RbdSystem &system)
+{
+    std::array<double, kComponentClassCount> shares =
+        analyticClassShares(system);
+    report.hasAnalytic = true;
+    std::array<bool, kComponentClassCount> present{};
+    for (AttributionRow &row : report.rows) {
+        std::size_t cls = static_cast<std::size_t>(row.cls);
+        row.analyticShare = shares[cls];
+        present[cls] = true;
+    }
+    // A class the closed forms consider critical but the simulation
+    // never saw initiate an outage still deserves a row — that gap
+    // is exactly what the cross-check is for.
+    for (std::size_t i = 0; i < kComponentClassCount; ++i) {
+        if (present[i] || shares[i] <= 0.0)
+            continue;
+        AttributionRow row;
+        row.cls = static_cast<ComponentClass>(i);
+        row.analyticShare = shares[i];
+        report.rows.push_back(row);
+    }
+}
+
+namespace
+{
+
+std::vector<std::string>
+rowCells(const AttributionRow &row, bool hasAnalytic)
+{
+    std::vector<std::string> cells = {
+        componentClassName(row.cls),
+        std::to_string(row.episodes),
+        std::to_string(row.prolongedEpisodes),
+        formatGeneral(row.downtimeHours, 8),
+        formatFixed(row.share, 4),
+        formatGeneral(row.minutesPerYear, 6),
+        formatFixed(row.availability, 7),
+    };
+    if (hasAnalytic) {
+        cells.push_back(row.analyticShare >= 0.0
+                            ? formatFixed(row.analyticShare, 4)
+                            : std::string("-"));
+    }
+    return cells;
+}
+
+std::vector<std::string>
+headerCells(bool hasAnalytic)
+{
+    std::vector<std::string> cells = {
+        "class",    "episodes", "prolonged", "downtime_h",
+        "share",    "min/year", "availability",
+    };
+    if (hasAnalytic)
+        cells.push_back("analytic_share");
+    return cells;
+}
+
+std::vector<std::string>
+totalCells(const AttributionReport &report, bool hasAnalytic)
+{
+    std::size_t episodes = 0;
+    std::size_t prolonged = 0;
+    double share = 0.0;
+    for (const AttributionRow &row : report.rows) {
+        episodes += row.episodes;
+        prolonged += row.prolongedEpisodes;
+        share += row.share;
+    }
+    double unavailability = report.observedHours > 0.0
+        ? report.totalDowntimeHours / report.observedHours
+        : 0.0;
+    std::vector<std::string> cells = {
+        "total",
+        std::to_string(episodes),
+        std::to_string(prolonged),
+        formatGeneral(report.totalDowntimeHours, 8),
+        formatFixed(share, 4),
+        formatGeneral(unavailability * minutesPerYear, 6),
+        formatFixed(1.0 - unavailability, 7),
+    };
+    if (hasAnalytic)
+        cells.push_back("");
+    return cells;
+}
+
+std::vector<std::string>
+censoredCells(const AttributionReport &report, bool hasAnalytic)
+{
+    std::vector<std::string> cells = {
+        "censored",
+        std::to_string(report.censoredEpisodes),
+        "",
+        formatGeneral(report.censoredHours, 8),
+        "",
+        "",
+        "",
+    };
+    if (hasAnalytic)
+        cells.push_back("");
+    return cells;
+}
+
+} // anonymous namespace
+
+TextTable
+attributionTable(const std::string &title,
+                 const AttributionReport &report)
+{
+    TextTable table;
+    table.title(title);
+    table.header(headerCells(report.hasAnalytic));
+    for (const AttributionRow &row : report.rows)
+        table.addRow(rowCells(row, report.hasAnalytic));
+    table.addRow(totalCells(report, report.hasAnalytic));
+    if (report.censoredEpisodes > 0)
+        table.addRow(censoredCells(report, report.hasAnalytic));
+    return table;
+}
+
+CsvWriter
+attributionCsv(const AttributionReport &report)
+{
+    CsvWriter csv;
+    csv.header(headerCells(report.hasAnalytic));
+    for (const AttributionRow &row : report.rows)
+        csv.addRow(rowCells(row, report.hasAnalytic));
+    csv.addRow(totalCells(report, report.hasAnalytic));
+    if (report.censoredEpisodes > 0)
+        csv.addRow(censoredCells(report, report.hasAnalytic));
+    return csv;
+}
+
+} // namespace sdnav::analysis

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Downtime-attribution report: simulated per-class downtime shares
+ * from the OutageLedger, cross-checked against analytic importance
+ * measures from the BDD structure function.
+ *
+ * The paper's FMEA argues about which component class dominates
+ * unavailability; the simulators now measure that directly (the
+ * ledger attributes every outage episode to the class of its
+ * initiating event), and the closed forms predict it independently
+ * (criticality importance — the probability a component is the
+ * failed critical element given the system is down — grouped by
+ * class). This report renders the two side by side as availability
+ * and minutes/year through the existing table/CSV writers, so a
+ * disagreement between simulation and closed form can be localized
+ * to a cause instead of just detected.
+ */
+
+#ifndef SDNAV_ANALYSIS_ATTRIBUTION_HH
+#define SDNAV_ANALYSIS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/textTable.hh"
+#include "rbd/system.hh"
+#include "sim/outageLedger.hh"
+
+namespace sdnav::analysis
+{
+
+/** One component class's slice of the simulated downtime. */
+struct AttributionRow
+{
+    sim::ComponentClass cls = sim::ComponentClass::Other;
+
+    /** Episodes this class initiated (censored final one included). */
+    std::size_t episodes = 0;
+
+    /** Episodes of other classes this class's failures prolonged. */
+    std::size_t prolongedEpisodes = 0;
+
+    /** Attributed downtime over all observed hours. */
+    double downtimeHours = 0.0;
+
+    /** Fraction of the total simulated downtime (rows sum to 1). */
+    double share = 0.0;
+
+    /** Attributed downtime normalized to minutes per year per
+     *  observable. */
+    double minutesPerYear = 0.0;
+
+    /** Availability lost to this class alone: 1 - attributed
+     *  downtime / observed hours. */
+    double availability = 1.0;
+
+    /**
+     * Analytic share of system unavailability predicted for this
+     * class (criticality importance grouped by component class,
+     * normalized); negative when no analytic model was attached.
+     */
+    double analyticShare = -1.0;
+};
+
+/** The rendered attribution: per-class rows plus integrity totals. */
+struct AttributionReport
+{
+    /** Active classes, descending attributed downtime (ties in
+     *  class-enum order); classes with no activity are omitted. */
+    std::vector<AttributionRow> rows;
+
+    /** Sum of row downtimes == total observable downtime (exact:
+     *  every episode lands in exactly one class). */
+    double totalDowntimeHours = 0.0;
+
+    /** Observable-hours the totals cover. */
+    double observedHours = 0.0;
+
+    /** Episodes right-censored by the horizon. */
+    std::size_t censoredEpisodes = 0;
+
+    /** Hours contributed by censored episodes. */
+    double censoredHours = 0.0;
+
+    /** True once attachAnalyticShares() populated analyticShare. */
+    bool hasAnalytic = false;
+};
+
+/** Build the report from folded ledger totals. */
+AttributionReport attributionReport(
+    const sim::AttributionTotals &totals);
+
+/**
+ * The analytic counterpart: each component's criticality importance
+ * grouped by class (classified by component name, the same
+ * convention the renewal simulator uses) and normalized to shares
+ * summing to 1. All-zero when no component is ever critical.
+ */
+std::array<double, sim::kComponentClassCount> analyticClassShares(
+    const rbd::RbdSystem &system);
+
+/** Attach analyticClassShares(system) to an existing report. */
+void attachAnalyticShares(AttributionReport &report,
+                          const rbd::RbdSystem &system);
+
+/** Render as an aligned text table (with a totals row). */
+TextTable attributionTable(const std::string &title,
+                           const AttributionReport &report);
+
+/** Render as CSV with the same columns as the text table. */
+CsvWriter attributionCsv(const AttributionReport &report);
+
+} // namespace sdnav::analysis
+
+#endif // SDNAV_ANALYSIS_ATTRIBUTION_HH

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/obs.hh"
+#include "obs/trace.hh"
 
 namespace sdnav::analysis
 {
@@ -92,6 +93,7 @@ forEachGridPoint(std::size_t points,
     using clock = std::chrono::steady_clock;
 
     if (threads <= 1) {
+        obs::TraceSpan trace_span("sweep.serial", points);
         auto t0 = clock::now();
         for (std::size_t i = 0; i < points; ++i)
             body(i);
@@ -117,6 +119,7 @@ forEachGridPoint(std::size_t points,
                 break;
             std::size_t begin = c * chunk;
             std::size_t end = std::min(points, begin + chunk);
+            obs::TraceSpan trace_span("sweep.chunk", c);
             try {
                 for (std::size_t i = begin; i < end; ++i)
                     body(i);

@@ -5,6 +5,7 @@
 
 #include "common/error.hh"
 #include "obs/obs.hh"
+#include "obs/trace.hh"
 
 namespace sdnav::bdd
 {
@@ -200,6 +201,10 @@ BddManager::restrictRec(NodeRef f, unsigned index, bool value,
 double
 BddManager::probability(NodeRef f, std::span<const double> probs) const
 {
+    // The scratch overload stays span-free: it is the sweep hot path
+    // (thousands of evaluations per chunk), and the per-chunk sweep
+    // spans already bound it on the timeline.
+    obs::TraceSpan trace_span("bdd.probability");
     ProbabilityScratch scratch;
     return probability(f, probs, scratch);
 }

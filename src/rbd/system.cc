@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hh"
+#include "obs/trace.hh"
 
 namespace sdnav::rbd
 {
@@ -182,6 +183,11 @@ RbdSystem::compileBlock(bdd::BddManager &manager, const Block &block) const
 bdd::NodeRef
 RbdSystem::compile(bdd::BddManager &manager) const
 {
+    // The apply phase: every ite/andAll/orAll building the structure
+    // function happens under this span.
+    obs::TraceSpan trace_span("bdd.apply",
+                              static_cast<std::uint64_t>(
+                                  availabilities_.size()));
     return compileBlock(manager, root());
 }
 
@@ -217,8 +223,21 @@ RbdSystem::availabilityMonteCarlo(std::size_t samples,
     return result;
 }
 
+namespace
+{
+
+/** Wraps the build-once phase of a CompiledRbd in a trace span. */
+bdd::NodeRef
+compileTraced(const RbdSystem &system, bdd::BddManager &manager)
+{
+    obs::TraceSpan trace_span("bdd.compile");
+    return system.compile(manager);
+}
+
+} // anonymous namespace
+
 CompiledRbd::CompiledRbd(const RbdSystem &system)
-    : root_(system.compile(manager_))
+    : root_(compileTraced(system, manager_))
 {
     // The build phase is over; evaluation never grows the manager, so
     // this is the moment the cache/table stats are final.

@@ -8,6 +8,7 @@
 
 #include "common/error.hh"
 #include "common/units.hh"
+#include "obs/trace.hh"
 #include "prob/rng.hh"
 
 namespace sdnav::sim
@@ -115,7 +116,8 @@ class ControllerSimulation
     bool localHostUp(std::size_t host) const;
 
     void handle(const Event &event);
-    void evaluate(double time);
+    OutageCause causeOf(const Event &event) const;
+    void evaluate(double time, const OutageCause &cause);
     void accumulate(double time);
     void recordBatches(double time);
     void attemptRediscovery(std::size_t host, double time);
@@ -178,6 +180,9 @@ class ControllerSimulation
     double dp_hosthours_up_ = 0.0;
     double redisc_hosthours_ = 0.0;
     UptimeTracker cp_tracker_{true};
+    OutageLedger cp_ledger_{true};
+    std::vector<OutageLedger> dp_ledgers_;  // one per monitored host
+    std::vector<bool> host_dp_up_;
     std::vector<double> cp_batches_;
     std::vector<double> dp_batches_;
     double batch_cp_mark_ = 0.0;
@@ -307,6 +312,10 @@ ControllerSimulation::build()
         slots_[host][0] = host % n_;
         slots_[host][1] = n_ > 1 ? (host + 1) % n_ : npos;
     }
+
+    // Per-host DP attribution: everything starts up.
+    dp_ledgers_.resize(config_.monitoredHosts);
+    host_dp_up_.assign(config_.monitoredHosts, true);
 
     // Initial failure events.
     for (std::size_t i = 0; i < infra_up_.size(); ++i)
@@ -439,7 +448,6 @@ ControllerSimulation::accumulate(double time)
             cp_uptime_ += delta;
         dp_hosthours_up_ += dp_fraction_ * delta;
         redisc_hosthours_ += redisc_fraction_ * delta;
-        cp_tracker_.observe(time, cp_up_);
         last_time_ = time;
     }
 }
@@ -463,8 +471,38 @@ ControllerSimulation::recordBatches(double time)
     }
 }
 
+/**
+ * The attribution cause of a just-handled event. Called after
+ * handle(), so component state reflects the event: an InfraFlip is a
+ * failure exactly when the component is now down.
+ */
+OutageCause
+ControllerSimulation::causeOf(const Event &event) const
+{
+    switch (event.kind) {
+      case EventKind::InfraFlip: {
+        ComponentClass cls = event.index < host_base_
+            ? ComponentClass::Rack
+            : event.index < vm_base_ ? ComponentClass::Host
+                                     : ComponentClass::Vm;
+        return {cls, event.index, !infra_up_[event.index]};
+      }
+      case EventKind::ProcFail:
+        return {ComponentClass::Process, event.index, true};
+      case EventKind::ProcRepair:
+        return {ComponentClass::Process, event.index, false};
+      case EventKind::SupFail:
+        return {ComponentClass::Supervisor, event.index, true};
+      case EventKind::SupRepair:
+        return {ComponentClass::Supervisor, event.index, false};
+      case EventKind::Rediscover:
+        return {ComponentClass::Rediscovery, event.index, false};
+    }
+    return {};
+}
+
 void
-ControllerSimulation::evaluate(double time)
+ControllerSimulation::evaluate(double time, const OutageCause &cause)
 {
     // Control plane.
     bool cp = true;
@@ -524,14 +562,34 @@ ControllerSimulation::evaluate(double time)
             }
         }
         bool rest = shared_dp && localHostUp(host);
+        bool redisc_only = rest && !connected && any_serving;
         if (rest && connected) {
             ++hosts_up;
-        } else if (rest && !connected && any_serving) {
+        } else if (redisc_only) {
             // Down purely because rediscovery has not completed.
             ++hosts_redisc;
         }
+
+        // Attribution: a host episode opening as a pure re-learning
+        // window belongs to the Rediscovery phase; otherwise to the
+        // class of the event that flipped the host. The ledger call
+        // is skipped on the common nothing-changed-and-up path.
+        bool host_up = rest && connected;
+        if (host_up != host_dp_up_[host]) {
+            dp_ledgers_[host].observe(
+                time, host_up,
+                redisc_only
+                    ? OutageCause{ComponentClass::Rediscovery, host,
+                                  true}
+                    : cause);
+            host_dp_up_[host] = host_up;
+        } else if (!host_up && cause.failure) {
+            dp_ledgers_[host].observe(time, host_up, cause);
+        }
     }
 
+    cp_tracker_.observe(time, cp);
+    cp_ledger_.observe(time, cp, cause);
     cp_up_ = cp;
     if (config_.monitoredHosts > 0) {
         dp_fraction_ = static_cast<double>(hosts_up) /
@@ -630,7 +688,8 @@ ControllerSimulation::handle(const Event &event)
 ControllerSimResult
 ControllerSimulation::run()
 {
-    evaluate(0.0);
+    obs::TraceSpan trace_span("sim.controller_run", config_.seed);
+    evaluate(0.0, {});
     while (!queue_.empty()) {
         Event event = queue_.top();
         if (event.time >= config_.horizonHours)
@@ -640,11 +699,15 @@ ControllerSimulation::run()
         recordBatches(event.time);
         accumulate(event.time);
         handle(event);
-        evaluate(event.time);
+        // The tracker and ledgers are fed inside evaluate() at the
+        // event's own time, so outage boundaries land on the actual
+        // state flip, consistent with the uptime integration.
+        evaluate(event.time, causeOf(event));
     }
     recordBatches(config_.horizonHours);
     accumulate(config_.horizonHours);
     cp_tracker_.finish(config_.horizonHours);
+    cp_ledger_.finish(config_.horizonHours);
 
     ControllerSimResult result;
     result.cpAvailability = batchMeans(cp_batches_);
@@ -653,6 +716,14 @@ ControllerSimulation::run()
     result.cpOutages = cp_tracker_.outageCount();
     result.cpMeanOutageHours = cp_tracker_.meanOutageDuration();
     result.cpMaxOutageHours = cp_tracker_.maxOutageDuration();
+    result.cpCensoredOutages =
+        cp_tracker_.finalOutageCensored() ? 1 : 0;
+    result.cpCensoredOutageHours = cp_tracker_.censoredOutageDuration();
+    result.cpAttribution = cp_ledger_.totals();
+    for (OutageLedger &ledger : dp_ledgers_) {
+        ledger.finish(config_.horizonHours);
+        result.dpAttribution.add(ledger.totals());
+    }
     result.rediscoveryDowntimeFraction =
         config_.horizonHours > 0.0
             ? redisc_hosthours_ / config_.horizonHours

@@ -37,6 +37,7 @@
 #include "fmea/catalog.hh"
 #include "model/params.hh"
 #include "prob/processAvailability.hh"
+#include "sim/outageLedger.hh"
 #include "sim/stats.hh"
 #include "topology/deployment.hh"
 
@@ -111,6 +112,28 @@ struct ControllerSimResult
     std::size_t cpOutages = 0;
     double cpMeanOutageHours = 0.0;
     double cpMaxOutageHours = 0.0;
+
+    /** CP episodes right-censored by the horizon (0 or 1 for one
+     *  run; summed across replications when merged). */
+    std::size_t cpCensoredOutages = 0;
+
+    /** Hours contributed by censored CP episodes (lower bounds). */
+    double cpCensoredOutageHours = 0.0;
+
+    /**
+     * CP downtime attributed to the class of the event that opened
+     * each episode (rack / host / vm / process / supervisor). Rows
+     * sum to the total CP downtime.
+     */
+    AttributionTotals cpAttribution;
+
+    /**
+     * Per-host DP downtime attribution, summed over monitored hosts
+     * in host order. Episodes that begin as a pure control-connection
+     * re-learning window are attributed to the Rediscovery phase
+     * rather than to the component that triggered them.
+     */
+    AttributionTotals dpAttribution;
 
     /**
      * Fraction of total host-hours lost to control-connection

@@ -1,0 +1,154 @@
+#include "sim/outageLedger.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace sdnav::sim
+{
+
+const char *
+componentClassName(ComponentClass cls)
+{
+    switch (cls) {
+    case ComponentClass::Rack:
+        return "rack";
+    case ComponentClass::Host:
+        return "host";
+    case ComponentClass::Vm:
+        return "vm";
+    case ComponentClass::Process:
+        return "process";
+    case ComponentClass::Supervisor:
+        return "supervisor";
+    case ComponentClass::Rediscovery:
+        return "rediscovery";
+    case ComponentClass::Other:
+        return "other";
+    }
+    return "other";
+}
+
+namespace
+{
+
+bool
+hasPrefix(const std::string &name, const char *prefix)
+{
+    return name.rfind(prefix, 0) == 0;
+}
+
+} // anonymous namespace
+
+ComponentClass
+componentClassFromName(const std::string &name)
+{
+    if (hasPrefix(name, "rack"))
+        return ComponentClass::Rack;
+    if (hasPrefix(name, "host"))
+        return ComponentClass::Host;
+    if (hasPrefix(name, "vm"))
+        return ComponentClass::Vm;
+    if (hasPrefix(name, "supervisor"))
+        return ComponentClass::Supervisor;
+    // Everything else in the exact model (and in hand-built RBD
+    // systems) is a controller software process.
+    return ComponentClass::Process;
+}
+
+void
+ClassTotals::add(const ClassTotals &other)
+{
+    episodes += other.episodes;
+    prolongedEpisodes += other.prolongedEpisodes;
+    downtimeHours += other.downtimeHours;
+    maxEpisodeHours = std::max(maxEpisodeHours, other.maxEpisodeHours);
+}
+
+std::size_t
+AttributionTotals::episodes() const
+{
+    std::size_t sum = 0;
+    for (const ClassTotals &totals : classes)
+        sum += totals.episodes;
+    return sum;
+}
+
+double
+AttributionTotals::downtimeHours() const
+{
+    double sum = 0.0;
+    for (const ClassTotals &totals : classes)
+        sum += totals.downtimeHours;
+    return sum;
+}
+
+void
+AttributionTotals::add(const AttributionTotals &other)
+{
+    for (std::size_t i = 0; i < kComponentClassCount; ++i)
+        classes[i].add(other.classes[i]);
+    censoredEpisodes += other.censoredEpisodes;
+    censoredHours += other.censoredHours;
+    observedHours += other.observedHours;
+}
+
+OutageLedger::OutageLedger(bool initiallyUp) : up_(initiallyUp) {}
+
+void
+OutageLedger::closeEpisode(double time, bool censored)
+{
+    double duration = time - episode_start_;
+    ClassTotals &cls =
+        totals_.classes[static_cast<std::size_t>(episode_class_)];
+    ++cls.episodes;
+    cls.downtimeHours += duration;
+    cls.maxEpisodeHours = std::max(cls.maxEpisodeHours, duration);
+    for (std::size_t i = 0; i < kComponentClassCount; ++i) {
+        if (prolonged_mask_ & (1u << i))
+            ++totals_.classes[i].prolongedEpisodes;
+    }
+    if (censored) {
+        ++totals_.censoredEpisodes;
+        totals_.censoredHours += duration;
+    }
+    prolonged_mask_ = 0;
+}
+
+void
+OutageLedger::observe(double time, bool up, const OutageCause &cause)
+{
+    require(!finished_, "OutageLedger already finished");
+    require(time >= last_time_, "OutageLedger time went backwards");
+    last_time_ = time;
+    if (up_ == up) {
+        // Redundant observation; a failure landing while an episode
+        // is already open prolongs it (once per class per episode —
+        // the initiating class can prolong its own episode only via
+        // a *second* failure, which is what the mask records).
+        if (!up && cause.failure)
+            prolonged_mask_ |= static_cast<std::uint8_t>(
+                1u << static_cast<std::size_t>(cause.cls));
+        return;
+    }
+    if (!up) {
+        episode_start_ = time;
+        episode_class_ = cause.cls;
+    } else {
+        closeEpisode(time, false);
+    }
+    up_ = up;
+}
+
+void
+OutageLedger::finish(double time)
+{
+    require(!finished_, "OutageLedger already finished");
+    require(time >= last_time_, "OutageLedger time went backwards");
+    if (!up_)
+        closeEpisode(time, true);
+    totals_.observedHours += time;
+    finished_ = true;
+}
+
+} // namespace sdnav::sim

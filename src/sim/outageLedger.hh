@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Per-failure-mode downtime attribution for the simulators.
+ *
+ * The paper's claims are about *which component class* (rack, host,
+ * VM, process, supervisor) contributes which minutes/year of control-
+ * and data-plane downtime, but an UptimeTracker only says how long
+ * the plane was down, not why. The OutageLedger closes that gap: the
+ * simulators tag every state observation with the triggering
+ * component (class + index) and whether it was a failure or a repair,
+ * and the ledger attributes each outage episode's full duration to
+ * its *initiating* cause — the event that flipped the observable
+ * down. Failures of other classes that land while the episode is
+ * already open are tallied as *prolonging* causes (once per class per
+ * episode), and an episode still open at the horizon is folded in but
+ * flagged as right-censored, mirroring UptimeTracker's censoring fix.
+ *
+ * Attributing whole episodes to the initiating class makes the
+ * invariant exact by construction: the per-class downtime rows sum to
+ * the total downtime (the acceptance bar is 1e-12). AttributionTotals
+ * folds across replications with plain ordered addition, so merging
+ * in replication order is bit-identical for any worker thread count,
+ * like every other accounting in src/sim.
+ */
+
+#ifndef SDNAV_SIM_OUTAGE_LEDGER_HH
+#define SDNAV_SIM_OUTAGE_LEDGER_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sdnav::sim
+{
+
+/**
+ * The component classes the paper's FMEA attributes downtime to,
+ * plus Rediscovery (the controller-restart re-learning window, a
+ * *phase* rather than a component — Sakic & Kellerer attribute RAFT
+ * downtime per phase the same way) and Other for the initial state /
+ * unclassifiable causes.
+ */
+enum class ComponentClass : std::uint8_t {
+    Rack = 0,
+    Host,
+    Vm,
+    Process,
+    Supervisor,
+    Rediscovery,
+    Other,
+};
+
+inline constexpr std::size_t kComponentClassCount = 7;
+
+/** Stable lowercase label ("rack", "host", ... ) for tables/CSV. */
+const char *componentClassName(ComponentClass cls);
+
+/**
+ * Classify a component by its model name, matching the conventions
+ * of model::buildExactSystem and analysis::classifyMtbfs: "rack*",
+ * "host*", "vm*", "supervisor*" prefixes; anything else is a
+ * controller process.
+ */
+ComponentClass componentClassFromName(const std::string &name);
+
+/** The event behind a state observation. */
+struct OutageCause
+{
+    ComponentClass cls = ComponentClass::Other;
+
+    /** Component index within the simulator's own numbering. */
+    std::size_t index = 0;
+
+    /** True for a failure event, false for a repair/recovery. */
+    bool failure = false;
+};
+
+/** Downtime attributed to one component class. */
+struct ClassTotals
+{
+    /** Episodes initiated by this class (censored one included). */
+    std::size_t episodes = 0;
+
+    /** Episodes initiated by *another* class during which a failure
+     *  of this class landed (counted once per episode). */
+    std::size_t prolongedEpisodes = 0;
+
+    /** Sum of initiated episode durations, in hours. */
+    double downtimeHours = 0.0;
+
+    /** Longest initiated episode, in hours. */
+    double maxEpisodeHours = 0.0;
+
+    void add(const ClassTotals &other);
+};
+
+/**
+ * Attribution for one observable (or the ordered fold of many):
+ * per-class totals plus censoring and the observation denominator.
+ */
+struct AttributionTotals
+{
+    std::array<ClassTotals, kComponentClassCount> classes{};
+
+    /** Final episodes cut short by the horizon. */
+    std::size_t censoredEpisodes = 0;
+
+    /** Hours contributed by those censored episodes (also included
+     *  in the per-class downtimeHours). */
+    double censoredHours = 0.0;
+
+    /** Observable-hours the totals were accumulated over (horizon x
+     *  observables x replications after folding). */
+    double observedHours = 0.0;
+
+    const ClassTotals &
+    of(ComponentClass cls) const
+    {
+        return classes[static_cast<std::size_t>(cls)];
+    }
+
+    /** Sum of per-class episode counts. */
+    std::size_t episodes() const;
+
+    /** Sum of per-class downtime — equals total observable downtime
+     *  because every episode is attributed to exactly one class. */
+    double downtimeHours() const;
+
+    /**
+     * Fold another observable/replication in. Plain ordered `+=`
+     * per field: folding a fixed sequence in a fixed order is
+     * bit-identical regardless of which threads produced the parts.
+     */
+    void add(const AttributionTotals &other);
+};
+
+/**
+ * Attributes one observable's outage episodes to causes. Drive it
+ * exactly like an UptimeTracker — observe() each (possibly
+ * redundant) state at non-decreasing times, finish() at the horizon
+ * — but with the causing event attached.
+ */
+class OutageLedger
+{
+  public:
+    explicit OutageLedger(bool initiallyUp = true);
+
+    /** Record a state observation caused by the given event. */
+    void observe(double time, bool up, const OutageCause &cause);
+
+    /** Close the trajectory; adds `time` to observedHours and
+     *  flags a still-open episode as censored. */
+    void finish(double time);
+
+    /** Valid after finish(). */
+    const AttributionTotals &totals() const { return totals_; }
+
+  private:
+    void closeEpisode(double time, bool censored);
+
+    bool up_;
+    bool finished_ = false;
+    double last_time_ = 0.0;
+    double episode_start_ = 0.0;
+    ComponentClass episode_class_ = ComponentClass::Other;
+    std::uint8_t prolonged_mask_ = 0;
+    AttributionTotals totals_;
+};
+
+} // namespace sdnav::sim
+
+#endif // SDNAV_SIM_OUTAGE_LEDGER_HH

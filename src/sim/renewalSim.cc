@@ -5,6 +5,7 @@
 
 #include "common/error.hh"
 #include "common/units.hh"
+#include "obs/trace.hh"
 
 namespace sdnav::sim
 {
@@ -98,8 +99,16 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
     requirePositive(config.horizonHours, "horizonHours");
     require(config.batches >= 2, "need at least two batches");
 
+    obs::TraceSpan trace_span("sim.renewal_run", config.seed);
     prob::Rng rng(config.seed);
     std::size_t n = system.componentCount();
+
+    // Class of each component, for downtime attribution.
+    std::vector<ComponentClass> classes;
+    classes.reserve(n);
+    for (rbd::ComponentId id = 0; id < n; ++id)
+        classes.push_back(
+            componentClassFromName(system.componentName(id)));
 
     // Event: (time, component). Earliest first; ties broken by
     // insertion order via the sequence number for determinism.
@@ -131,6 +140,7 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
     const rbd::Block &root = system.root();
     bool system_up = root.evaluate(up);
     UptimeTracker tracker(system_up);
+    OutageLedger ledger(system_up);
 
     double batch_length =
         config.horizonHours / static_cast<double>(config.batches);
@@ -169,6 +179,11 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
         queue_hwm = std::max(queue_hwm, queue.size());
 
         bool now_up = root.evaluate(up);
+        // The ledger sees every component event (a failure during an
+        // open outage prolongs it); the tracker only needs flips.
+        ledger.observe(ev.time, now_up,
+                       {classes[ev.component], ev.component,
+                        !up[ev.component]});
         if (now_up != system_up) {
             tracker.observe(ev.time, now_up);
             system_up = now_up;
@@ -185,6 +200,7 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
         ++next_batch;
     }
     tracker.finish(config.horizonHours);
+    ledger.finish(config.horizonHours);
 
     RenewalSimResult result;
     result.availability = batchMeans(batch_avail);
@@ -193,6 +209,9 @@ simulateRenewalSystem(const rbd::RbdSystem &system,
     result.maxOutageHours = tracker.maxOutageDuration();
     result.events = events;
     result.queueHighWater = queue_hwm;
+    result.censoredOutages = tracker.finalOutageCensored() ? 1 : 0;
+    result.censoredOutageHours = tracker.censoredOutageDuration();
+    result.attribution = ledger.totals();
     recordSimMetrics(events, queue_hwm);
     return result;
 }

@@ -23,6 +23,7 @@
 
 #include "prob/distributions.hh"
 #include "rbd/system.hh"
+#include "sim/outageLedger.hh"
 #include "sim/stats.hh"
 
 namespace sdnav::sim
@@ -89,6 +90,20 @@ struct RenewalSimResult
 
     /** Peak pending-event count (deterministic per seed). */
     std::size_t queueHighWater = 0;
+
+    /** Final episodes right-censored by the horizon (0 or 1 for a
+     *  single run; summed across replications when merged). */
+    std::size_t censoredOutages = 0;
+
+    /** Hours contributed by censored episodes (lower bounds). */
+    double censoredOutageHours = 0.0;
+
+    /**
+     * Downtime attributed per component class (components classified
+     * by name prefix: "rack", "host", "vm", "supervisor", else
+     * process). The class rows sum to the total system downtime.
+     */
+    AttributionTotals attribution;
 };
 
 /**

@@ -10,6 +10,7 @@
 
 #include "common/error.hh"
 #include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "prob/rng.hh"
 
 namespace sdnav::sim
@@ -215,6 +216,7 @@ simulateControllerReplicated(const fmea::ControllerCatalog &catalog,
     std::atomic<double> busy_ms{0.0};
     runPool(replication.replications, replication.threads,
             [&](std::size_t replica) {
+                obs::TraceSpan trace_span("sim.replication", replica);
                 timedReplication(busy_ms, [&] {
                     ControllerSimConfig config = perReplication;
                     config.seed =
@@ -238,6 +240,9 @@ simulateControllerReplicated(const fmea::ControllerCatalog &catalog,
         redisc_sum += rep.rediscoveryDowntimeFraction;
         merged.events += rep.events;
         merged.dpMeasured = rep.dpMeasured;
+        merged.cpCensoredOutages += rep.cpCensoredOutages;
+        merged.cpAttribution.add(rep.cpAttribution);
+        merged.dpAttribution.add(rep.dpAttribution);
     }
     merged.cpAvailability = poolEstimates(cp);
     merged.dpAvailability = poolEstimates(dp);
@@ -266,6 +271,7 @@ simulateRenewalSystemReplicated(
     std::atomic<double> busy_ms{0.0};
     runPool(replication.replications, replication.threads,
             [&](std::size_t replica) {
+                obs::TraceSpan trace_span("sim.replication", replica);
                 timedReplication(busy_ms, [&] {
                     RenewalSimConfig config = perReplication;
                     config.seed =
@@ -284,6 +290,8 @@ simulateRenewalSystemReplicated(
         outages.add(rep.outageCount, rep.meanOutageHours,
                     rep.maxOutageHours);
         merged.events += rep.events;
+        merged.censoredOutages += rep.censoredOutages;
+        merged.attribution.add(rep.attribution);
     }
     merged.availability = poolEstimates(avail);
     merged.outageCount = outages.count;

@@ -128,8 +128,18 @@ struct ReplicatedControllerResult
     /** Mean rediscovery downtime fraction across replications. */
     double rediscoveryDowntimeFraction = 0.0;
 
+    /** CP episodes right-censored by the horizon, summed. */
+    std::size_t cpCensoredOutages = 0;
+
     /** Events summed over replications. */
     std::size_t events = 0;
+
+    /** CP downtime attribution folded in replication order —
+     *  bit-identical for any thread count. */
+    AttributionTotals cpAttribution;
+
+    /** Per-host DP attribution folded in replication order. */
+    AttributionTotals dpAttribution;
 
     /** Per-replication results, in replication order. */
     std::vector<ControllerSimResult> perReplication;
@@ -150,8 +160,15 @@ struct ReplicatedRenewalResult
     /** Longest outage across replications. */
     double maxOutageHours = 0.0;
 
+    /** Final episodes right-censored by the horizon, summed. */
+    std::size_t censoredOutages = 0;
+
     /** Events summed over replications. */
     std::size_t events = 0;
+
+    /** Downtime attribution folded in replication order —
+     *  bit-identical for any thread count. */
+    AttributionTotals attribution;
 
     /** Per-replication results, in replication order. */
     std::vector<RenewalSimResult> perReplication;

@@ -48,9 +48,15 @@ UptimeTracker::finish(double time)
     require(!finished_, "UptimeTracker already finished");
     advanceTo(time);
     if (!up_) {
+        // The horizon cut an outage short: fold the partial duration
+        // into the totals (so availability stays exact) but flag it
+        // as right-censored so downstream attribution can report it
+        // as a lower bound instead of a closed episode.
         double duration = time - outage_start_;
         outage_total_ += duration;
         max_outage_ = std::max(max_outage_, duration);
+        censored_ = true;
+        censored_duration_ = duration;
     }
     finished_ = true;
 }

@@ -52,6 +52,25 @@ class UptimeTracker
     /** Longest single outage. */
     double maxOutageDuration() const { return max_outage_; }
 
+    /**
+     * True when finish() closed an outage still in progress: the
+     * final episode was right-censored by the horizon, so its
+     * duration (included in the totals above) is a lower bound, not
+     * an observed outage length.
+     */
+    bool finalOutageCensored() const { return censored_; }
+
+    /** Duration of the censored final episode (0 when none). */
+    double censoredOutageDuration() const { return censored_duration_; }
+
+    /** Outages that closed before the horizon (excludes a censored
+     *  final episode). */
+    std::size_t
+    closedOutageCount() const
+    {
+        return censored_ ? outage_count_ - 1 : outage_count_;
+    }
+
   private:
     void advanceTo(double time);
 
@@ -62,7 +81,9 @@ class UptimeTracker
     double outage_start_ = 0.0;
     double outage_total_ = 0.0;
     double max_outage_ = 0.0;
+    double censored_duration_ = 0.0;
     std::size_t outage_count_ = 0;
+    bool censored_ = false;
     bool finished_ = false;
 };
 

@@ -279,4 +279,64 @@ TEST(ControllerSim, ConfigValidation)
                  sdnav::ModelError);
 }
 
+TEST(ControllerSim, CpAttributionSumsToCpDowntime)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig config = fastConfig();
+    auto result = simulateController(catalog, topo,
+                                     SupervisorPolicy::Required,
+                                     config);
+
+    // Attributing whole episodes to the initiating class makes the
+    // rows-sum-to-total invariant exact (1e-12 on the availability
+    // fraction, the ISSUE acceptance bar).
+    double attributed_fraction =
+        result.cpAttribution.downtimeHours() / config.horizonHours;
+    EXPECT_NEAR(attributed_fraction, 1.0 - result.cpAvailability.mean,
+                1e-12);
+    EXPECT_EQ(result.cpAttribution.episodes(), result.cpOutages);
+    EXPECT_EQ(result.cpAttribution.censoredEpisodes,
+              result.cpCensoredOutages);
+    EXPECT_DOUBLE_EQ(result.cpAttribution.observedHours,
+                     config.horizonHours);
+}
+
+TEST(ControllerSim, DpAttributionSumsToDpDowntime)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig config = fastConfig();
+    auto result = simulateController(catalog, topo,
+                                     SupervisorPolicy::Required,
+                                     config);
+    ASSERT_TRUE(result.dpMeasured);
+
+    // DP observes monitoredHosts observables for the whole horizon.
+    double host_hours = config.horizonHours *
+                        static_cast<double>(config.monitoredHosts);
+    EXPECT_DOUBLE_EQ(result.dpAttribution.observedHours, host_hours);
+    double attributed_fraction =
+        result.dpAttribution.downtimeHours() / host_hours;
+    EXPECT_NEAR(attributed_fraction, 1.0 - result.dpAvailability.mean,
+                1e-12);
+    EXPECT_GT(result.dpAttribution.episodes(), 0u);
+}
+
+TEST(ControllerSim, RediscoveryEpisodesAttributedToRediscovery)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig config = fastConfig();
+    config.rediscoveryDelayHours = 0.25; // exaggerated, 15 minutes
+    auto result = simulateController(catalog, topo,
+                                     SupervisorPolicy::NotRequired,
+                                     config);
+    ASSERT_GT(result.rediscoveryDowntimeFraction, 0.0);
+    const auto &redisc =
+        result.dpAttribution.of(ComponentClass::Rediscovery);
+    EXPECT_GT(redisc.episodes, 0u);
+    EXPECT_GT(redisc.downtimeHours, 0.0);
+}
+
 } // anonymous namespace

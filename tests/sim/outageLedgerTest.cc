@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the outage-cause ledger: name classification, episode
+ * attribution to the initiating class, prolonging-cause tallies,
+ * horizon censoring, and the exact rows-sum-to-total invariant the
+ * attribution tables rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sim/outageLedger.hh"
+
+namespace
+{
+
+using namespace sdnav::sim;
+
+TEST(ComponentClass, NamesRoundTrip)
+{
+    EXPECT_STREQ(componentClassName(ComponentClass::Rack), "rack");
+    EXPECT_STREQ(componentClassName(ComponentClass::Host), "host");
+    EXPECT_STREQ(componentClassName(ComponentClass::Vm), "vm");
+    EXPECT_STREQ(componentClassName(ComponentClass::Process),
+                 "process");
+    EXPECT_STREQ(componentClassName(ComponentClass::Supervisor),
+                 "supervisor");
+    EXPECT_STREQ(componentClassName(ComponentClass::Rediscovery),
+                 "rediscovery");
+    EXPECT_STREQ(componentClassName(ComponentClass::Other), "other");
+}
+
+TEST(ComponentClass, ClassifiesModelNamesByPrefix)
+{
+    EXPECT_EQ(componentClassFromName("rack0"), ComponentClass::Rack);
+    EXPECT_EQ(componentClassFromName("host3/vm1"),
+              ComponentClass::Host);
+    EXPECT_EQ(componentClassFromName("vm2"), ComponentClass::Vm);
+    EXPECT_EQ(componentClassFromName("supervisor-control"),
+              ComponentClass::Supervisor);
+    // Everything else is a controller process (contrail-api, ...).
+    EXPECT_EQ(componentClassFromName("contrail-api"),
+              ComponentClass::Process);
+    EXPECT_EQ(componentClassFromName(""), ComponentClass::Process);
+}
+
+TEST(OutageLedger, AttributesEpisodeToInitiatingClass)
+{
+    OutageLedger ledger(true);
+    ledger.observe(10.0, false, {ComponentClass::Vm, 2, true});
+    ledger.observe(12.5, true, {ComponentClass::Vm, 2, false});
+    ledger.finish(100.0);
+
+    const AttributionTotals &totals = ledger.totals();
+    EXPECT_EQ(totals.of(ComponentClass::Vm).episodes, 1u);
+    EXPECT_DOUBLE_EQ(totals.of(ComponentClass::Vm).downtimeHours,
+                     2.5);
+    EXPECT_DOUBLE_EQ(totals.of(ComponentClass::Vm).maxEpisodeHours,
+                     2.5);
+    EXPECT_EQ(totals.episodes(), 1u);
+    EXPECT_DOUBLE_EQ(totals.downtimeHours(), 2.5);
+    EXPECT_DOUBLE_EQ(totals.observedHours, 100.0);
+    EXPECT_EQ(totals.censoredEpisodes, 0u);
+}
+
+TEST(OutageLedger, ProlongingFailuresTalliedOncePerClass)
+{
+    OutageLedger ledger(true);
+    ledger.observe(10.0, false, {ComponentClass::Host, 0, true});
+    // Two process failures land while the host outage is open: the
+    // class is tallied once; the episode stays attributed to Host.
+    ledger.observe(11.0, false, {ComponentClass::Process, 4, true});
+    ledger.observe(12.0, false, {ComponentClass::Process, 5, true});
+    // A repair while down is not a prolonging cause.
+    ledger.observe(12.5, false, {ComponentClass::Process, 4, false});
+    ledger.observe(14.0, true, {ComponentClass::Host, 0, false});
+    ledger.finish(20.0);
+
+    const AttributionTotals &totals = ledger.totals();
+    EXPECT_EQ(totals.of(ComponentClass::Host).episodes, 1u);
+    EXPECT_DOUBLE_EQ(totals.of(ComponentClass::Host).downtimeHours,
+                     4.0);
+    EXPECT_EQ(totals.of(ComponentClass::Process).episodes, 0u);
+    EXPECT_EQ(totals.of(ComponentClass::Process).prolongedEpisodes,
+              1u);
+    EXPECT_DOUBLE_EQ(totals.of(ComponentClass::Process).downtimeHours,
+                     0.0);
+    EXPECT_DOUBLE_EQ(totals.downtimeHours(), 4.0);
+}
+
+TEST(OutageLedger, HorizonCensorsOpenEpisode)
+{
+    OutageLedger ledger(true);
+    ledger.observe(8.0, false, {ComponentClass::Rack, 0, true});
+    ledger.finish(15.0);
+
+    const AttributionTotals &totals = ledger.totals();
+    EXPECT_EQ(totals.of(ComponentClass::Rack).episodes, 1u);
+    EXPECT_DOUBLE_EQ(totals.of(ComponentClass::Rack).downtimeHours,
+                     7.0);
+    EXPECT_EQ(totals.censoredEpisodes, 1u);
+    EXPECT_DOUBLE_EQ(totals.censoredHours, 7.0);
+    // Censored hours are included in (not extra to) the class rows.
+    EXPECT_DOUBLE_EQ(totals.downtimeHours(), 7.0);
+}
+
+TEST(OutageLedger, RedundantObservationsDoNotSplitEpisodes)
+{
+    OutageLedger ledger(true);
+    ledger.observe(5.0, false, {ComponentClass::Supervisor, 0, true});
+    ledger.observe(6.0, false, {ComponentClass::Supervisor, 0, true});
+    ledger.observe(9.0, true, {ComponentClass::Supervisor, 0, false});
+    ledger.finish(10.0);
+
+    const AttributionTotals &totals = ledger.totals();
+    EXPECT_EQ(totals.episodes(), 1u);
+    EXPECT_DOUBLE_EQ(totals.downtimeHours(), 4.0);
+    // A *second* failure of the initiating class while the episode
+    // is open is recorded as prolonging its own episode.
+    EXPECT_EQ(totals.of(ComponentClass::Supervisor).prolongedEpisodes,
+              1u);
+}
+
+TEST(OutageLedger, FoldIsPlainOrderedAddition)
+{
+    OutageLedger a(true);
+    a.observe(1.0, false, {ComponentClass::Vm, 0, true});
+    a.observe(2.0, true, {ComponentClass::Vm, 0, false});
+    a.finish(10.0);
+
+    OutageLedger b(true);
+    b.observe(3.0, false, {ComponentClass::Process, 1, true});
+    b.finish(10.0);
+
+    AttributionTotals merged;
+    merged.add(a.totals());
+    merged.add(b.totals());
+    EXPECT_EQ(merged.episodes(), 2u);
+    EXPECT_DOUBLE_EQ(merged.downtimeHours(), 8.0);
+    EXPECT_DOUBLE_EQ(merged.observedHours, 20.0);
+    EXPECT_EQ(merged.censoredEpisodes, 1u);
+    EXPECT_DOUBLE_EQ(merged.of(ComponentClass::Vm).downtimeHours,
+                     1.0);
+    EXPECT_DOUBLE_EQ(merged.of(ComponentClass::Process).downtimeHours,
+                     7.0);
+}
+
+TEST(OutageLedger, RejectsTimeTravelAndDoubleFinish)
+{
+    OutageLedger ledger(true);
+    ledger.observe(5.0, false, {ComponentClass::Vm, 0, true});
+    EXPECT_THROW(
+        ledger.observe(4.0, true, {ComponentClass::Vm, 0, false}),
+        sdnav::ModelError);
+    ledger.finish(6.0);
+    EXPECT_THROW(ledger.finish(7.0), sdnav::ModelError);
+    EXPECT_THROW(
+        ledger.observe(8.0, true, {ComponentClass::Vm, 0, false}),
+        sdnav::ModelError);
+}
+
+} // anonymous namespace

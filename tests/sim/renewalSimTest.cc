@@ -4,9 +4,12 @@
  * analytic availability and distribution-shape insensitivity.
  */
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hh"
+#include "prob/distributions.hh"
 #include "rbd/system.hh"
 #include "sim/renewalSim.hh"
 
@@ -214,6 +217,56 @@ TEST(RenewalSim, ConfigValidation)
     RenewalSimConfig ok;
     EXPECT_THROW(simulateRenewalSystem(system, short_timings, ok),
                  sdnav::ModelError);
+}
+
+TEST(RenewalSim, AttributionSumsToTotalDowntime)
+{
+    rbd::RbdSystem system = twoOfThree(0.8);
+    RenewalSimConfig config;
+    config.horizonHours = 1e5;
+    config.seed = 29;
+    auto result = simulateRenewalSystem(
+        system, exponentialTimingsFor(system, 50.0), config);
+
+    // Every episode lands in exactly one class, so the per-class
+    // rows reproduce the total downtime (acceptance bar: 1e-12 on
+    // the availability fraction).
+    double attributed = result.attribution.downtimeHours();
+    double downtime =
+        config.horizonHours * (1.0 - result.availability.mean);
+    EXPECT_NEAR(attributed / config.horizonHours,
+                downtime / config.horizonHours, 1e-12);
+    EXPECT_EQ(result.attribution.episodes(), result.outageCount);
+    EXPECT_DOUBLE_EQ(result.attribution.observedHours,
+                     config.horizonHours);
+    EXPECT_EQ(result.attribution.censoredEpisodes,
+              result.censoredOutages);
+    // twoOfThree components are named c0..c2 — all Process class.
+    EXPECT_EQ(result.attribution.of(ComponentClass::Process).episodes,
+              result.outageCount);
+}
+
+TEST(RenewalSim, CensoredFinalOutageIsReported)
+{
+    // One never-repairing component: the first failure opens an
+    // outage the horizon must censor.
+    rbd::RbdSystem system;
+    auto c0 = system.addComponent("c0", 0.5);
+    system.setRoot(rbd::component(c0));
+    std::vector<ComponentTimings> timings;
+    ComponentTimings t = exponentialTimings(0.5, 10.0);
+    t.timeToRepair = std::make_unique<
+        sdnav::prob::DeterministicDistribution>(1e12);
+    timings.push_back(std::move(t));
+    RenewalSimConfig config;
+    config.horizonHours = 1e4;
+    config.seed = 3;
+    auto result = simulateRenewalSystem(system, timings, config);
+    EXPECT_EQ(result.censoredOutages, 1u);
+    EXPECT_GT(result.censoredOutageHours, 0.0);
+    EXPECT_EQ(result.attribution.censoredEpisodes, 1u);
+    EXPECT_DOUBLE_EQ(result.attribution.censoredHours,
+                     result.censoredOutageHours);
 }
 
 } // anonymous namespace

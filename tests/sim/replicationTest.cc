@@ -262,4 +262,98 @@ TEST(ReplicatedController, UnmonitoredDpPropagates)
     EXPECT_DOUBLE_EQ(result.dpAvailability.mean, 0.0);
 }
 
+/** Bit-identical comparison of two folded attribution totals. */
+void
+expectAttributionIdentical(const AttributionTotals &a,
+                           const AttributionTotals &b)
+{
+    for (std::size_t i = 0; i < kComponentClassCount; ++i) {
+        EXPECT_EQ(a.classes[i].episodes, b.classes[i].episodes);
+        EXPECT_EQ(a.classes[i].prolongedEpisodes,
+                  b.classes[i].prolongedEpisodes);
+        EXPECT_DOUBLE_EQ(a.classes[i].downtimeHours,
+                         b.classes[i].downtimeHours);
+        EXPECT_DOUBLE_EQ(a.classes[i].maxEpisodeHours,
+                         b.classes[i].maxEpisodeHours);
+    }
+    EXPECT_EQ(a.censoredEpisodes, b.censoredEpisodes);
+    EXPECT_DOUBLE_EQ(a.censoredHours, b.censoredHours);
+    EXPECT_DOUBLE_EQ(a.observedHours, b.observedHours);
+}
+
+TEST(ReplicatedController, AttributionThreadCountInvariance)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig per = fastControllerConfig();
+    ReplicatedSimConfig rep;
+    rep.replications = 4;
+    rep.baseSeed = 77;
+
+    rep.threads = 1;
+    auto sequential = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+    rep.threads = 8;
+    auto parallel = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+
+    // The ledger fold happens in replication order after the pool
+    // joins, so attribution is bit-identical for any thread count.
+    expectAttributionIdentical(sequential.cpAttribution,
+                               parallel.cpAttribution);
+    expectAttributionIdentical(sequential.dpAttribution,
+                               parallel.dpAttribution);
+    EXPECT_EQ(sequential.cpCensoredOutages,
+              parallel.cpCensoredOutages);
+    EXPECT_GT(sequential.cpAttribution.episodes(), 0u);
+}
+
+TEST(ReplicatedRenewal, AttributionThreadCountInvariance)
+{
+    auto system = twoOfThree(0.9);
+    auto timings = exponentialTimingsFor(system, 100.0);
+    RenewalSimConfig per;
+    per.horizonHours = 2e4;
+    ReplicatedSimConfig rep;
+    rep.replications = 6;
+    rep.baseSeed = 31;
+
+    rep.threads = 1;
+    auto sequential =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+    rep.threads = 8;
+    auto parallel =
+        simulateRenewalSystemReplicated(system, timings, per, rep);
+
+    expectAttributionIdentical(sequential.attribution,
+                               parallel.attribution);
+    EXPECT_EQ(sequential.censoredOutages, parallel.censoredOutages);
+    EXPECT_EQ(sequential.attribution.episodes(),
+              sequential.outageCount);
+}
+
+TEST(ReplicatedController, AttributionFoldsAcrossReplications)
+{
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology();
+    ControllerSimConfig per = fastControllerConfig();
+    ReplicatedSimConfig rep;
+    rep.replications = 3;
+    rep.threads = 2;
+    rep.baseSeed = 11;
+    auto result = simulateControllerReplicated(
+        catalog, topo, SupervisorPolicy::Required, per, rep);
+
+    // Merged attribution covers every replication's observations and
+    // reproduces the merged outage count exactly.
+    EXPECT_DOUBLE_EQ(result.cpAttribution.observedHours,
+                     3.0 * per.horizonHours);
+    EXPECT_EQ(result.cpAttribution.episodes(), result.cpOutages);
+    double attributed = result.cpAttribution.downtimeHours();
+    double downtime =
+        3.0 * per.horizonHours * (1.0 - result.cpAvailability.mean);
+    EXPECT_NEAR(attributed / (3.0 * per.horizonHours),
+                downtime / (3.0 * per.horizonHours), 1e-12);
+}
+
 } // anonymous namespace

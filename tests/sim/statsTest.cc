@@ -143,4 +143,40 @@ TEST(BatchMeans, RequiresTwoSamples)
     EXPECT_THROW(batchMeans({}), sdnav::ModelError);
 }
 
+TEST(UptimeTracker, FinalOutageCensoringFlagged)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(7.0, false);
+    tracker.finish(10.0);
+    // The horizon cut the episode short: its duration is a lower
+    // bound, and the outage count includes one censored episode.
+    EXPECT_TRUE(tracker.finalOutageCensored());
+    EXPECT_DOUBLE_EQ(tracker.censoredOutageDuration(), 3.0);
+    EXPECT_EQ(tracker.outageCount(), 1u);
+    EXPECT_EQ(tracker.closedOutageCount(), 0u);
+}
+
+TEST(UptimeTracker, ClosedOutagesAreNotCensored)
+{
+    UptimeTracker tracker(true);
+    tracker.observe(4.0, false);
+    tracker.observe(6.0, true);
+    tracker.observe(9.0, false);
+    tracker.observe(9.5, true);
+    tracker.finish(10.0);
+    EXPECT_FALSE(tracker.finalOutageCensored());
+    EXPECT_DOUBLE_EQ(tracker.censoredOutageDuration(), 0.0);
+    EXPECT_EQ(tracker.outageCount(), 2u);
+    EXPECT_EQ(tracker.closedOutageCount(), 2u);
+}
+
+TEST(UptimeTracker, NoOutagesMeansNothingCensored)
+{
+    UptimeTracker tracker(true);
+    tracker.finish(10.0);
+    EXPECT_FALSE(tracker.finalOutageCensored());
+    EXPECT_DOUBLE_EQ(tracker.censoredOutageDuration(), 0.0);
+    EXPECT_EQ(tracker.closedOutageCount(), 0u);
+}
+
 } // anonymous namespace

@@ -13,8 +13,15 @@
 
 #include "common/json.hh"
 
+#ifndef SDNAV_METRICS_ENABLED
+#define SDNAV_METRICS_ENABLED 1
+#endif
+
 namespace
 {
+
+/** Whether the binary under test records metrics/trace events. */
+constexpr bool kMetricsEnabled = SDNAV_METRICS_ENABLED != 0;
 
 struct CommandResult
 {
@@ -308,12 +315,81 @@ TEST(Cli, DeterministicCountersIdenticalAcrossThreadCounts)
     std::remove(path8.c_str());
 }
 
-TEST(Cli, MetricsToUnwritablePathFails)
+TEST(Cli, MetricsToUnwritablePathFailsUpfrontAsUsageError)
 {
+    // Validated before any work runs: usage-style error, exit 2.
     auto result = runCli(
         "figures --points 5 --metrics /nonexistent-dir/m.json");
-    EXPECT_EQ(result.exitCode, 1);
-    EXPECT_NE(result.output.find("error:"), std::string::npos);
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("cannot write --metrics"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, TraceToUnwritablePathFailsUpfrontAsUsageError)
+{
+    auto result = runCli(
+        "simulate --hours 1000 --trace /nonexistent-dir/t.json");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("cannot write --trace"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, TraceFlagWritesValidChromeTrace)
+{
+    std::string path = testing::TempDir() + "/cli_trace_test.json";
+    auto result = runCli(
+        "simulate --topology small --hours 5000 --mtbf 100 --hosts 6 "
+        "--seed 3 --trace " + path);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("[trace] wrote"), std::string::npos);
+
+    sdnav::json::Value doc = sdnav::json::parseFile(path);
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    const auto &events = doc.at("traceEvents").asArray();
+    if (kMetricsEnabled) {
+        bool saw_sim_span = false;
+        for (const sdnav::json::Value &event : events) {
+            if (event.at("name").asString() == "sim.controller_run")
+                saw_sim_span = true;
+        }
+        EXPECT_TRUE(saw_sim_span);
+        EXPECT_GT(events.size(), 1u);
+    } else {
+        // No-op build still writes a valid, empty trace.
+        EXPECT_TRUE(events.empty());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Cli, SimulateAttributionPrintsTables)
+{
+    auto result = runCli(
+        "simulate --topology small --hours 20000 --mtbf 100 --hosts 6 "
+        "--seed 3 --attribution");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("CP downtime attribution"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("DP downtime attribution"),
+              std::string::npos);
+    // The analytic cross-check column from the BDD structure
+    // function, and the integrity total row.
+    EXPECT_NE(result.output.find("analytic_share"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("total"), std::string::npos);
+}
+
+TEST(Cli, SimulateAttributionIdenticalAcrossThreadCounts)
+{
+    const std::string base =
+        "simulate --topology small --hours 5000 --mtbf 100 --hosts 6 "
+        "--seed 3 --replications 4 --attribution";
+    auto sequential = runCli(base + " --threads 1");
+    EXPECT_EQ(sequential.exitCode, 0);
+    auto parallel = runCli(base + " --threads 8");
+    EXPECT_EQ(parallel.exitCode, 0);
+    EXPECT_EQ(sequential.output, parallel.output);
 }
 
 TEST(Cli, SimulateWithoutHostsReportsUnmeasuredDp)

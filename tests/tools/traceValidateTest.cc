@@ -1,0 +1,179 @@
+/**
+ * @file
+ * End-to-end tests of tools/trace_validate.py (the Chrome-trace
+ * schema checker) against synthetic trace files: a valid trace, the
+ * rejection paths (unmatched spans, non-monotonic timestamps, bad
+ * pid/tid, invalid JSON), and the usage exit code.
+ * SDNAV_TRACE_VALIDATE_PATH is injected by CMake; the suite skips
+ * when python3 is unavailable.
+ */
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode;
+    std::string output;
+};
+
+CommandResult
+runCommand(const std::string &command)
+{
+    FILE *pipe = popen((command + " 2>&1").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        output += buffer.data();
+    int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+bool
+havePython3()
+{
+    return runCommand("python3 --version").exitCode == 0;
+}
+
+class TraceValidate : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!havePython3())
+            GTEST_SKIP() << "python3 not available";
+        dir_ = testing::TempDir() + "/trace_validate_" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        if (!dir_.empty())
+            std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    writeTrace(const std::string &content)
+    {
+        std::string path = dir_ + "/trace.json";
+        std::ofstream out(path);
+        out << content;
+        return path;
+    }
+
+    CommandResult
+    validate(const std::string &arguments)
+    {
+        return runCommand(std::string("python3 ") +
+                          SDNAV_TRACE_VALIDATE_PATH + " " + arguments);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(TraceValidate, AcceptsWellFormedTrace)
+{
+    auto result = validate(writeTrace(R"({
+        "displayTimeUnit": "ms",
+        "traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+             "args": {"name": "sdnav"}},
+            {"name": "outer", "ph": "B", "ts": 1.0, "pid": 1,
+             "tid": 1},
+            {"name": "inner", "ph": "B", "ts": 2.0, "pid": 1,
+             "tid": 1},
+            {"name": "tick", "ph": "i", "s": "t", "ts": 2.5,
+             "pid": 1, "tid": 2},
+            {"name": "inner", "ph": "E", "ts": 3.0, "pid": 1,
+             "tid": 1},
+            {"name": "outer", "ph": "E", "ts": 4.0, "pid": 1,
+             "tid": 1}
+        ]})"));
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("OK"), std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsUnmatchedEnd)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "a", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("no open span"), std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsUnclosedBegin)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("unclosed"), std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsMisnestedSpans)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+        {"name": "b", "ph": "B", "ts": 2.0, "pid": 1, "tid": 1},
+        {"name": "a", "ph": "E", "ts": 3.0, "pid": 1, "tid": 1},
+        {"name": "b", "ph": "E", "ts": 4.0, "pid": 1, "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("does not match"),
+              std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsNonMonotonicTimestamps)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "a", "ph": "i", "s": "t", "ts": 5.0, "pid": 1,
+         "tid": 1},
+        {"name": "b", "ph": "i", "s": "t", "ts": 4.0, "pid": 1,
+         "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("not monotonic"), std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsBadPidTid)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "a", "ph": "i", "s": "t", "ts": 1.0, "pid": 1,
+         "tid": -3}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("bad tid"), std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsInvalidJson)
+{
+    auto result = validate(writeTrace("{not json"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("not valid JSON"),
+              std::string::npos);
+}
+
+TEST_F(TraceValidate, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(validate("").exitCode, 2);
+    EXPECT_EQ(validate(dir_ + "/missing.json").exitCode, 2);
+    EXPECT_EQ(validate("a.json b.json").exitCode, 2);
+}
+
+} // anonymous namespace

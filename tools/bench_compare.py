@@ -10,6 +10,10 @@ the blessed copies in bench_baselines/:
     reports cannot flake on scheduler noise) FAILS;
   * metric-shape mismatches (counter/gauge/timer keys appearing or
     disappearing) only WARN -- new instrumentation is expected churn;
+  * a changed top downtime cause in the "attribution" array only
+    WARNs -- a cause shift is a behavioral change worth eyeballing,
+    not a perf regression (and benches without attribution records,
+    or baselines blessed before the field existed, are skipped);
   * a result with no baseline, or a baseline with no result, FAILS
     with a hint to re-bless.
 
@@ -54,6 +58,39 @@ def metric_shape(doc):
         family: sorted(metrics.get(family, {}))
         for family in ("counters", "gauges", "timers")
     }
+
+
+def attribution_causes(doc):
+    """Map attribution label -> top cause; {} when absent/malformed."""
+    records = doc.get("attribution")
+    if not isinstance(records, list):
+        return {}
+    causes = {}
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        label = record.get("label")
+        cause = record.get("top_cause")
+        if isinstance(label, str) and isinstance(cause, str):
+            causes[label] = cause
+    return causes
+
+
+def attribution_warnings(name, base, result):
+    """Non-fatal warnings for top-downtime-cause drift vs baseline.
+
+    Tolerant by design: baselines blessed before the attribution field
+    existed (or benches that record none) produce no warnings.
+    """
+    base_causes = attribution_causes(base)
+    result_causes = attribution_causes(result)
+    warnings = []
+    for label in sorted(set(base_causes) & set(result_causes)):
+        if base_causes[label] != result_causes[label]:
+            warnings.append(
+                f"{name}: top downtime cause for '{label}' changed: "
+                f"{base_causes[label]} -> {result_causes[label]}")
+    return warnings
 
 
 def compare(baselines, results, max_regression, min_wall_ms):
@@ -114,6 +151,8 @@ def compare(baselines, results, max_regression, min_wall_ms):
                 if new:
                     warnings.append(
                         f"{name}: new {family}: {', '.join(new)}")
+
+        warnings.extend(attribution_warnings(name, base, result))
 
     return failures, warnings
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/attribution.hh"
 #include "analysis/figures.hh"
 #include "analysis/fleet.hh"
 #include "analysis/outage.hh"
@@ -38,6 +39,7 @@
 #include "fmea/report.hh"
 #include "model/exactModel.hh"
 #include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "rbd/cutSets.hh"
 #include "model/swCentric.hh"
 #include "sim/controllerSim.hh"
@@ -73,6 +75,13 @@ struct Args
     }
 };
 
+/** Options that are flags: present means "on", no value consumed. */
+bool
+isFlagOption(const std::string &key)
+{
+    return key == "attribution";
+}
+
 Args
 parseArgs(int argc, char **argv)
 {
@@ -81,6 +90,10 @@ parseArgs(int argc, char **argv)
         std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
             std::string key = arg.substr(2);
+            if (isFlagOption(key)) {
+                args.options[key] = "on";
+                continue;
+            }
             require(i + 1 < argc, "option " + arg + " needs a value");
             args.options[key] = argv[++i];
         } else {
@@ -425,6 +438,46 @@ cmdFigures(const Args &args)
     return 0;
 }
 
+/**
+ * Print the per-failure-mode downtime attribution tables for a
+ * simulate run: simulated shares from the outage ledger next to the
+ * analytic criticality-importance shares from the exact BDD structure
+ * function, for the CP and (when measured) the per-host DP.
+ */
+void
+printAttribution(const fmea::ControllerCatalog &catalog,
+                 const topology::DeploymentTopology &topo,
+                 model::SupervisorPolicy policy,
+                 const sim::ControllerSimConfig &config,
+                 const sim::AttributionTotals &cp,
+                 const sim::AttributionTotals &dp, bool dpMeasured)
+{
+    model::SwParams params = sim::staticParamsFor(config);
+    analysis::AttributionReport cpReport =
+        analysis::attributionReport(cp);
+    analysis::attachAnalyticShares(
+        cpReport,
+        model::buildExactSystem(catalog, topo, policy, params,
+                                fmea::Plane::ControlPlane));
+    std::cout << "\n"
+              << analysis::attributionTable("CP downtime attribution",
+                                            cpReport)
+                     .str();
+    if (!dpMeasured)
+        return;
+    analysis::AttributionReport dpReport =
+        analysis::attributionReport(dp);
+    analysis::attachAnalyticShares(
+        dpReport,
+        model::buildExactSystem(catalog, topo, policy, params,
+                                fmea::Plane::DataPlane));
+    std::cout << "\n"
+              << analysis::attributionTable(
+                     "DP downtime attribution (per monitored host)",
+                     dpReport)
+                     .str();
+}
+
 int
 cmdSimulate(const Args &args)
 {
@@ -496,6 +549,10 @@ cmdSimulate(const Args &args)
                   << formatGeneral(result.rediscoveryDowntimeFraction,
                                    4)
                   << "\n";
+        if (args.has("attribution"))
+            printAttribution(catalog, topo, policy, config,
+                             result.cpAttribution,
+                             result.dpAttribution, result.dpMeasured);
         return 0;
     }
 
@@ -528,6 +585,10 @@ cmdSimulate(const Args &args)
               << " h); rediscovery downtime share "
               << formatGeneral(result.rediscoveryDowntimeFraction, 4)
               << "\n";
+    if (args.has("attribution"))
+        printAttribution(catalog, topo, policy, config,
+                         result.cpAttribution, result.dpAttribution,
+                         result.dpMeasured);
     return 0;
 }
 
@@ -577,6 +638,41 @@ writeMetricsFile(const Args &args, const std::string &command)
     std::cerr << "[metrics] wrote " << path << "\n";
 }
 
+/**
+ * Write the Chrome-trace JSON when --trace FILE was given. The tracer
+ * is enabled before command dispatch, so spans from BDD compilation,
+ * probability evaluation, sweep chunks, and simulation replications
+ * are all sitting in the per-thread ring buffers by the time the
+ * command returns. Load the file in Perfetto / chrome://tracing.
+ */
+void
+writeTraceFile(const Args &args)
+{
+    if (!args.has("trace"))
+        return;
+    std::string path = args.get("trace", "");
+    obs::Tracer &tracer = obs::Tracer::global();
+    obs::TraceStats stats = tracer.stats();
+    tracer.writeFile(path);
+    // stderr so --trace never perturbs stdout golden comparisons.
+    std::cerr << "[trace] wrote " << path << " (" << stats.recorded
+              << " events, " << stats.dropped << " dropped)\n";
+}
+
+/**
+ * Upfront writability probe for output-path options: an unwritable
+ * --metrics/--trace destination is a usage error (exit 2) caught
+ * before any work runs, not a runtime failure discovered after the
+ * command already spent its cycles. Probing opens in append mode so
+ * it never truncates an existing file.
+ */
+bool
+outputPathWritable(const std::string &path)
+{
+    std::ofstream probe(path, std::ios::app);
+    return probe.good();
+}
+
 void
 printUsage()
 {
@@ -609,6 +705,11 @@ printUsage()
         "                                        JSON (see README,\n"
         "                                        \"Metrics & bench\n"
         "                                        JSON\")\n"
+        "  --trace FILE                          write a Chrome-trace\n"
+        "                                        (trace_event JSON)\n"
+        "                                        span timeline; load\n"
+        "                                        it in Perfetto or\n"
+        "                                        chrome://tracing\n"
         "  --threads T                           sweep worker threads\n"
         "                                        (0 = hardware); used\n"
         "                                        by figures and\n"
@@ -629,6 +730,9 @@ printUsage()
         "  --threads T        worker threads (0 = hardware); results\n"
         "                     are bit-identical for any thread count\n"
         "  --hours H --seed S --hosts N           run shape\n"
+        "  --attribution      print per-failure-mode downtime\n"
+        "                     attribution tables (CP and DP, outage\n"
+        "                     ledger vs analytic criticality shares)\n"
         "\n"
         "examples:\n"
         "  sdnav_cli analyze --topology small --policy required\n"
@@ -650,6 +754,17 @@ main(int argc, char **argv)
     std::string command = argv[1];
     try {
         Args args = parseArgs(argc, argv);
+        for (const char *key : {"metrics", "trace"}) {
+            if (args.has(key) &&
+                !outputPathWritable(args.get(key, ""))) {
+                std::cerr << "error: cannot write --" << key
+                          << " file: " << args.get(key, "") << "\n";
+                printUsage();
+                return 2;
+            }
+        }
+        if (args.has("trace"))
+            obs::Tracer::global().enable();
         int rc;
         if (command == "tables")
             rc = cmdTables(args);
@@ -679,8 +794,10 @@ main(int argc, char **argv)
             printUsage();
             return 2;
         }
-        if (rc == 0)
+        if (rc == 0) {
             writeMetricsFile(args, command);
+            writeTraceFile(args);
+        }
         return rc;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by sdnav (--trace).
+
+Checks the invariants the obs::Tracer exporter guarantees:
+
+  * top-level object with a "traceEvents" array;
+  * every event has a string "name", a one-char "ph", and integer-like
+    non-negative "pid"/"tid" fields;
+  * non-metadata events carry a numeric, non-negative "ts" and the
+    whole stream is sorted by non-decreasing "ts" (the exporter merges
+    per-thread buffers with a stable sort);
+  * per (pid, tid), duration events form matched B/E pairs: every E
+    closes the innermost open B with the same name, and no B is left
+    open at end of stream (the tracer's drop-pair bookkeeping promises
+    this even when ring buffers overflow);
+  * instant events ("i") use thread scope ("s": "t").
+
+Exit codes: 0 valid, 1 validation failure, 2 usage error.
+
+Usage: trace_validate.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print("trace_validate: FAIL: %s" % message, file=sys.stderr)
+    return 1
+
+
+def is_int_like(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate(doc):
+    if not isinstance(doc, dict):
+        return fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing or non-array traceEvents")
+
+    last_ts = None
+    open_spans = {}  # (pid, tid) -> [names of open B events]
+
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(ev, dict):
+            return fail("%s is not an object" % where)
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            return fail("%s has no name" % where)
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            return fail("%s (%s) has bad ph %r" % (where, name, ph))
+        for key in ("pid", "tid"):
+            value = ev.get(key)
+            if not is_int_like(value) or value < 0:
+                return fail("%s (%s) has bad %s %r"
+                            % (where, name, key, value))
+
+        if ph == "M":
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            return fail("%s (%s) has non-numeric ts" % (where, name))
+        if ts < 0:
+            return fail("%s (%s) has negative ts %r"
+                        % (where, name, ts))
+        if last_ts is not None and ts < last_ts:
+            return fail("%s (%s) ts %r < previous %r — not monotonic"
+                        % (where, name, ts, last_ts))
+        last_ts = ts
+
+        key = (ev["pid"], ev["tid"])
+        if ph == "B":
+            open_spans.setdefault(key, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(key)
+            if not stack:
+                return fail("%s: E %r on pid/tid %s with no open span"
+                            % (where, name, key))
+            top = stack.pop()
+            if top != name:
+                return fail("%s: E %r does not match open B %r"
+                            % (where, name, top))
+        elif ph == "i":
+            if ev.get("s") != "t":
+                return fail("%s: instant %r lacks thread scope s=t"
+                            % (where, name))
+        else:
+            return fail("%s (%s) has unknown ph %r"
+                        % (where, name, ph))
+
+    for key, stack in open_spans.items():
+        if stack:
+            return fail("unclosed span(s) %s on pid/tid %s"
+                        % (stack, key))
+
+    n_events = sum(1 for ev in events if ev.get("ph") != "M")
+    print("trace_validate: OK: %d events (%d metadata)"
+          % (n_events, len(events) - n_events))
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        print("trace_validate: cannot read %s: %s" % (argv[1], err),
+              file=sys.stderr)
+        return 2
+    except ValueError as err:
+        return fail("not valid JSON: %s" % err)
+    return validate(doc)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
