@@ -142,6 +142,36 @@ reportSweepTiming(const std::string &label, Run &&run)
               << "x, results bit-identical\n";
 }
 
+/** One named scalar measurement, kept for the bench JSON. */
+struct ValueRecord
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/** Values captured by recordValue() during this report run. */
+inline std::vector<ValueRecord> &
+valueRecords()
+{
+    static std::vector<ValueRecord> records;
+    return records;
+}
+
+/**
+ * Print and record a named scalar (a node count, a compile wall time,
+ * an availability) for the bench JSON's "values" array. The committed
+ * baselines keep these visible revision-to-revision;
+ * tools/bench_compare.py ignores keys it does not gate, so adding
+ * values never breaks the perf gate.
+ */
+inline void
+recordValue(const std::string &label, double value)
+{
+    valueRecords().push_back({label, value});
+    std::cout << "[value] " << label << " = " << formatGeneral(value, 8)
+              << "\n";
+}
+
 /** One top-downtime-cause summary, kept for the bench JSON. */
 struct AttributionRecord
 {
@@ -223,6 +253,7 @@ gitSha()
  *                  "speedup"}, ...],
  *    "attribution": [{"label", "top_cause", "share",
  *                     "minutes_per_year"}, ...],
+ *    "values": [{"label", "value"}, ...],
  *    "metrics": <obs::Registry snapshot>}
  */
 inline void
@@ -257,6 +288,14 @@ writeBenchJson(const std::string &name, double reportWallMs)
         attribution.push(std::move(entry));
     }
     doc.set("attribution", std::move(attribution));
+    json::Value values = json::Value::makeArray();
+    for (const ValueRecord &record : valueRecords()) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("label", record.label);
+        entry.set("value", record.value);
+        values.push(std::move(entry));
+    }
+    doc.set("values", std::move(values));
     doc.set("metrics", obs::Registry::global().snapshot());
 
     std::string path = resultsDir() + "/BENCH_" + name + ".json";

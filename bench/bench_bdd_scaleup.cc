@@ -1,0 +1,250 @@
+/**
+ * @file
+ * BDD engine scale-up: exact structure-function compilation for
+ * generalized 2N+1 clusters at ten times the paper's Large reference
+ * (cluster size 31 vs 3), exercising the manager's garbage collector
+ * and sifting-based variable reordering.
+ *
+ * The control-plane ladder uses the Raft-style catalog: its six
+ * quorum blocks keep the exact diagram polynomial in the cluster
+ * size under the node-major variable order, where OpenContrail's
+ * sixteen CP blocks are intrinsically exponential (the per-block
+ * counter product crosses every node group). The OpenContrail CP
+ * section contrasts the two variable orders at the reference size,
+ * and the GC section drives a Birnbaum-style restrict sweep over the
+ * paper's exact Large model.
+ *
+ * Deterministic outputs (node counts, reclaim counts, availabilities)
+ * go to bdd_scaleup.csv and are golden-gated; wall times go to stdout
+ * and the bench JSON "values" array, which the perf gate tracks but
+ * never diffs strictly.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/benchCommon.hh"
+#include "bdd/bdd.hh"
+#include "common/textTable.hh"
+#include "common/units.hh"
+#include "fmea/openContrail.hh"
+#include "model/exactModel.hh"
+#include "prob/kofn.hh"
+#include "rbd/system.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::model;
+namespace fmea = sdnav::fmea;
+namespace topology = sdnav::topology;
+
+using clock_type = std::chrono::steady_clock;
+
+double
+elapsedMs(clock_type::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(clock_type::now() -
+                                                     t0)
+        .count();
+}
+
+/** Failure tolerances swept: cluster sizes 3 to 31 (10x Large). */
+constexpr unsigned kTolerated[] = {1, 2, 4, 8, 15};
+
+void
+printReport()
+{
+    bench::section("BDD scale-up — exact 2N+1 control plane to 10x "
+                   "the paper's Large cluster (Raft-style catalog)");
+    auto raft = fmea::raftStyleController();
+    std::size_t raft_roles = raft.roles().size();
+    SwParams params;
+
+    TextTable table;
+    table.header({"N", "nodes", "components", "BDD nodes",
+                  "sifted nodes", "peak nodes", "compile ms",
+                  "sift ms", "CP exact m/y"});
+    CsvWriter csv;
+    csv.header({"n_tolerated", "nodes", "components", "bdd_nodes",
+                "bdd_nodes_sifted", "cp_exact"});
+    for (unsigned tolerated : kTolerated) {
+        std::size_t nodes = prob::clusterSize(tolerated);
+        auto topo = topology::largeTopology(raft_roles, nodes);
+
+        ExactPlaneModel::Options plain_opts;
+        plain_opts.order = ExactVariableOrder::NodeMajor;
+        auto t0 = clock_type::now();
+        ExactPlaneModel plain(raft, topo, SupervisorPolicy::Required,
+                              fmea::Plane::ControlPlane, plain_opts);
+        double compile_ms = elapsedMs(t0);
+        std::size_t peak = plain.totalBddNodes();
+
+        // Sifting cost grows with the variable count; cap the pass at
+        // the 64 widest variables so the largest clusters stay inside
+        // the bench budget while the small ones sift everything.
+        ExactPlaneModel::Options sift_opts = plain_opts;
+        sift_opts.reorderBdd = true;
+        sift_opts.reorderOptions.maxVars = 64;
+        t0 = clock_type::now();
+        ExactPlaneModel sifted(raft, topo, SupervisorPolicy::Required,
+                               fmea::Plane::ControlPlane, sift_opts);
+        double sift_ms = elapsedMs(t0);
+
+        double cp = plain.availability(params);
+        double cp_sifted = sifted.availability(params);
+        require(std::abs(cp - cp_sifted) <= 1e-12,
+                "reordering changed the exact availability");
+
+        bench::recordValue("compile_ms_nodes" + std::to_string(nodes),
+                           compile_ms);
+        bench::recordValue("peak_nodes_nodes" + std::to_string(nodes),
+                           static_cast<double>(peak));
+        bench::recordValue("sift_ms_nodes" + std::to_string(nodes),
+                           sift_ms);
+        table.addRow(
+            {std::to_string(tolerated), std::to_string(nodes),
+             std::to_string(plain.system().componentCount()),
+             std::to_string(plain.bddNodeCount()),
+             std::to_string(sifted.bddNodeCount()),
+             std::to_string(peak), formatFixed(compile_ms, 2),
+             formatFixed(sift_ms, 2),
+             formatFixed(availabilityToDowntimeMinutesPerYear(cp),
+                         3)});
+        csv.addRow(
+            std::to_string(tolerated),
+            {static_cast<double>(nodes),
+             static_cast<double>(plain.system().componentCount()),
+             static_cast<double>(plain.bddNodeCount()),
+             static_cast<double>(sifted.bddNodeCount()), cp});
+    }
+    std::cout << table.str() << "\n";
+    std::cout
+        << "The exact diagram stays polynomial in the cluster size "
+           "under the node-major\norder — quorum counting crosses "
+           "each node group with only the per-block\ncounters as "
+           "state — and sifting shrinks what the static order leaves "
+           "on the\ntable without changing a single availability "
+           "value.\n";
+    bench::writeCsv(csv, "bdd_scaleup.csv");
+
+    bench::section("Variable-order sensitivity — OpenContrail CP at "
+                   "the reference cluster");
+    // The paper's own catalog: sixteen CP quorum blocks. At the
+    // reference size the seed's shared-infrastructure-first order
+    // beats node-major by two orders of magnitude, which is why it
+    // stays the default; neither order survives large clusters (the
+    // counter product is intrinsic, not an ordering artifact).
+    auto oc = fmea::openContrail3();
+    auto oc_topo = topology::largeTopology(4, 3);
+    for (ExactVariableOrder order :
+         {ExactVariableOrder::SharedInfrastructureFirst,
+          ExactVariableOrder::NodeMajor}) {
+        bool shared =
+            order == ExactVariableOrder::SharedInfrastructureFirst;
+        ExactPlaneModel::Options opts;
+        opts.order = order;
+        auto t0 = clock_type::now();
+        ExactPlaneModel engine(oc, oc_topo, SupervisorPolicy::Required,
+                               fmea::Plane::ControlPlane, opts);
+        double compile_ms = elapsedMs(t0);
+        const char *label =
+            shared ? "shared-infra-first" : "node-major";
+        bench::recordValue(std::string("oc_cp_compile_ms_") + label,
+                           compile_ms);
+        std::cout << "order " << label << ": "
+                  << engine.bddNodeCount() << " nodes, "
+                  << formatFixed(compile_ms, 2) << " ms\n";
+    }
+
+    bench::section("BDD garbage collection — Birnbaum restrict sweep "
+                   "on the paper's exact Large CP model");
+    // A Birnbaum-style restrict sweep generates the same garbage
+    // rankImportance() does; the collector must reclaim all of it
+    // while the rooted diagram survives. Every count here is
+    // deterministic.
+    auto system = buildExactSystem(oc, oc_topo,
+                                   SupervisorPolicy::Required, params,
+                                   fmea::Plane::ControlPlane);
+    bdd::BddManager manager;
+    bdd::NodeRef f = system.compile(manager);
+    bdd::ScopedRoot root(manager, f);
+    std::size_t live_before = manager.liveNodes();
+    auto t0 = clock_type::now();
+    bdd::RestrictScratch scratch;
+    for (std::size_t id = 0; id < system.componentCount(); ++id) {
+        unsigned var = static_cast<unsigned>(id);
+        benchmark::DoNotOptimize(
+            manager.restrict(f, var, true, scratch));
+        benchmark::DoNotOptimize(
+            manager.restrict(f, var, false, scratch));
+    }
+    double sweep_ms = elapsedMs(t0);
+    std::size_t live_peak = manager.liveNodes();
+    t0 = clock_type::now();
+    manager.collectGarbage();
+    double gc_ms = elapsedMs(t0);
+    std::size_t live_after = manager.liveNodes();
+    require(live_after <= live_before,
+            "GC left more live nodes than before the sweep");
+    bdd::BddStats stats = manager.stats();
+    bench::recordValue("gc_live_before", double(live_before));
+    bench::recordValue("gc_live_peak", double(live_peak));
+    bench::recordValue("gc_live_after", double(live_after));
+    bench::recordValue("gc_reclaimed_nodes",
+                       double(stats.gcReclaimedNodes));
+    bench::recordValue("gc_restrict_sweep_ms", sweep_ms);
+    bench::recordValue("gc_ms", gc_ms);
+    std::cout << "restrict sweep over "
+              << system.componentCount() * 2 << " cofactors: live "
+              << live_before << " -> peak " << live_peak
+              << ", GC reclaimed " << stats.gcReclaimedNodes
+              << " nodes back to " << live_after << " live\n";
+}
+
+void
+benchScaleupCompile31Nodes(benchmark::State &state)
+{
+    auto raft = fmea::raftStyleController();
+    auto topo = topology::largeTopology(raft.roles().size(), 31);
+    ExactPlaneModel::Options opts;
+    opts.order = ExactVariableOrder::NodeMajor;
+    for (auto _ : state) {
+        ExactPlaneModel engine(raft, topo, SupervisorPolicy::Required,
+                               fmea::Plane::ControlPlane, opts);
+        benchmark::DoNotOptimize(engine.bddNodeCount());
+    }
+}
+BENCHMARK(benchScaleupCompile31Nodes);
+
+void
+benchScaleupEvaluation(benchmark::State &state)
+{
+    auto raft = fmea::raftStyleController();
+    auto topo = topology::largeTopology(raft.roles().size(), 31);
+    ExactPlaneModel::Options opts;
+    opts.order = ExactVariableOrder::NodeMajor;
+    ExactPlaneModel engine(raft, topo, SupervisorPolicy::Required,
+                           fmea::Plane::ControlPlane, opts);
+    SwParams params;
+    bdd::ProbabilityScratch scratch;
+    for (auto _ : state) {
+        double a = engine.availability(params, scratch);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchScaleupEvaluation);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return sdnav::bench::benchMain("bdd_scaleup", printReport, argc,
+                                   argv);
+}

@@ -56,11 +56,22 @@ attributionReport(const sim::AttributionTotals &totals)
 std::array<double, kComponentClassCount>
 analyticClassShares(const rbd::RbdSystem &system)
 {
+    // One ranking pass computes every component's criticality from a
+    // single BDD compilation; calling criticalityImportance() per
+    // component would recompile the diagram three times per
+    // component. Accumulate in component-id order (the ranking is
+    // sorted by criticality) so the sums are independent of the
+    // ranking order.
+    std::vector<double> criticality_by_id(system.componentCount(),
+                                          0.0);
+    for (const rbd::ImportanceEntry &entry : system.rankImportance())
+        criticality_by_id[entry.component] = entry.criticality;
+
     std::array<double, kComponentClassCount> shares{};
     double total = 0.0;
     for (rbd::ComponentId id = 0; id < system.componentCount();
          ++id) {
-        double criticality = system.criticalityImportance(id);
+        double criticality = criticality_by_id[id];
         std::size_t cls = static_cast<std::size_t>(
             componentClassFromName(system.componentName(id)));
         shares[cls] += criticality;

@@ -55,6 +55,12 @@ profileImpl(const rbd::RbdSystem &system,
 
     bdd::BddManager manager;
     bdd::NodeRef f = system.compile(manager);
+    // Pin the structure function: the restrict loop below litters the
+    // manager with cofactor intermediates, and the periodic safe-point
+    // collections must reclaim exactly those.
+    bdd::ScopedRoot root(manager, f);
+    bdd::ProbabilityScratch prob_scratch;
+    bdd::RestrictScratch restrict_scratch;
 
     std::vector<double> probs;
     probs.reserve(system.componentCount());
@@ -62,18 +68,21 @@ profileImpl(const rbd::RbdSystem &system,
         probs.push_back(system.componentAvailability(id));
 
     OutageProfile profile;
-    profile.availability = manager.probability(f, probs);
+    profile.availability = manager.probability(f, probs, prob_scratch);
 
     double nu = 0.0;
     for (rbd::ComponentId id = 0; id < system.componentCount(); ++id) {
         requirePositive(mtbf_hours[id], "mtbfHours");
         double a = probs[id];
         unsigned var = static_cast<unsigned>(id);
-        double up = manager.probability(manager.restrict(f, var, true),
-                                        probs);
+        double up = manager.probability(
+            manager.restrict(f, var, true, restrict_scratch), probs,
+            prob_scratch);
         double down = manager.probability(
-            manager.restrict(f, var, false), probs);
+            manager.restrict(f, var, false, restrict_scratch), probs,
+            prob_scratch);
         double birnbaum = up - down;
+        manager.maybeCollect();
         // Unconditional component failure frequency: the component
         // completes one up-down cycle every MTBF + MTTR hours, and
         // MTTR = MTBF (1 - a) / a, so the cycle time is MTBF / a.

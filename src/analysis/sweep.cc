@@ -106,14 +106,18 @@ forEachGridPoint(std::size_t points,
 
     // Workers claim whole chunks from a shared counter. Any chunk may
     // run on any thread; determinism comes from results being keyed
-    // by grid index, not by completion order.
+    // by grid index, not by completion order. A failure in any worker
+    // raises the abort flag so the rest stop claiming instead of
+    // draining the remaining grid for a result that will be thrown
+    // away.
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
     std::mutex error_mutex;
     std::exception_ptr error;
     std::vector<double> worker_busy_ms(threads, 0.0);
     auto worker = [&](std::size_t slot) {
         auto t0 = clock::now();
-        for (;;) {
+        while (!abort.load(std::memory_order_relaxed)) {
             std::size_t c = next.fetch_add(1);
             if (c >= chunk_count)
                 break;
@@ -127,6 +131,7 @@ forEachGridPoint(std::size_t points,
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)
                     error = std::current_exception();
+                abort.store(true, std::memory_order_relaxed);
                 break;
             }
         }

@@ -1,5 +1,6 @@
 #include "bdd/bdd.hh"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_set>
 
@@ -14,8 +15,18 @@ BddManager::BddManager()
 {
     // Reserve slots 0 and 1 for the terminals. Their contents are
     // never dereferenced; var is a sentinel beyond any real variable.
-    nodes_.push_back({std::numeric_limits<unsigned>::max(), 0, 0});
-    nodes_.push_back({std::numeric_limits<unsigned>::max(), 1, 1});
+    nodes_.push_back({std::numeric_limits<unsigned>::max(), 0, 0, 0});
+    nodes_.push_back({std::numeric_limits<unsigned>::max(), 1, 1, 0});
+    ite_cache_.assign(kInitialIteCache, IteEntry{});
+}
+
+std::size_t
+BddManager::hashChildren(NodeRef low, NodeRef high)
+{
+    std::uint64_t h = low;
+    h = h * 0x9e3779b97f4a7c15ULL + high;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
 }
 
 unsigned
@@ -24,82 +35,282 @@ BddManager::topVar(NodeRef f) const
     return nodes_[f].var;
 }
 
+void
+BddManager::ensureVariable(unsigned index)
+{
+    if (index < variable_count_)
+        return;
+    // New variables enter at the bottom level, so an earlier
+    // reorderSifting() pass keeps its permutation intact.
+    for (unsigned v = variable_count_; v <= index; ++v) {
+        subtables_.emplace_back();
+        level_of_var_.push_back(v);
+        var_at_level_.push_back(v);
+    }
+    variable_count_ = index + 1;
+}
+
+void
+BddManager::rehash(SubTable &table)
+{
+    std::vector<NodeRef> old = std::move(table.buckets);
+    table.buckets.assign(old.size() * 2, 0);
+    std::size_t mask = table.buckets.size() - 1;
+    for (NodeRef head : old) {
+        NodeRef p = head;
+        while (p != 0) {
+            NodeRef next = nodes_[p].next;
+            std::size_t bucket =
+                hashChildren(nodes_[p].low, nodes_[p].high) & mask;
+            nodes_[p].next = table.buckets[bucket];
+            table.buckets[bucket] = p;
+            p = next;
+        }
+    }
+}
+
 NodeRef
 BddManager::makeNode(unsigned var, NodeRef low, NodeRef high)
 {
     if (low == high)
         return low; // Reduction rule: redundant test.
-    NodeKey key{var, low, high};
-    auto it = unique_.find(key);
-    if (it != unique_.end()) {
-        ++unique_hits_;
-        return it->second;
+    SubTable &table = subtables_[var];
+    if (table.buckets.empty())
+        table.buckets.assign(kInitialBuckets, 0);
+    std::size_t bucket =
+        hashChildren(low, high) & (table.buckets.size() - 1);
+    for (NodeRef p = table.buckets[bucket]; p != 0; p = nodes_[p].next) {
+        if (nodes_[p].low == low && nodes_[p].high == high) {
+            ++unique_hits_;
+            return p;
+        }
     }
     ++unique_misses_;
-    require(nodes_.size() < std::numeric_limits<NodeRef>::max(),
-            "BDD node capacity exhausted");
-    NodeRef ref = static_cast<NodeRef>(nodes_.size());
-    nodes_.push_back({var, low, high});
-    unique_.emplace(key, ref);
+    NodeRef ref;
+    if (free_head_ != 0) {
+        ref = free_head_;
+        free_head_ = nodes_[ref].next;
+        --free_count_;
+        nodes_[ref] = {var, low, high, table.buckets[bucket]};
+    } else {
+        require(nodes_.size() < std::numeric_limits<NodeRef>::max(),
+                "BDD node capacity exhausted");
+        ref = static_cast<NodeRef>(nodes_.size());
+        nodes_.push_back({var, low, high, table.buckets[bucket]});
+    }
+    table.buckets[bucket] = ref;
+    ++table.count;
+    if (sifting_) {
+        if (reorder_refs_.size() <= ref)
+            reorder_refs_.resize(ref + 1, 0);
+        reorder_refs_[ref] = 0;
+        ++reorder_refs_[low];
+        ++reorder_refs_[high];
+    }
+    if (liveNodes() > peak_live_)
+        peak_live_ = liveNodes();
+    if (table.count * 4 > table.buckets.size() * 3)
+        rehash(table);
     return ref;
+}
+
+void
+BddManager::unlink(NodeRef n)
+{
+    Node &node = nodes_[n];
+    SubTable &table = subtables_[node.var];
+    std::size_t bucket =
+        hashChildren(node.low, node.high) & (table.buckets.size() - 1);
+    NodeRef *link = &table.buckets[bucket];
+    while (*link != n) {
+        require(*link != 0,
+                "BDD unique table corrupt: node missing from bucket");
+        link = &nodes_[*link].next;
+    }
+    *link = node.next;
+    --table.count;
+}
+
+void
+BddManager::insertUnique(NodeRef n)
+{
+    Node &node = nodes_[n];
+    SubTable &table = subtables_[node.var];
+    if (table.buckets.empty())
+        table.buckets.assign(kInitialBuckets, 0);
+    std::size_t bucket =
+        hashChildren(node.low, node.high) & (table.buckets.size() - 1);
+    for (NodeRef p = table.buckets[bucket]; p != 0; p = nodes_[p].next) {
+        require(nodes_[p].low != node.low ||
+                    nodes_[p].high != node.high,
+                "BDD unique table corrupt: duplicate node insert");
+    }
+    node.next = table.buckets[bucket];
+    table.buckets[bucket] = n;
+    ++table.count;
+    if (table.count * 4 > table.buckets.size() * 3)
+        rehash(table);
+}
+
+void
+BddManager::freeNode(NodeRef n)
+{
+    nodes_[n].next = free_head_;
+    free_head_ = n;
+    ++free_count_;
 }
 
 NodeRef
 BddManager::var(unsigned index)
 {
-    if (index >= variable_count_)
-        variable_count_ = index + 1;
+    ensureVariable(index);
     return makeNode(index, falseNode, trueNode);
 }
 
 NodeRef
 BddManager::nvar(unsigned index)
 {
-    if (index >= variable_count_)
-        variable_count_ = index + 1;
+    ensureVariable(index);
     return makeNode(index, trueNode, falseNode);
+}
+
+bool
+BddManager::iteShortcut(NodeRef f, NodeRef g, NodeRef h, NodeRef &out)
+{
+    // Terminal cases.
+    if (f == trueNode) {
+        out = g;
+        return true;
+    }
+    if (f == falseNode) {
+        out = h;
+        return true;
+    }
+    if (g == h) {
+        out = g;
+        return true;
+    }
+    if (g == trueNode && h == falseNode) {
+        out = f;
+        return true;
+    }
+    std::uint64_t key = f;
+    key = key * 0x9e3779b97f4a7c15ULL + g;
+    key = key * 0x9e3779b97f4a7c15ULL + h;
+    key ^= key >> 32;
+    const IteEntry &entry =
+        ite_cache_[static_cast<std::size_t>(key) &
+                   (ite_cache_.size() - 1)];
+    if (entry.f == f && entry.g == g && entry.h == h) {
+        ++ite_cache_hits_;
+        out = entry.result;
+        return true;
+    }
+    ++ite_cache_misses_;
+    return false;
+}
+
+void
+BddManager::growIteCache()
+{
+    std::size_t size = ite_cache_.size();
+    if (size >= kMaxIteCache)
+        return;
+    while (size < nodes_.size() && size < kMaxIteCache)
+        size *= 2;
+    // Growing discards the entries; the cache is lossy by design, so
+    // a dropped entry only costs a recomputation that cannot create
+    // new nodes (everything it would build is already hash-consed).
+    ite_cache_.assign(size, IteEntry{});
+}
+
+void
+BddManager::clearIteCache()
+{
+    std::fill(ite_cache_.begin(), ite_cache_.end(), IteEntry{});
 }
 
 NodeRef
 BddManager::ite(NodeRef f, NodeRef g, NodeRef h)
 {
-    // Terminal cases.
-    if (f == trueNode)
-        return g;
-    if (f == falseNode)
-        return h;
-    if (g == h)
-        return g;
-    if (g == trueNode && h == falseNode)
-        return f;
+    if (nodes_.size() > ite_cache_.size())
+        growIteCache();
 
-    IteKey key{f, g, h};
-    auto it = ite_cache_.find(key);
-    if (it != ite_cache_.end()) {
-        ++ite_cache_hits_;
-        return it->second;
-    }
-    ++ite_cache_misses_;
+    NodeRef result = falseNode;
+    if (iteShortcut(f, g, h, result))
+        return result;
 
-    // Shannon expansion around the smallest top variable.
-    unsigned v = topVar(f);
-    if (!isTerminal(g))
-        v = std::min(v, topVar(g));
-    if (!isTerminal(h))
-        v = std::min(v, topVar(h));
-
-    auto cofactor = [this, v](NodeRef x, bool positive) -> NodeRef {
-        if (isTerminal(x) || topVar(x) != v)
+    // Explicit frame stack instead of recursion: deep chain diagrams
+    // (one node per variable) would otherwise overflow the call
+    // stack. `result` always carries the value of the most recently
+    // completed subproblem; phase 1 consumes it as the high branch,
+    // phase 2 as the low branch.
+    auto cofactor = [this](NodeRef x, unsigned v,
+                           bool positive) -> NodeRef {
+        if (isTerminal(x) || nodes_[x].var != v)
             return x;
         return positive ? nodes_[x].high : nodes_[x].low;
     };
 
-    NodeRef high = ite(cofactor(f, true), cofactor(g, true),
-                       cofactor(h, true));
-    NodeRef low = ite(cofactor(f, false), cofactor(g, false),
-                      cofactor(h, false));
-    NodeRef result = makeNode(v, low, high);
-    ite_cache_.emplace(key, result);
+    std::vector<IteFrame> &frames = ite_frames_;
+    frames.clear();
+    frames.push_back({f, g, h, 0, falseNode, 0});
+    while (!frames.empty()) {
+        IteFrame &frame = frames.back();
+        switch (frame.phase) {
+          case 0: {
+            // Shannon expansion around the top (lowest-level) var.
+            unsigned v = topVar(frame.f);
+            unsigned level = level_of_var_[v];
+            if (!isTerminal(frame.g) &&
+                level_of_var_[topVar(frame.g)] < level) {
+                v = topVar(frame.g);
+                level = level_of_var_[v];
+            }
+            if (!isTerminal(frame.h) &&
+                level_of_var_[topVar(frame.h)] < level) {
+                v = topVar(frame.h);
+            }
+            frame.v = v;
+            frame.phase = 1;
+            NodeRef f1 = cofactor(frame.f, v, true);
+            NodeRef g1 = cofactor(frame.g, v, true);
+            NodeRef h1 = cofactor(frame.h, v, true);
+            if (!iteShortcut(f1, g1, h1, result))
+                frames.push_back({f1, g1, h1, 0, falseNode, 0});
+            break;
+          }
+          case 1: {
+            frame.high = result;
+            frame.phase = 2;
+            NodeRef f0 = cofactor(frame.f, frame.v, false);
+            NodeRef g0 = cofactor(frame.g, frame.v, false);
+            NodeRef h0 = cofactor(frame.h, frame.v, false);
+            if (!iteShortcut(f0, g0, h0, result))
+                frames.push_back({f0, g0, h0, 0, falseNode, 0});
+            break;
+          }
+          default: {
+            result = makeNode(frame.v, result, frame.high);
+            // One top-level apply can grow the node table far past
+            // the cache it entered with; a cache much smaller than
+            // the table turns the lossy memoization into exponential
+            // recomputation. Growing mid-operation discards entries,
+            // but doubling bounds that to a handful of flushes.
+            if (nodes_.size() > ite_cache_.size())
+                growIteCache();
+            std::uint64_t key = frame.f;
+            key = key * 0x9e3779b97f4a7c15ULL + frame.g;
+            key = key * 0x9e3779b97f4a7c15ULL + frame.h;
+            key ^= key >> 32;
+            ite_cache_[static_cast<std::size_t>(key) &
+                       (ite_cache_.size() - 1)] = {frame.f, frame.g,
+                                                   frame.h, result};
+            frames.pop_back();
+            break;
+          }
+        }
+    }
     return result;
 }
 
@@ -168,34 +379,64 @@ BddManager::atLeast(std::span<const NodeRef> fs, unsigned m)
 NodeRef
 BddManager::restrict(NodeRef f, unsigned index, bool value)
 {
-    std::unordered_map<NodeRef, NodeRef> memo;
-    return restrictRec(f, index, value, memo);
+    RestrictScratch scratch;
+    return restrict(f, index, value, scratch);
 }
 
 NodeRef
-BddManager::restrictRec(NodeRef f, unsigned index, bool value,
-                        std::unordered_map<NodeRef, NodeRef> &memo)
+BddManager::restrict(NodeRef f, unsigned index, bool value,
+                     RestrictScratch &scratch)
 {
-    if (isTerminal(f))
+    if (isTerminal(f) || index >= variable_count_)
         return f;
-    auto it = memo.find(f);
-    if (it != memo.end())
-        return it->second;
-    // Copy the node: the recursive calls below may grow nodes_ and
-    // would invalidate a reference into it.
-    Node node = nodes_[f];
-    NodeRef result;
-    if (node.var > index) {
-        result = f; // Variable cannot appear below (ordered).
-    } else if (node.var == index) {
-        result = value ? node.high : node.low;
-    } else {
-        NodeRef low = restrictRec(node.low, index, value, memo);
-        NodeRef high = restrictRec(node.high, index, value, memo);
-        result = makeNode(node.var, low, high);
+
+    // Dense memo over the pre-existing arena (post-order, explicit
+    // stack). Nodes makeNode() creates below are results only, never
+    // memo keys: a restricted subgraph is built strictly from f's
+    // live subgraph, which cannot overlap freshly allocated slots.
+    const std::size_t domain = nodes_.size();
+    const unsigned cut_level = level_of_var_[index];
+    std::vector<NodeRef> &result = scratch.result_;
+    std::vector<std::uint8_t> &known = scratch.known_;
+    std::vector<NodeRef> &stack = scratch.stack_;
+    result.assign(domain, falseNode);
+    known.assign(domain, 0);
+    result[trueNode] = trueNode;
+    known[falseNode] = 1;
+    known[trueNode] = 1;
+    stack.clear();
+    stack.push_back(f);
+    while (!stack.empty()) {
+        NodeRef cur = stack.back();
+        if (known[cur]) {
+            stack.pop_back();
+            continue;
+        }
+        // Copy the node: makeNode below may reallocate nodes_ and
+        // would invalidate a reference into it.
+        Node node = nodes_[cur];
+        if (level_of_var_[node.var] > cut_level) {
+            // The restricted variable cannot appear below (ordered).
+            result[cur] = cur;
+            known[cur] = 1;
+            stack.pop_back();
+        } else if (node.var == index) {
+            result[cur] = value ? node.high : node.low;
+            known[cur] = 1;
+            stack.pop_back();
+        } else if (known[node.low] && known[node.high]) {
+            result[cur] = makeNode(node.var, result[node.low],
+                                   result[node.high]);
+            known[cur] = 1;
+            stack.pop_back();
+        } else {
+            if (!known[node.high])
+                stack.push_back(node.high);
+            if (!known[node.low])
+                stack.push_back(node.low);
+        }
     }
-    memo.emplace(f, result);
-    return result;
+    return result[f];
 }
 
 double
@@ -294,6 +535,305 @@ BddManager::nodeCount(NodeRef f) const
     return seen.size();
 }
 
+void
+BddManager::addRoot(NodeRef f)
+{
+    if (isTerminal(f))
+        return;
+    require(f < nodes_.size(), "addRoot(): unknown node");
+    ++roots_[f];
+}
+
+void
+BddManager::removeRoot(NodeRef f)
+{
+    if (isTerminal(f))
+        return;
+    auto it = roots_.find(f);
+    require(it != roots_.end(), "removeRoot(): ref is not a root");
+    if (--it->second == 0)
+        roots_.erase(it);
+}
+
+std::size_t
+BddManager::collectGarbage()
+{
+    obs::TraceSpan trace_span("bdd.gc",
+                              static_cast<std::uint64_t>(liveNodes()));
+    ++gc_runs_;
+
+    // Mark: terminals plus everything reachable from a root.
+    std::vector<std::uint8_t> marked(nodes_.size(), 0);
+    marked[falseNode] = 1;
+    marked[trueNode] = 1;
+    std::vector<NodeRef> stack;
+    for (const auto &[root, count] : roots_) {
+        (void)count;
+        if (!marked[root]) {
+            marked[root] = 1;
+            stack.push_back(root);
+        }
+    }
+    while (!stack.empty()) {
+        const Node &node = nodes_[stack.back()];
+        stack.pop_back();
+        if (!marked[node.low]) {
+            marked[node.low] = 1;
+            stack.push_back(node.low);
+        }
+        if (!marked[node.high]) {
+            marked[node.high] = 1;
+            stack.push_back(node.high);
+        }
+    }
+
+    // Sweep: unlink dead nodes from their subtables into the free
+    // list. Already-free slots sit in no subtable, so they are never
+    // visited (let alone double-freed).
+    std::size_t freed = 0;
+    for (SubTable &table : subtables_) {
+        for (NodeRef &head : table.buckets) {
+            NodeRef *link = &head;
+            while (*link != 0) {
+                NodeRef cur = *link;
+                if (marked[cur]) {
+                    link = &nodes_[cur].next;
+                } else {
+                    *link = nodes_[cur].next;
+                    --table.count;
+                    freeNode(cur);
+                    ++freed;
+                }
+            }
+        }
+    }
+
+    // Cache entries may name dead nodes whose slots will be recycled
+    // to different functions; drop them all.
+    clearIteCache();
+    gc_reclaimed_ += freed;
+    return freed;
+}
+
+bool
+BddManager::maybeCollect()
+{
+    if (liveNodes() < gc_threshold_)
+        return false;
+    collectGarbage();
+    gc_threshold_ =
+        std::max<std::size_t>(kMinGcThreshold, liveNodes() * 2);
+    return true;
+}
+
+void
+BddManager::setGcThreshold(std::size_t live_nodes)
+{
+    gc_threshold_ = live_nodes;
+}
+
+void
+BddManager::decReorderRef(NodeRef f)
+{
+    std::vector<NodeRef> &stack = reorder_dec_stack_;
+    stack.push_back(f);
+    while (!stack.empty()) {
+        NodeRef cur = stack.back();
+        stack.pop_back();
+        if (isTerminal(cur))
+            continue;
+        require(reorder_refs_[cur] > 0,
+                "BDD reorder refcount underflow");
+        if (--reorder_refs_[cur] != 0)
+            continue;
+        unlink(cur);
+        stack.push_back(nodes_[cur].low);
+        stack.push_back(nodes_[cur].high);
+        freeNode(cur);
+    }
+}
+
+void
+BddManager::swapAdjacentLevels(unsigned level)
+{
+    unsigned x = var_at_level_[level];
+    unsigned y = var_at_level_[level + 1];
+    ++reorder_swaps_;
+
+    // Only x-nodes with a y child change shape; every other node
+    // keeps its (var, low, high) triple and merely sits at a new
+    // level implicitly. Unlink the affected nodes first so the
+    // makeNode() lookups below cannot find stale entries.
+    SubTable &xtable = subtables_[x];
+    std::vector<NodeRef> affected;
+    for (NodeRef &head : xtable.buckets) {
+        NodeRef *link = &head;
+        while (*link != 0) {
+            NodeRef cur = *link;
+            const Node &node = nodes_[cur];
+            bool low_y =
+                !isTerminal(node.low) && nodes_[node.low].var == y;
+            bool high_y =
+                !isTerminal(node.high) && nodes_[node.high].var == y;
+            if (low_y || high_y) {
+                *link = node.next;
+                --xtable.count;
+                affected.push_back(cur);
+            } else {
+                link = &nodes_[cur].next;
+            }
+        }
+    }
+
+    for (NodeRef n : affected) {
+        // f = x ? f1 : f0; f_ab = f with x=a, y=b. After the swap y
+        // tests first: f = y ? (x ? f11 : f01) : (x ? f10 : f00).
+        NodeRef f0 = nodes_[n].low;
+        NodeRef f1 = nodes_[n].high;
+        bool f0y = !isTerminal(f0) && nodes_[f0].var == y;
+        bool f1y = !isTerminal(f1) && nodes_[f1].var == y;
+        NodeRef f00 = f0y ? nodes_[f0].low : f0;
+        NodeRef f01 = f0y ? nodes_[f0].high : f0;
+        NodeRef f10 = f1y ? nodes_[f1].low : f1;
+        NodeRef f11 = f1y ? nodes_[f1].high : f1;
+        NodeRef new_low = makeNode(x, f00, f10);
+        NodeRef new_high = makeNode(x, f01, f11);
+        // Add the edges into the new children before dropping the
+        // old ones, so shared subgraphs never transit through zero.
+        ++reorder_refs_[new_low];
+        ++reorder_refs_[new_high];
+        // Rewrite in place: n keeps its ref and its function, so
+        // rooted handles (and parents' child pointers) stay valid.
+        nodes_[n].var = y;
+        nodes_[n].low = new_low;
+        nodes_[n].high = new_high;
+        insertUnique(n);
+        decReorderRef(f0);
+        decReorderRef(f1);
+    }
+
+    var_at_level_[level] = y;
+    var_at_level_[level + 1] = x;
+    level_of_var_[x] = level + 1;
+    level_of_var_[y] = level;
+}
+
+std::size_t
+BddManager::reorderSifting(const ReorderOptions &options)
+{
+    require(options.maxGrowth >= 1.0,
+            "reorderSifting(): maxGrowth must be >= 1");
+    obs::TraceSpan trace_span("bdd.reorder",
+                              static_cast<std::uint64_t>(liveNodes()));
+    ++reorder_runs_;
+
+    // Safe point: drop garbage first so the sift decisions (and the
+    // reference counts below) only see live structure.
+    collectGarbage();
+    const std::size_t before = liveNodes();
+    if (variable_count_ < 2)
+        return 0;
+
+    // Reorder-time reference counts: edges between live nodes plus
+    // root registrations. Swaps keep them current, so dead cofactor
+    // nodes are reclaimed immediately and liveNodes() stays an exact
+    // signal while sifting.
+    reorder_refs_.assign(nodes_.size(), 0);
+    for (const SubTable &table : subtables_) {
+        for (NodeRef head : table.buckets) {
+            for (NodeRef p = head; p != 0; p = nodes_[p].next) {
+                ++reorder_refs_[nodes_[p].low];
+                ++reorder_refs_[nodes_[p].high];
+            }
+        }
+    }
+    for (const auto &[root, count] : roots_)
+        reorder_refs_[root] += count;
+    sifting_ = true;
+
+    // Sift the fattest variables first; they have the most to gain.
+    std::vector<unsigned> order;
+    order.reserve(variable_count_);
+    for (unsigned v = 0; v < variable_count_; ++v)
+        order.push_back(v);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](unsigned a, unsigned b) {
+                         return subtables_[a].count >
+                                subtables_[b].count;
+                     });
+    if (options.maxVars != 0 && order.size() > options.maxVars)
+        order.resize(options.maxVars);
+
+    const unsigned levels = variable_count_;
+    for (unsigned v : order) {
+        if (subtables_[v].count == 0)
+            continue;
+        std::size_t best_size = liveNodes();
+        unsigned best_level = level_of_var_[v];
+        unsigned cur = best_level;
+        // Down to the bottom level, then up through the top, keeping
+        // the best position seen; abort a direction when the diagram
+        // grows past the budget.
+        while (cur + 1 < levels) {
+            swapAdjacentLevels(cur);
+            ++cur;
+            std::size_t size = liveNodes();
+            if (size < best_size) {
+                best_size = size;
+                best_level = cur;
+            }
+            if (static_cast<double>(size) >
+                static_cast<double>(best_size) * options.maxGrowth)
+                break;
+        }
+        while (cur > 0) {
+            swapAdjacentLevels(cur - 1);
+            --cur;
+            std::size_t size = liveNodes();
+            if (size < best_size) {
+                best_size = size;
+                best_level = cur;
+            }
+            if (static_cast<double>(size) >
+                static_cast<double>(best_size) * options.maxGrowth)
+                break;
+        }
+        while (cur < best_level) {
+            swapAdjacentLevels(cur);
+            ++cur;
+        }
+        while (cur > best_level) {
+            swapAdjacentLevels(cur - 1);
+            --cur;
+        }
+    }
+
+    sifting_ = false;
+    reorder_refs_.clear();
+    reorder_refs_.shrink_to_fit();
+    // Cache entries survive in-place rewrites semantically, but may
+    // reference slots freed above; drop them wholesale.
+    clearIteCache();
+    const std::size_t after = liveNodes();
+    return before > after ? before - after : 0;
+}
+
+unsigned
+BddManager::levelOfVariable(unsigned index) const
+{
+    require(index < variable_count_,
+            "levelOfVariable(): unknown variable");
+    return level_of_var_[index];
+}
+
+unsigned
+BddManager::variableAtLevel(unsigned level) const
+{
+    require(level < variable_count_,
+            "variableAtLevel(): unknown level");
+    return var_at_level_[level];
+}
+
 BddStats
 BddManager::stats() const
 {
@@ -302,8 +842,14 @@ BddManager::stats() const
     s.iteCacheMisses = ite_cache_misses_;
     s.uniqueTableHits = unique_hits_;
     s.uniqueTableMisses = unique_misses_;
-    s.uniqueTableSize = unique_.size();
-    s.peakNodes = nodes_.size();
+    s.uniqueTableSize = liveNodes() - 2;
+    s.peakNodes = peak_live_;
+    s.liveNodes = liveNodes();
+    s.freeNodes = free_count_;
+    s.gcRuns = gc_runs_;
+    s.gcReclaimedNodes = gc_reclaimed_;
+    s.reorderRuns = reorder_runs_;
+    s.reorderSwaps = reorder_swaps_;
     s.variables = variable_count_;
     return s;
 }
@@ -318,11 +864,17 @@ BddManager::recordMetrics() const
     registry.counter("bdd.unique_table_hits").add(s.uniqueTableHits);
     registry.counter("bdd.unique_table_misses")
         .add(s.uniqueTableMisses);
+    registry.counter("bdd.gc_runs").add(s.gcRuns);
+    registry.counter("bdd.gc_reclaimed_nodes").add(s.gcReclaimedNodes);
+    registry.counter("bdd.reorder_runs").add(s.reorderRuns);
+    registry.counter("bdd.reorder_swaps").add(s.reorderSwaps);
     registry.counter("bdd.managers_published").add();
     registry.gauge("bdd.unique_table_size")
         .setMax(static_cast<double>(s.uniqueTableSize));
     registry.gauge("bdd.peak_nodes")
         .setMax(static_cast<double>(s.peakNodes));
+    registry.gauge("bdd.live_nodes")
+        .setMax(static_cast<double>(s.liveNodes));
 }
 
 unsigned

@@ -1,6 +1,6 @@
 /**
  * @file
- * A small reduced ordered binary decision diagram (ROBDD) engine.
+ * A reduced ordered binary decision diagram (ROBDD) engine.
  *
  * The availability models in this library are probabilities of Boolean
  * *structure functions* over independent components (processes,
@@ -11,12 +11,28 @@
  * the function being true under independent per-variable probabilities
  * is then a single linear-time traversal (Shannon decomposition).
  *
- * This engine provides exactly what the library needs: a unique table
- * with hash-consing, an ITE-based apply with memoization, threshold
- * ("at least m of these variables") builders, and probability
- * evaluation. No complement edges, no dynamic reordering — callers
- * control variable order (group components of a node/rack together for
- * compact diagrams).
+ * The engine stores nodes in an arena (one contiguous vector) with
+ * per-variable unique subtables chained through the nodes themselves,
+ * so hash-consing allocates nothing beyond the arena. On top of that
+ * it provides:
+ *
+ *  - mark-and-sweep garbage collection with explicit root
+ *    registration (addRoot / removeRoot / ScopedRoot): intermediates
+ *    from restrict()-heavy importance loops are reclaimed into a free
+ *    list instead of accumulating forever;
+ *  - optional sifting-based dynamic variable reordering
+ *    (reorderSifting) that rewrites nodes in place, so NodeRefs held
+ *    by callers stay valid and keep denoting the same function;
+ *  - ITE-based apply with a lossy direct-mapped computed cache,
+ *    threshold ("at least m of these functions") builders, cofactor
+ *    restriction, and probability evaluation — all iterative, so
+ *    deep chain diagrams cannot overflow the call stack.
+ *
+ * Callers still control the initial variable order (group components
+ * of a node/rack together for compact diagrams); reordering only runs
+ * when explicitly requested. GC and reordering are *safe points*: the
+ * caller guarantees every ref it still cares about is registered as a
+ * root before invoking them.
  */
 
 #ifndef SDNAV_BDD_BDD_HH
@@ -37,16 +53,15 @@ using NodeRef = std::uint32_t;
 /**
  * Engine statistics, accumulated by a manager over its lifetime.
  *
- * Nodes are never freed, so totalNodes is also the peak; unique-table
- * and ITE-cache hit/miss counts are exact operation counts. All
- * fields are deterministic functions of the sequence of operations
- * performed on the manager (construction is single-threaded), so two
- * identical builds report identical stats regardless of what other
- * threads do elsewhere.
+ * Unique-table and ITE-cache hit/miss counts are exact operation
+ * counts. All fields are deterministic functions of the sequence of
+ * operations performed on the manager (construction is
+ * single-threaded), so two identical builds report identical stats
+ * regardless of what other threads do elsewhere.
  */
 struct BddStats
 {
-    /** ITE memo cache hits / misses (recursive calls included). */
+    /** ITE computed-cache hits / misses (sub-calls included). */
     std::uint64_t iteCacheHits = 0;
     std::uint64_t iteCacheMisses = 0;
 
@@ -54,11 +69,25 @@ struct BddStats
     std::uint64_t uniqueTableHits = 0;
     std::uint64_t uniqueTableMisses = 0;
 
-    /** Entries in the unique table (distinct non-terminal nodes). */
+    /** Entries in the unique table (live non-terminal nodes). */
     std::size_t uniqueTableSize = 0;
 
-    /** Nodes allocated, terminals included; equals the peak. */
+    /** High-water mark of simultaneously live nodes (terminals in). */
     std::size_t peakNodes = 0;
+
+    /** Live nodes right now, terminals included. */
+    std::size_t liveNodes = 0;
+
+    /** Arena slots parked on the free list. */
+    std::size_t freeNodes = 0;
+
+    /** Garbage collections run / nodes reclaimed across them. */
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcReclaimedNodes = 0;
+
+    /** Sifting passes run / adjacent-level swaps performed. */
+    std::uint64_t reorderRuns = 0;
+    std::uint64_t reorderSwaps = 0;
 
     /** Distinct variables created. */
     unsigned variables = 0;
@@ -76,9 +105,9 @@ constexpr NodeRef trueNode = 1;
  * Evaluating a probability needs a per-node memo and a traversal
  * stack. A sweep calling probability() thousands of times with only
  * the per-variable probabilities changing would otherwise pay a fresh
- * hash-map allocation per point; holding one scratch per thread (the
- * scratch is NOT thread-safe, the manager's read-only evaluation is)
- * makes repeated evaluation allocation-free after the first call.
+ * allocation per point; holding one scratch per thread (the scratch is
+ * NOT thread-safe, the manager's read-only evaluation is) makes
+ * repeated evaluation allocation-free after the first call.
  */
 class ProbabilityScratch
 {
@@ -115,13 +144,59 @@ class ProbabilityScratch
 };
 
 /**
+ * Caller-owned workspace for BddManager::restrict().
+ *
+ * Restriction needs a per-node memo and a traversal stack. The
+ * Birnbaum/criticality importance loops call restrict() twice per
+ * component; a caller-owned scratch makes every call after the first
+ * allocation-free, mirroring ProbabilityScratch.
+ */
+class RestrictScratch
+{
+  public:
+    RestrictScratch() = default;
+
+    /** Release the held buffers. */
+    void
+    clear()
+    {
+        result_.clear();
+        result_.shrink_to_fit();
+        known_.clear();
+        known_.shrink_to_fit();
+        stack_.clear();
+        stack_.shrink_to_fit();
+    }
+
+  private:
+    friend class BddManager;
+
+    std::vector<NodeRef> result_;
+    std::vector<std::uint8_t> known_;
+    std::vector<NodeRef> stack_;
+};
+
+/** Tuning knobs for sifting-based dynamic variable reordering. */
+struct ReorderOptions
+{
+    /**
+     * Abort sifting a variable in one direction once the live node
+     * count exceeds this multiple of the best size seen for it.
+     */
+    double maxGrowth = 1.2;
+
+    /** Sift only the this-many largest variables (0 = all). */
+    std::size_t maxVars = 0;
+};
+
+/**
  * Owns all BDD nodes and implements the BDD algebra.
  *
- * Nodes are immutable and hash-consed: structurally equal functions
- * share a single node, so equality of functions is pointer (ref)
- * equality. All NodeRefs returned by a manager are valid for the
- * manager's lifetime; there is no garbage collection (sizes here stay
- * small: tens of thousands of nodes).
+ * Nodes are hash-consed: structurally equal functions share a single
+ * node, so equality of functions is ref equality. NodeRefs stay valid
+ * until the node is garbage-collected; refs registered as roots (and
+ * everything they reach) survive collection, and reordering rewrites
+ * nodes in place so rooted refs keep denoting the same function.
  */
 class BddManager
 {
@@ -171,6 +246,14 @@ class BddManager
     NodeRef restrict(NodeRef f, unsigned index, bool value);
 
     /**
+     * As restrict(), reusing a caller-owned scratch so repeated
+     * restriction (importance loops) allocates nothing after the
+     * first call.
+     */
+    NodeRef restrict(NodeRef f, unsigned index, bool value,
+                     RestrictScratch &scratch);
+
+    /**
      * Probability that the function is true when each variable i is
      * independently true with probability probs[i].
      *
@@ -213,11 +296,78 @@ class BddManager
     /** High child (variable true) of a non-terminal node. */
     NodeRef nodeHigh(NodeRef f) const;
 
-    /** Total nodes allocated in the manager (diagnostics). */
+    /** Arena slots allocated, free-listed ones included. */
     std::size_t totalNodes() const { return nodes_.size(); }
+
+    /** Live (not reclaimed) nodes, terminals included. */
+    std::size_t
+    liveNodes() const
+    {
+        return nodes_.size() - free_count_;
+    }
 
     /** Highest variable index created so far, plus one. */
     unsigned variableCount() const { return variable_count_; }
+
+    /**
+     * Register `f` as a GC root. Each addRoot must be balanced by a
+     * removeRoot; a ref rooted n times survives until n removals.
+     * Rooting a terminal is a no-op (terminals always survive).
+     */
+    void addRoot(NodeRef f);
+
+    /** Drop one root registration of `f`. */
+    void removeRoot(NodeRef f);
+
+    /**
+     * Mark-and-sweep collection: every node not reachable from a
+     * registered root is unlinked from the unique table and parked on
+     * the free list for reuse. The ITE computed cache is dropped (it
+     * may reference dead nodes). Safe point: the caller guarantees
+     * every ref it still cares about is rooted.
+     *
+     * @return The number of nodes reclaimed.
+     */
+    std::size_t collectGarbage();
+
+    /**
+     * Collect if the live node count has crossed the adaptive GC
+     * threshold (collection resets the threshold to twice the
+     * surviving live size). Call at safe points inside loops that
+     * generate garbage, e.g. once per component in importance loops.
+     *
+     * @return True if a collection ran.
+     */
+    bool maybeCollect();
+
+    /** Live-node count that triggers the next maybeCollect(). */
+    std::size_t gcThreshold() const { return gc_threshold_; }
+
+    /** Override the maybeCollect() trigger (also resets adaptation). */
+    void setGcThreshold(std::size_t live_nodes);
+
+    /**
+     * Sifting-based dynamic variable reordering (Rudell): each
+     * variable is moved through all levels via adjacent-level swaps
+     * and left at the level minimising the live node count. Nodes are
+     * rewritten in place, so existing refs stay valid and keep
+     * denoting the same function; variable *indices* never change
+     * (probability vectors stay index-aligned), only their levels.
+     *
+     * Runs a collection first, so this is a safe point like
+     * collectGarbage(): every ref the caller still cares about must
+     * be rooted.
+     *
+     * @return Net live nodes eliminated by the pass.
+     */
+    std::size_t reorderSifting(const ReorderOptions &options = {});
+
+    /** The level a variable currently sits at (identity until a
+     *  reorder moves it). */
+    unsigned levelOfVariable(unsigned index) const;
+
+    /** The variable sitting at a level. */
+    unsigned variableAtLevel(unsigned level) const;
 
     /** Lifetime engine statistics (cache behaviour, table sizes). */
     BddStats stats() const;
@@ -225,69 +375,58 @@ class BddManager
     /**
      * Fold this manager's stats into the global obs registry
      * (counters "bdd.*", gauges "bdd.unique_table_size" /
-     * "bdd.peak_nodes" as set-max high-water marks). Callers that own
-     * a manager publish once, after the build phase.
+     * "bdd.peak_nodes" / "bdd.live_nodes" as set-max high-water
+     * marks). Callers that own a manager publish once, after the
+     * build phase.
      */
     void recordMetrics() const;
 
   private:
+    /**
+     * Arena node. `next` chains the node into its variable's unique
+     * subtable bucket while live, and into the free list once
+     * reclaimed (a node is never in both).
+     */
     struct Node
     {
         unsigned var;
         NodeRef low;
         NodeRef high;
+        NodeRef next;
     };
 
-    struct NodeKey
+    /**
+     * One variable's slice of the unique table: power-of-two open
+     * hash buckets chained through Node::next. Keeping subtables per
+     * variable is what makes adjacent-level swaps and GC sweeps touch
+     * only the nodes they must.
+     */
+    struct SubTable
     {
-        unsigned var;
-        NodeRef low;
-        NodeRef high;
-
-        bool
-        operator==(const NodeKey &other) const
-        {
-            return var == other.var && low == other.low &&
-                   high == other.high;
-        }
+        std::vector<NodeRef> buckets;
+        std::size_t count = 0;
     };
 
-    struct NodeKeyHash
+    /** Lossy direct-mapped ITE computed-cache entry; f == 0 means
+     *  empty (a cached call never has a terminal f). */
+    struct IteEntry
     {
-        std::size_t
-        operator()(const NodeKey &k) const
-        {
-            std::uint64_t h = k.var;
-            h = h * 0x9e3779b97f4a7c15ULL + k.low;
-            h = h * 0x9e3779b97f4a7c15ULL + k.high;
-            h ^= h >> 32;
-            return static_cast<std::size_t>(h);
-        }
+        NodeRef f = 0;
+        NodeRef g = 0;
+        NodeRef h = 0;
+        NodeRef result = 0;
     };
 
-    struct IteKey
+    /** Explicit-stack frame for the iterative ite(). */
+    struct IteFrame
     {
         NodeRef f, g, h;
-
-        bool
-        operator==(const IteKey &other) const
-        {
-            return f == other.f && g == other.g && h == other.h;
-        }
+        unsigned v;
+        NodeRef high;
+        std::uint8_t phase;
     };
 
-    struct IteKeyHash
-    {
-        std::size_t
-        operator()(const IteKey &k) const
-        {
-            std::uint64_t h = k.f;
-            h = h * 0x9e3779b97f4a7c15ULL + k.g;
-            h = h * 0x9e3779b97f4a7c15ULL + k.h;
-            h ^= h >> 32;
-            return static_cast<std::size_t>(h);
-        }
-    };
+    static std::size_t hashChildren(NodeRef low, NodeRef high);
 
     /** Variable index of a node; terminals sort after all variables. */
     unsigned topVar(NodeRef f) const;
@@ -295,20 +434,112 @@ class BddManager
     /** Create or find the canonical node (var, low, high). */
     NodeRef makeNode(unsigned var, NodeRef low, NodeRef high);
 
-    /** Memoized worker behind restrict(). */
-    NodeRef restrictRec(NodeRef f, unsigned index, bool value,
-                        std::unordered_map<NodeRef, NodeRef> &memo);
+    /** Extend per-variable structures up to `index`. */
+    void ensureVariable(unsigned index);
+
+    /** Double a subtable's bucket array and re-chain its nodes. */
+    void rehash(SubTable &table);
+
+    /** Remove a live node from its variable's subtable. */
+    void unlink(NodeRef n);
+
+    /** Insert a node into its variable's subtable, requiring that no
+     *  equal node is already present. */
+    void insertUnique(NodeRef n);
+
+    /** Park an unlinked node on the free list. */
+    void freeNode(NodeRef n);
+
+    /** Resolve one ite call without recursing: terminal rules, then
+     *  the computed cache. True when `out` holds the result. */
+    bool iteShortcut(NodeRef f, NodeRef g, NodeRef h, NodeRef &out);
+
+    /** Grow (and thereby clear) the computed cache to track the
+     *  arena; lossy, so dropping entries is always safe. */
+    void growIteCache();
+
+    /** Clear the computed cache in place (GC / reorder). */
+    void clearIteCache();
+
+    /** Swap the variables at levels `level` and `level + 1`. */
+    void swapAdjacentLevels(unsigned level);
+
+    /** Drop one reorder-time reference from f, cascading frees. */
+    void decReorderRef(NodeRef f);
 
     bool isTerminal(NodeRef f) const { return f <= trueNode; }
 
     std::vector<Node> nodes_;
-    std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
-    std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
+    std::vector<SubTable> subtables_;
+    std::vector<IteEntry> ite_cache_;
+    std::vector<IteFrame> ite_frames_;
+
+    /** Level permutation; identity until reorderSifting runs. */
+    std::vector<unsigned> level_of_var_;
+    std::vector<unsigned> var_at_level_;
+
+    /** Free list head (0 = empty; terminals are never freed). */
+    NodeRef free_head_ = 0;
+    std::size_t free_count_ = 0;
+
+    /** GC roots: ref -> registration count. */
+    std::unordered_map<NodeRef, std::uint32_t> roots_;
+
+    /**
+     * Reorder-time internal reference counts (edges + roots), sized
+     * to the arena only while a sifting pass is active. Maintaining
+     * them lets swaps reclaim dead cofactor nodes immediately, which
+     * keeps the live-size signal the sift decisions use exact.
+     */
+    std::vector<std::uint32_t> reorder_refs_;
+    std::vector<NodeRef> reorder_dec_stack_;
+    bool sifting_ = false;
+
     unsigned variable_count_ = 0;
+    std::size_t gc_threshold_ = kDefaultGcThreshold;
+    std::size_t peak_live_ = 2;
+
     std::uint64_t ite_cache_hits_ = 0;
     std::uint64_t ite_cache_misses_ = 0;
     std::uint64_t unique_hits_ = 0;
     std::uint64_t unique_misses_ = 0;
+    std::uint64_t gc_runs_ = 0;
+    std::uint64_t gc_reclaimed_ = 0;
+    std::uint64_t reorder_runs_ = 0;
+    std::uint64_t reorder_swaps_ = 0;
+
+    static constexpr std::size_t kDefaultGcThreshold = 1u << 15;
+    static constexpr std::size_t kMinGcThreshold = 1u << 12;
+    static constexpr std::size_t kInitialIteCache = 1u << 10;
+    static constexpr std::size_t kMaxIteCache = 1u << 22;
+    static constexpr std::size_t kInitialBuckets = 16;
+};
+
+/**
+ * RAII root registration: keeps `f` (and everything it reaches)
+ * alive across GC/reorder safe points within a scope.
+ */
+class ScopedRoot
+{
+  public:
+    ScopedRoot(BddManager &manager, NodeRef f)
+        : manager_(&manager), ref_(f)
+    {
+        manager_->addRoot(ref_);
+    }
+
+    ~ScopedRoot()
+    {
+        if (manager_ != nullptr)
+            manager_->removeRoot(ref_);
+    }
+
+    ScopedRoot(const ScopedRoot &) = delete;
+    ScopedRoot &operator=(const ScopedRoot &) = delete;
+
+  private:
+    BddManager *manager_;
+    NodeRef ref_;
 };
 
 } // namespace sdnav::bdd

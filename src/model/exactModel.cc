@@ -35,7 +35,8 @@ rbd::RbdSystem
 buildExactSystem(const fmea::ControllerCatalog &catalog,
                  const topology::DeploymentTopology &topo,
                  SupervisorPolicy policy, const SwParams &params,
-                 Plane plane, std::vector<ExactComponentClass> *classes)
+                 Plane plane, std::vector<ExactComponentClass> *classes,
+                 ExactVariableOrder order)
 {
     catalog.validate();
     topo.validate();
@@ -59,70 +60,118 @@ buildExactSystem(const fmea::ControllerCatalog &catalog,
             : ExactComponentClass::ManualProcess;
     };
 
-    // Shared infrastructure first: racks, hosts, VMs. Keeping shared
-    // variables early in the BDD order bounds the diagram width.
-    std::vector<rbd::ComponentId> racks;
-    for (std::size_t r = 0; r < topo.rackCount(); ++r)
-        racks.push_back(add_component("rack" + std::to_string(r),
-                                      ExactComponentClass::Rack));
-    std::vector<rbd::ComponentId> hosts;
-    for (std::size_t h = 0; h < topo.hostCount(); ++h)
-        hosts.push_back(add_component("host" + std::to_string(h),
-                                      ExactComponentClass::Host));
-    std::vector<rbd::ComponentId> vms;
-    for (std::size_t v = 0; v < topo.vmCount(); ++v)
-        vms.push_back(add_component("vm" + std::to_string(v),
-                                    ExactComponentClass::Vm));
-
-    // Per node-role supervisors (also effectively shared: every block
-    // of a role on a node depends on the same supervisor).
+    // Every component slot starts unassigned; the two emission orders
+    // below fill the same tables in different sequences, and the
+    // block-building code underneath is order-agnostic.
+    constexpr rbd::ComponentId no_id =
+        std::numeric_limits<rbd::ComponentId>::max();
     std::size_t n = topo.clusterSize();
     std::size_t role_count = topo.roleCount();
+    std::vector<rbd::ComponentId> racks(topo.rackCount(), no_id);
+    std::vector<rbd::ComponentId> hosts(topo.hostCount(), no_id);
+    std::vector<rbd::ComponentId> vms(topo.vmCount(), no_id);
     std::vector<rbd::ComponentId> supervisors;
-    if (policy == SupervisorPolicy::Required) {
-        supervisors.resize(role_count * n);
-        for (std::size_t role = 0; role < role_count; ++role) {
-            for (std::size_t node = 0; node < n; ++node) {
-                supervisors[role * n + node] = add_component(
-                    "supervisor-" + catalog.role(role).name + "-" +
-                        std::to_string(node),
-                    ExactComponentClass::ManualProcess);
-            }
-        }
-    }
-
-    // Per-process components. Variable order matters enormously for
-    // the BDD: group the plane's quorum-relevant processes by block
-    // (each block's counting structure then touches a contiguous
-    // variable range) rather than by node. Plane-irrelevant processes
-    // are appended afterwards; they never appear in the structure
-    // function but keep the component inventory complete.
-    constexpr std::size_t unassigned =
-        std::numeric_limits<std::size_t>::max();
+    if (policy == SupervisorPolicy::Required)
+        supervisors.assign(role_count * n, no_id);
     std::vector<std::vector<rbd::ComponentId>> procs(role_count * n);
     for (std::size_t role = 0; role < role_count; ++role) {
         std::size_t count = catalog.role(role).processes.size();
         for (std::size_t node = 0; node < n; ++node)
-            procs[role * n + node].assign(count, unassigned);
+            procs[role * n + node].assign(count, no_id);
     }
+
+    auto ensure_rack = [&](std::size_t r) {
+        if (racks[r] == no_id)
+            racks[r] = add_component("rack" + std::to_string(r),
+                                     ExactComponentClass::Rack);
+    };
+    auto ensure_host = [&](std::size_t h) {
+        if (hosts[h] == no_id)
+            hosts[h] = add_component("host" + std::to_string(h),
+                                     ExactComponentClass::Host);
+    };
+    auto ensure_vm = [&](std::size_t v) {
+        if (vms[v] == no_id)
+            vms[v] = add_component("vm" + std::to_string(v),
+                                   ExactComponentClass::Vm);
+    };
+    auto ensure_supervisor = [&](std::size_t role, std::size_t node) {
+        auto &slot = supervisors[role * n + node];
+        if (slot == no_id) {
+            slot = add_component("supervisor-" +
+                                     catalog.role(role).name + "-" +
+                                     std::to_string(node),
+                                 ExactComponentClass::ManualProcess);
+        }
+    };
     auto add_process = [&](std::size_t role, std::size_t node,
                            std::size_t p) {
         auto &slot = procs[role * n + node][p];
-        if (slot != unassigned)
+        if (slot != no_id)
             return;
         const fmea::ProcessSpec &proc = catalog.role(role).processes[p];
         slot = add_component(proc.name + "-" + std::to_string(node),
                              process_class(proc.restart));
     };
-    for (std::size_t role = 0; role < role_count; ++role) {
-        for (const QuorumBlock &block :
-             catalog.planeBlocks(role, plane)) {
-            for (std::size_t node = 0; node < n; ++node) {
-                for (std::size_t p : block.memberProcesses)
-                    add_process(role, node, p);
+
+    if (order == ExactVariableOrder::NodeMajor) {
+        // Node-major: emit each node's infrastructure, supervisor,
+        // and quorum processes as one contiguous variable group. The
+        // only state a quorum block carries across node groups is its
+        // own counter, so the diagram stays polynomial in n.
+        for (std::size_t node = 0; node < n; ++node) {
+            for (std::size_t role = 0; role < role_count; ++role) {
+                std::size_t vm = topo.vmOf(role, node);
+                std::size_t host = topo.hostOfVm(vm);
+                ensure_rack(topo.rackOfHost(host));
+                ensure_host(host);
+                ensure_vm(vm);
+                if (policy == SupervisorPolicy::Required)
+                    ensure_supervisor(role, node);
+                for (const QuorumBlock &block :
+                     catalog.planeBlocks(role, plane)) {
+                    for (std::size_t p : block.memberProcesses)
+                        add_process(role, node, p);
+                }
+            }
+        }
+    } else {
+        // Shared infrastructure first: racks, hosts, VMs, then
+        // per-node supervisors (also effectively shared: every block
+        // of a role on a node depends on the same supervisor), then
+        // the plane's quorum processes grouped by block so each
+        // block's counting structure touches a contiguous variable
+        // range. This is the order every golden baseline was produced
+        // with; it is compact at the paper's reference cluster sizes
+        // but exponential in n (the process sections must remember
+        // the whole infrastructure pattern).
+        for (std::size_t r = 0; r < topo.rackCount(); ++r)
+            ensure_rack(r);
+        for (std::size_t h = 0; h < topo.hostCount(); ++h)
+            ensure_host(h);
+        for (std::size_t v = 0; v < topo.vmCount(); ++v)
+            ensure_vm(v);
+        if (policy == SupervisorPolicy::Required) {
+            for (std::size_t role = 0; role < role_count; ++role) {
+                for (std::size_t node = 0; node < n; ++node)
+                    ensure_supervisor(role, node);
+            }
+        }
+        for (std::size_t role = 0; role < role_count; ++role) {
+            for (const QuorumBlock &block :
+                 catalog.planeBlocks(role, plane)) {
+                for (std::size_t node = 0; node < n; ++node) {
+                    for (std::size_t p : block.memberProcesses)
+                        add_process(role, node, p);
+                }
             }
         }
     }
+
+    // Plane-irrelevant processes (and, under NodeMajor, any infra the
+    // placements never touched) are appended afterwards; they never
+    // appear in the structure function but keep the component
+    // inventory complete.
     for (std::size_t role = 0; role < role_count; ++role) {
         for (std::size_t node = 0; node < n; ++node) {
             for (std::size_t p = 0;
@@ -131,6 +180,12 @@ buildExactSystem(const fmea::ControllerCatalog &catalog,
             }
         }
     }
+    for (std::size_t r = 0; r < topo.rackCount(); ++r)
+        ensure_rack(r);
+    for (std::size_t h = 0; h < topo.hostCount(); ++h)
+        ensure_host(h);
+    for (std::size_t v = 0; v < topo.vmCount(); ++v)
+        ensure_vm(v);
 
     // Quorum blocks.
     std::vector<rbd::Block> top;
@@ -204,22 +259,27 @@ rbd::RbdSystem
 buildWithClasses(const fmea::ControllerCatalog &catalog,
                  const topology::DeploymentTopology &topo,
                  SupervisorPolicy policy, Plane plane,
+                 ExactVariableOrder order,
                  std::vector<ExactComponentClass> &classes)
 {
     // The table availabilities are placeholders (paper defaults);
     // evaluation always rebuilds the probability vector from the
     // classes and the caller's params.
     return buildExactSystem(catalog, topo, policy, SwParams{}, plane,
-                            &classes);
+                            &classes, order);
 }
 
 } // anonymous namespace
 
 ExactPlaneModel::ExactPlaneModel(const fmea::ControllerCatalog &catalog,
                                  const topology::DeploymentTopology &topo,
-                                 SupervisorPolicy policy, Plane plane)
-    : system_(buildWithClasses(catalog, topo, policy, plane, classes_)),
-      compiled_(system_)
+                                 SupervisorPolicy policy, Plane plane,
+                                 const Options &options)
+    : system_(buildWithClasses(catalog, topo, policy, plane,
+                               options.order, classes_)),
+      compiled_(system_,
+                rbd::CompiledRbd::Options{options.reorderBdd,
+                                          options.reorderOptions})
 {
 }
 

@@ -53,6 +53,33 @@ double exactClassAvailability(ExactComponentClass cls,
                               const SwParams &params);
 
 /**
+ * Variable (component) order the exact RBD builder emits. BDD size is
+ * extremely order-sensitive; the right choice depends on the cluster
+ * size.
+ */
+enum class ExactVariableOrder
+{
+    /**
+     * Shared infrastructure first (racks, hosts, VMs), then per-node
+     * supervisors, then processes grouped by quorum block. Compact at
+     * the paper's reference cluster size (2N+1 = 3) and the order all
+     * golden baselines were produced with — but the diagram must
+     * remember the full infrastructure pattern across every process
+     * section, which grows exponentially in the cluster size.
+     */
+    SharedInfrastructureFirst,
+
+    /**
+     * Node-major: each node's racks, hosts, VMs, supervisor, and
+     * quorum processes occupy one contiguous variable group. Quorum
+     * counting then crosses node-group boundaries with only the
+     * per-block counters as state, keeping the diagram polynomial in
+     * the cluster size — the order the 2N+1 scale-up benches use.
+     */
+    NodeMajor,
+};
+
+/**
  * Build the exact RBD for one plane of a catalog on a topology.
  *
  * Components are added in BDD-friendly order (shared infrastructure
@@ -61,12 +88,16 @@ double exactClassAvailability(ExactComponentClass cls,
  *
  * @param classes When non-null, receives one ExactComponentClass per
  *                component, indexed by ComponentId.
+ * @param order   Component emission order (see ExactVariableOrder);
+ *                the default reproduces the golden baselines.
  */
 rbd::RbdSystem buildExactSystem(
     const fmea::ControllerCatalog &catalog,
     const topology::DeploymentTopology &topo, SupervisorPolicy policy,
     const SwParams &params, fmea::Plane plane,
-    std::vector<ExactComponentClass> *classes = nullptr);
+    std::vector<ExactComponentClass> *classes = nullptr,
+    ExactVariableOrder order =
+        ExactVariableOrder::SharedInfrastructureFirst);
 
 /** Exact plane availability via BDD compilation of the full RBD. */
 double exactPlaneAvailability(const fmea::ControllerCatalog &catalog,
@@ -90,9 +121,36 @@ double exactPlaneAvailability(const fmea::ControllerCatalog &catalog,
 class ExactPlaneModel
 {
   public:
+    /** Build-time knobs; the default reproduces the natural
+     *  component order the topology builder emits. */
+    struct Options
+    {
+        /** Variable order the structure function is built with. */
+        ExactVariableOrder order =
+            ExactVariableOrder::SharedInfrastructureFirst;
+
+        /**
+         * Sift the compiled diagram (bdd::BddManager::reorderSifting)
+         * after compilation. Shrinks node count on orders the builder
+         * got wrong; availability values are unchanged.
+         */
+        bool reorderBdd = false;
+
+        /** Tuning for the reorder pass when enabled. */
+        bdd::ReorderOptions reorderOptions{};
+    };
+
     ExactPlaneModel(const fmea::ControllerCatalog &catalog,
                     const topology::DeploymentTopology &topo,
-                    SupervisorPolicy policy, fmea::Plane plane);
+                    SupervisorPolicy policy, fmea::Plane plane)
+        : ExactPlaneModel(catalog, topo, policy, plane, Options())
+    {
+    }
+
+    ExactPlaneModel(const fmea::ControllerCatalog &catalog,
+                    const topology::DeploymentTopology &topo,
+                    SupervisorPolicy policy, fmea::Plane plane,
+                    const Options &options);
 
     /** Exact plane availability at the given parameters. */
     double availability(const SwParams &params) const;

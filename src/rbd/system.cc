@@ -236,9 +236,16 @@ compileTraced(const RbdSystem &system, bdd::BddManager &manager)
 
 } // anonymous namespace
 
-CompiledRbd::CompiledRbd(const RbdSystem &system)
+CompiledRbd::CompiledRbd(const RbdSystem &system,
+                         const Options &options)
     : root_(compileTraced(system, manager_))
 {
+    // The compiled root is the one ref this object hands out, so it
+    // (and everything it reaches) is pinned for the manager's
+    // lifetime; any later GC or reorder safe point keeps it valid.
+    manager_.addRoot(root_);
+    if (options.reorder)
+        manager_.reorderSifting(options.reorderOptions);
     // The build phase is over; evaluation never grows the manager, so
     // this is the moment the cache/table stats are final.
     manager_.recordMetrics();
@@ -270,12 +277,16 @@ RbdSystem::birnbaumImportance(ComponentId id) const
     bdd::BddManager manager;
     bdd::NodeRef f = compile(manager);
     unsigned var = static_cast<unsigned>(id);
+    bdd::RestrictScratch restrict_scratch;
+    bdd::ProbabilityScratch prob_scratch;
     double with_up =
-        manager.probability(manager.restrict(f, var, true),
-                            availabilities_);
+        manager.probability(manager.restrict(f, var, true,
+                                             restrict_scratch),
+                            availabilities_, prob_scratch);
     double with_down =
-        manager.probability(manager.restrict(f, var, false),
-                            availabilities_);
+        manager.probability(manager.restrict(f, var, false,
+                                             restrict_scratch),
+                            availabilities_, prob_scratch);
     return with_up - with_down;
 }
 
@@ -291,31 +302,50 @@ RbdSystem::criticalityImportance(ComponentId id) const
 }
 
 std::vector<ImportanceEntry>
-RbdSystem::rankImportance() const
+RbdSystem::rankImportance(const ImportanceOptions &options) const
 {
-    // Compile once and reuse for all components.
+    // Compile once and reuse for all components. The root is pinned
+    // so the per-component restrict intermediates — and nothing else
+    // — are what the collections below reclaim.
     bdd::BddManager manager;
     bdd::NodeRef f = compile(manager);
-    double availability = manager.probability(f, availabilities_);
+    bdd::ScopedRoot root(manager, f);
+    if (options.reorder)
+        manager.reorderSifting(options.reorderOptions);
+    bdd::ProbabilityScratch prob_scratch;
+    bdd::RestrictScratch restrict_scratch;
+    double availability =
+        manager.probability(f, availabilities_, prob_scratch);
     double system_unavailability = 1.0 - availability;
 
     std::vector<ImportanceEntry> entries;
     entries.reserve(availabilities_.size());
     for (ComponentId id = 0; id < availabilities_.size(); ++id) {
         unsigned var = static_cast<unsigned>(id);
-        double up = manager.probability(manager.restrict(f, var, true),
-                                        availabilities_);
-        double down = manager.probability(manager.restrict(f, var, false),
-                                          availabilities_);
+        double up = manager.probability(
+            manager.restrict(f, var, true, restrict_scratch),
+            availabilities_, prob_scratch);
+        double down = manager.probability(
+            manager.restrict(f, var, false, restrict_scratch),
+            availabilities_, prob_scratch);
         double birnbaum = up - down;
         double criticality = system_unavailability > 0.0
             ? birnbaum * (1.0 - availabilities_[id]) / system_unavailability
             : 0.0;
         entries.push_back({id, names_[id], birnbaum, criticality});
+        // Safe point: the cofactors above are dead, only f is live.
+        manager.maybeCollect();
     }
+    // One final collection so every ranking publishes its reclaim
+    // stats (and a "bdd.gc" span) even when the diagram stayed small.
+    manager.collectGarbage();
+    // Tie-break on id so exactly-tied (symmetric) components rank in
+    // a stable order regardless of evaluation order.
     std::sort(entries.begin(), entries.end(),
               [](const ImportanceEntry &a, const ImportanceEntry &b) {
-                  return a.criticality > b.criticality;
+                  if (a.criticality != b.criticality)
+                      return a.criticality > b.criticality;
+                  return a.component < b.component;
               });
     return entries;
 }

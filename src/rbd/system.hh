@@ -41,6 +41,21 @@ struct MonteCarloResult
     bool brackets(double value) const;
 };
 
+/** Knobs for the importance ranking engines. */
+struct ImportanceOptions
+{
+    /**
+     * Run a sifting reorder pass on the compiled diagram before the
+     * per-component restrict loop. Off by default: reordering changes
+     * diagram shape (never values), and the paper-scale topologies
+     * compile compactly under the natural component order.
+     */
+    bool reorder = false;
+
+    /** Tuning for the reorder pass when enabled. */
+    bdd::ReorderOptions reorderOptions{};
+};
+
 /** One row of an importance ranking. */
 struct ImportanceEntry
 {
@@ -143,7 +158,8 @@ class RbdSystem
     double criticalityImportance(ComponentId id) const;
 
     /** All components ranked by descending criticality importance. */
-    std::vector<ImportanceEntry> rankImportance() const;
+    std::vector<ImportanceEntry>
+    rankImportance(const ImportanceOptions &options = {}) const;
 
     /**
      * Compile the structure function into the given BDD manager, with
@@ -185,8 +201,24 @@ class RbdSystem
 class CompiledRbd
 {
   public:
+    /** Build-time knobs for a compiled structure function. */
+    struct Options
+    {
+        /** Sift the diagram after compilation (values unchanged). */
+        bool reorder = false;
+
+        /** Tuning for the reorder pass when enabled. */
+        bdd::ReorderOptions reorderOptions{};
+    };
+
     /** Compile the system's structure function. */
-    explicit CompiledRbd(const RbdSystem &system);
+    explicit CompiledRbd(const RbdSystem &system)
+        : CompiledRbd(system, Options())
+    {
+    }
+
+    /** Compile with explicit build-time knobs. */
+    CompiledRbd(const RbdSystem &system, const Options &options);
 
     /**
      * Probability that the system is up under the given

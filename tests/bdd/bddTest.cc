@@ -259,6 +259,243 @@ TEST(Bdd, NodeCountOfSimpleFunctions)
     EXPECT_EQ(m.nodeCount(chain), 3u);
 }
 
+TEST(Bdd, RestrictScratchMatchesPlainRestrict)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 8; ++i)
+        vars.push_back(m.var(i));
+    NodeRef f = m.atLeast(vars, 5);
+    RestrictScratch scratch;
+    // One scratch threaded through every call, as the importance
+    // loops do; each call must be independent of prior contents.
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(m.restrict(f, i, true, scratch),
+                  m.restrict(f, i, true))
+            << "var=" << i;
+        EXPECT_EQ(m.restrict(f, i, false, scratch),
+                  m.restrict(f, i, false))
+            << "var=" << i;
+    }
+    // Absent variable stays a no-op through the scratch path too.
+    EXPECT_EQ(m.restrict(f, 42, true, scratch), f);
+    // A scratch survives moving to another manager.
+    BddManager other;
+    NodeRef g = other.xorOp(other.var(0), other.var(1));
+    EXPECT_EQ(other.restrict(g, 0, true, scratch),
+              other.notOp(other.var(1)));
+}
+
+TEST(Bdd, DeepChainOperationsDoNotOverflowTheStack)
+{
+    // Regression: ite() and restrict() used native recursion and
+    // overflowed the call stack on chain diagrams a few hundred
+    // thousand nodes deep. Building the conjunction bottom-up (last
+    // variable first) keeps every andOp O(1), so construction itself
+    // stays linear.
+    BddManager m;
+    const unsigned n = 200000;
+    std::vector<NodeRef> fs;
+    fs.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        fs.push_back(m.var(n - 1 - i));
+    NodeRef chain = m.andAll(fs);
+    EXPECT_EQ(m.nodeCount(chain), n);
+
+    // Each of these descends the full chain.
+    NodeRef negated = m.notOp(chain);
+    EXPECT_EQ(m.notOp(negated), chain);
+    RestrictScratch scratch;
+    NodeRef without_bottom = m.restrict(chain, n - 1, true, scratch);
+    EXPECT_EQ(m.nodeCount(without_bottom), n - 1);
+
+    std::vector<double> probs(n, 1.0);
+    EXPECT_EQ(m.probability(chain, probs), 1.0);
+    std::vector<bool> assign(n, true);
+    EXPECT_TRUE(m.evaluate(chain, assign));
+    assign[n / 2] = false;
+    EXPECT_FALSE(m.evaluate(chain, assign));
+}
+
+TEST(Bdd, CollectGarbageReclaimsUnrootedNodesOnly)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 12; ++i)
+        vars.push_back(m.var(i));
+    NodeRef f = m.atLeast(vars, 6);
+    m.addRoot(f);
+    std::vector<double> probs(12, 0.9);
+    const double before = m.probability(f, probs);
+    const std::size_t f_nodes = m.nodeCount(f);
+
+    // Importance-style loop: every restrict leaves intermediates.
+    RestrictScratch scratch;
+    for (unsigned i = 0; i < 12; ++i) {
+        m.restrict(f, i, true, scratch);
+        m.restrict(f, i, false, scratch);
+    }
+    const std::size_t live_before_gc = m.liveNodes();
+    const std::size_t reclaimed = m.collectGarbage();
+    EXPECT_GT(reclaimed, 0u);
+    EXPECT_EQ(m.liveNodes(), live_before_gc - reclaimed);
+    // The rooted diagram survives intact and evaluates identically.
+    EXPECT_EQ(m.nodeCount(f), f_nodes);
+    EXPECT_EQ(m.probability(f, probs), before);
+
+    BddStats stats = m.stats();
+    EXPECT_EQ(stats.gcRuns, 1u);
+    EXPECT_EQ(stats.gcReclaimedNodes, reclaimed);
+    EXPECT_EQ(stats.freeNodes, reclaimed);
+    m.removeRoot(f);
+}
+
+TEST(Bdd, FreeListReuseKeepsTheUniqueTableCanonical)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 10; ++i)
+        vars.push_back(m.var(i));
+    NodeRef keep = m.atLeast(vars, 4);
+    m.addRoot(keep);
+    // Unrooted scaffolding to be reclaimed.
+    NodeRef scrap = falseNode;
+    for (unsigned i = 0; i + 1 < 10; ++i)
+        scrap = m.orOp(scrap, m.andOp(vars[i], m.notOp(vars[i + 1])));
+    const std::size_t scrap_nodes = m.nodeCount(scrap);
+    const std::size_t arena = m.totalNodes();
+    ASSERT_GT(m.collectGarbage(), 0u);
+
+    // Rebuilding the reclaimed function must reuse free-listed slots
+    // (no arena growth) and land on canonical, properly hash-consed
+    // nodes: identities that rely on ref equality still hold. The old
+    // vars refs died with the collection, so re-derive them — var()
+    // hash-conses back to canonical projection nodes.
+    NodeRef rebuilt = falseNode;
+    for (unsigned i = 0; i + 1 < 10; ++i)
+        rebuilt = m.orOp(rebuilt,
+                         m.andOp(m.var(i), m.notOp(m.var(i + 1))));
+    EXPECT_LE(m.totalNodes(), arena);
+    EXPECT_EQ(m.nodeCount(rebuilt), scrap_nodes);
+    EXPECT_EQ(m.notOp(m.notOp(rebuilt)), rebuilt);
+    EXPECT_EQ(m.andOp(rebuilt, rebuilt), rebuilt);
+    EXPECT_EQ(m.orOp(rebuilt, keep), m.orOp(keep, rebuilt));
+    m.removeRoot(keep);
+}
+
+TEST(Bdd, ScopedRootProtectsAcrossMaybeCollect)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 10; ++i)
+        vars.push_back(m.var(i));
+    NodeRef f = m.atLeast(vars, 5);
+    std::vector<double> probs(10, 0.8);
+    m.setGcThreshold(1);
+    {
+        ScopedRoot root(m, f);
+        EXPECT_TRUE(m.maybeCollect());
+        // Rooted through the scope: still evaluates.
+        EXPECT_NEAR(m.probability(f, probs),
+                    sdnav::prob::binomialTailAtLeast(10, 5, 0.8),
+                    1e-12);
+    }
+    // Root released: the next collection reclaims the diagram.
+    m.setGcThreshold(1);
+    std::size_t live = m.liveNodes();
+    EXPECT_TRUE(m.maybeCollect());
+    EXPECT_LT(m.liveNodes(), live);
+    EXPECT_GE(m.stats().gcRuns, 2u);
+}
+
+TEST(Bdd, MaybeCollectHonorsTheThreshold)
+{
+    BddManager m;
+    NodeRef f = m.andOp(m.var(0), m.var(1));
+    m.addRoot(f);
+    // Far below any default threshold: no collection.
+    EXPECT_FALSE(m.maybeCollect());
+    EXPECT_EQ(m.stats().gcRuns, 0u);
+    m.setGcThreshold(1);
+    EXPECT_TRUE(m.maybeCollect());
+    EXPECT_EQ(m.stats().gcRuns, 1u);
+    // The adaptive reset lifts the threshold back above live size.
+    EXPECT_FALSE(m.maybeCollect());
+    m.removeRoot(f);
+}
+
+TEST(Bdd, ReorderSiftingShrinksAnInterleavedOrder)
+{
+    // (x0 & x3) | (x1 & x4) | (x2 & x5): with the pairs interleaved
+    // the diagram is exponential in the number of pairs; sifting must
+    // find a pair-adjacent order and shrink it.
+    BddManager m;
+    NodeRef f = m.orOp(
+        m.orOp(m.andOp(m.var(0), m.var(3)),
+               m.andOp(m.var(1), m.var(4))),
+        m.andOp(m.var(2), m.var(5)));
+    m.addRoot(f);
+    std::vector<double> probs{0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+    const double before = m.probability(f, probs);
+    const std::size_t nodes_before = m.nodeCount(f);
+
+    const std::size_t saved = m.reorderSifting();
+    EXPECT_GT(saved, 0u);
+    EXPECT_LT(m.nodeCount(f), nodes_before);
+    EXPECT_NEAR(m.probability(f, probs), before, 1e-15);
+    EXPECT_EQ(m.stats().reorderRuns, 1u);
+    EXPECT_GT(m.stats().reorderSwaps, 0u);
+
+    // The level maps stay a permutation of the variables.
+    std::vector<bool> seen(m.variableCount(), false);
+    for (unsigned level = 0; level < m.variableCount(); ++level) {
+        unsigned v = m.variableAtLevel(level);
+        EXPECT_EQ(m.levelOfVariable(v), level);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+
+    // The engine still operates correctly on the permuted order.
+    for (unsigned mask = 0; mask < 64; ++mask) {
+        std::vector<bool> assign(6);
+        for (unsigned i = 0; i < 6; ++i)
+            assign[i] = (mask >> i) & 1;
+        bool expected = (assign[0] && assign[3]) ||
+                        (assign[1] && assign[4]) ||
+                        (assign[2] && assign[5]);
+        EXPECT_EQ(m.evaluate(f, assign), expected) << "mask=" << mask;
+    }
+    double expanded =
+        probs[1] * m.probability(m.restrict(f, 1, true), probs) +
+        (1.0 - probs[1]) *
+            m.probability(m.restrict(f, 1, false), probs);
+    EXPECT_NEAR(m.probability(f, probs), expanded, 1e-15);
+    m.removeRoot(f);
+}
+
+TEST(Bdd, ReorderKeepsRootedRefsDenotingTheSameFunction)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 8; ++i)
+        vars.push_back(m.var(i));
+    NodeRef f = m.atLeast(vars, 3);
+    NodeRef g = m.andOp(m.orOp(vars[0], vars[7]),
+                        m.orOp(vars[3], vars[4]));
+    ScopedRoot root_f(m, f);
+    ScopedRoot root_g(m, g);
+    std::vector<double> probs{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2};
+    const double pf = m.probability(f, probs);
+    const double pg = m.probability(g, probs);
+    m.reorderSifting();
+    EXPECT_NEAR(m.probability(f, probs), pf, 1e-15);
+    EXPECT_NEAR(m.probability(g, probs), pg, 1e-15);
+    // Both still compose after the reorder.
+    NodeRef both = m.andOp(f, g);
+    std::vector<bool> assign(8, true);
+    EXPECT_TRUE(m.evaluate(both, assign));
+}
+
 // Randomized cross-check: random expressions over 10 variables,
 // probability via BDD vs brute-force enumeration of all 1024 states.
 class BddRandomExpression : public testing::TestWithParam<int>
@@ -297,6 +534,69 @@ TEST_P(BddRandomExpression, ProbabilityMatchesEnumeration)
     std::vector<double> probs(n);
     for (unsigned i = 0; i < n; ++i)
         probs[i] = rng.uniform();
+
+    double brute = 0.0;
+    std::vector<bool> assign(n);
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+        double w = 1.0;
+        for (unsigned i = 0; i < n; ++i) {
+            bool up = (mask >> i) & 1;
+            assign[i] = up;
+            w *= up ? probs[i] : 1.0 - probs[i];
+        }
+        if (m.evaluate(f, assign))
+            brute += w;
+    }
+    EXPECT_NEAR(m.probability(f, probs), brute, 1e-12);
+}
+
+TEST_P(BddRandomExpression, GcAndReorderPreserveProbability)
+{
+    const unsigned n = 10;
+    sdnav::prob::Rng rng(GetParam());
+    BddManager m;
+
+    std::vector<NodeRef> pool;
+    for (unsigned i = 0; i < n; ++i)
+        pool.push_back(m.var(i));
+    for (int step = 0; step < 40; ++step) {
+        NodeRef a = pool[rng.uniformInt(pool.size())];
+        NodeRef b = pool[rng.uniformInt(pool.size())];
+        switch (rng.uniformInt(4)) {
+          case 0:
+            pool.push_back(m.andOp(a, b));
+            break;
+          case 1:
+            pool.push_back(m.orOp(a, b));
+            break;
+          case 2:
+            pool.push_back(m.xorOp(a, b));
+            break;
+          default:
+            pool.push_back(m.notOp(a));
+            break;
+        }
+    }
+    NodeRef f = pool.back();
+    ScopedRoot root(m, f);
+
+    std::vector<double> probs(n);
+    for (unsigned i = 0; i < n; ++i)
+        probs[i] = rng.uniform();
+    const double before = m.probability(f, probs);
+
+    // Collect (dropping the unrooted pool), then reorder, then build
+    // more garbage on the recycled arena and collect again; the
+    // rooted function's value must ride through all of it.
+    m.collectGarbage();
+    EXPECT_EQ(m.probability(f, probs), before);
+    m.reorderSifting();
+    EXPECT_NEAR(m.probability(f, probs), before, 1e-15);
+    RestrictScratch scratch;
+    for (unsigned i = 0; i < n; ++i)
+        m.restrict(f, i, true, scratch);
+    m.collectGarbage();
+    EXPECT_NEAR(m.probability(f, probs), before, 1e-15);
 
     double brute = 0.0;
     std::vector<bool> assign(n);

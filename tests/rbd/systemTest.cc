@@ -6,6 +6,8 @@
  */
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -186,6 +188,55 @@ TEST(RbdSystem, CriticalityIdentifiesWeakLink)
     EXPECT_EQ(ranking[0].name, "weak-singleton");
     EXPECT_GT(ranking[0].criticality, 0.9);
     EXPECT_LT(ranking[1].criticality, 0.1);
+}
+
+TEST(RbdSystem, RankImportanceWithReorderMatchesDefault)
+{
+    // Reordering changes the diagram shape, never the functions it
+    // denotes: the ranking must agree with the default path to within
+    // floating-point reassociation noise.
+    RbdSystem system;
+    std::vector<ComponentId> ids;
+    for (int i = 0; i < 9; ++i) {
+        ids.push_back(system.addComponent("c" + std::to_string(i),
+                                          0.9 + 0.01 * i));
+    }
+    // Interleaved pairing ((c0&c3)|(c1&c4)|... style) so sifting has
+    // something real to improve.
+    std::vector<Block> pairs;
+    for (int i = 0; i < 3; ++i) {
+        pairs.push_back(series(
+            {component(ids[i]), component(ids[i + 3]),
+             component(ids[i + 6])}));
+    }
+    system.setRoot(parallel(std::move(pairs)));
+
+    auto plain = system.rankImportance();
+    ImportanceOptions options;
+    options.reorder = true;
+    auto reordered = system.rankImportance(options);
+    ASSERT_EQ(plain.size(), reordered.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].component, reordered[i].component);
+        // 1e-12, not 1e-15: the sifted diagram sums the same products
+        // in a different association order.
+        EXPECT_NEAR(plain[i].birnbaum, reordered[i].birnbaum, 1e-12);
+        EXPECT_NEAR(plain[i].criticality, reordered[i].criticality,
+                    1e-12);
+    }
+}
+
+TEST(CompiledRbd, ReorderOptionPreservesProbability)
+{
+    RbdSystem system = twoOfThreeSystem(0.9);
+    CompiledRbd plain(system);
+    CompiledRbd::Options options;
+    options.reorder = true;
+    CompiledRbd sifted(system, options);
+    const std::vector<double> &avail = system.availabilities();
+    EXPECT_NEAR(plain.probability(avail), sifted.probability(avail),
+                1e-15);
+    EXPECT_LE(sifted.nodeCount(), plain.nodeCount());
 }
 
 TEST(RbdSystem, CriticalityZeroForPerfectSystem)

@@ -49,6 +49,7 @@ BENCHES=(
     bench_supervisor
     bench_rack_ablation
     bench_cluster_scaling
+    bench_bdd_scaleup
     bench_simulation_validation
     bench_importance
     bench_failure_modes

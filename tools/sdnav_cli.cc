@@ -79,7 +79,7 @@ struct Args
 bool
 isFlagOption(const std::string &key)
 {
-    return key == "attribution";
+    return key == "attribution" || key == "bdd-reorder";
 }
 
 Args
@@ -239,7 +239,9 @@ cmdRank(const Args &args)
 
     auto system =
         model::buildExactSystem(catalog, topo, policy, params, plane);
-    auto ranking = system.rankImportance();
+    rbd::ImportanceOptions importance;
+    importance.reorder = args.has("bdd-reorder");
+    auto ranking = system.rankImportance(importance);
     std::size_t top =
         static_cast<std::size_t>(args.getNumber("top", 10));
     TextTable table;
@@ -716,6 +718,13 @@ printUsage()
         "                                        analyze --sensitivity\n"
         "                                        on; results are bit-\n"
         "                                        identical for any T\n"
+        "\n"
+        "rank options:\n"
+        "  --top N            rows to print (default 10)\n"
+        "  --bdd-reorder      sift the compiled BDD before ranking\n"
+        "                     (see README, \"BDD engine\"); values\n"
+        "                     agree to ~1e-12 and the diagram may\n"
+        "                     shrink; near-tied ranks may swap\n"
         "\n"
         "figures options:\n"
         "  --points N         sweep points per figure (default 21)\n"
