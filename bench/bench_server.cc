@@ -1,0 +1,221 @@
+/**
+ * @file
+ * bench_server — the availability-query server's reason to exist,
+ * measured: a cache-hit query answers >= 10x faster than a cold
+ * compile of the same model (OpenContrail on the Large reference
+ * topology), through the real socket protocol end to end.
+ *
+ * The report runs two phases against live servers:
+ *
+ *   cold   a capacity-1 cache alternating two model keys, so every
+ *          OpenContrail/Large query re-compiles from scratch;
+ *   hot    a primed cache serving the same query repeatedly.
+ *
+ * and then a sustained multi-connection throughput phase. The
+ * speedup is *asserted* (require >= 10x): if caching ever stops
+ * paying for itself, this bench fails rather than quietly recording
+ * a regression. Hit rate and latency percentiles come from the
+ * src/obs metrics snapshot (server.cache_* counters and the
+ * server.request_latency_ms histogram), which writeBenchJson embeds
+ * in BENCH_server.json for the CI perf gate.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/benchCommon.hh"
+#include "server/lineClient.hh"
+#include "server/modelCache.hh"
+#include "server/server.hh"
+
+namespace
+{
+
+using namespace sdnav;
+
+/** The golden-config query: OpenContrail, Large topology, 3 nodes. */
+std::string
+targetQuery(double id)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("id", id);
+    doc.set("catalog", "opencontrail");
+    doc.set("topology", "large");
+    doc.set("nodes", 3);
+    return doc.dump();
+}
+
+/**
+ * A different model key to evict the target from a capacity-1 cache.
+ * A different *catalog* at the same cluster size: distinct key,
+ * comparable (cheap) compile cost.
+ */
+std::string
+evictorQuery(double id)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("id", id);
+    doc.set("catalog", "raft");
+    doc.set("topology", "large");
+    doc.set("nodes", 3);
+    return doc.dump();
+}
+
+double
+timedRequestMs(server::LineClient &client, const std::string &line)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    client.sendLine(line);
+    std::string reply = client.recvLine();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    json::Value doc = json::parse(reply);
+    require(doc.at("ok").asBool(),
+            "bench query failed: " + reply);
+    return ms;
+}
+
+void
+printReport()
+{
+    bench::section(
+        "Availability-query server: cold compile vs cache hit");
+
+    constexpr int kColdRounds = 8;
+    constexpr int kHotRounds = 200;
+
+    // Cold phase: capacity 1, and every target query preceded by a
+    // different-key query, so the target is always evicted and must
+    // recompile — the per-query price a cacheless server would pay.
+    double coldTotalMs = 0.0;
+    {
+        server::ServerOptions options;
+        options.cacheCapacity = 1;
+        server::Server srv(options);
+        srv.start();
+        server::LineClient client;
+        client.connect(srv.port());
+        for (int i = 0; i < kColdRounds; ++i) {
+            timedRequestMs(client, evictorQuery(1000.0 + i));
+            coldTotalMs += timedRequestMs(client, targetQuery(i));
+        }
+        client.close();
+        srv.requestStop();
+        srv.wait();
+    }
+    double coldMeanMs = coldTotalMs / kColdRounds;
+
+    // Hot phase: a fresh server, one priming miss, then the same
+    // model key over and over — the steady state an interactive
+    // sweep session lives in.
+    double hotTotalMs = 0.0;
+    double hitRate = 0.0;
+    double p99Ms = 0.0;
+    double qps = 0.0;
+    {
+        obs::Registry::global().reset();
+        server::ServerOptions options;
+        server::Server srv(options);
+        srv.start();
+        server::LineClient client;
+        client.connect(srv.port());
+        timedRequestMs(client, targetQuery(-1.0)); // prime the cache
+        for (int i = 0; i < kHotRounds; ++i)
+            hotTotalMs += timedRequestMs(client, targetQuery(i));
+
+        // Sustained throughput: four connections hammering the hot
+        // key concurrently.
+        constexpr int kConnections = 4;
+        constexpr int kPerConnection = 100;
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kConnections; ++c)
+            threads.emplace_back([&srv, c] {
+                server::LineClient worker;
+                worker.connect(srv.port());
+                for (int i = 0; i < kPerConnection; ++i)
+                    timedRequestMs(worker,
+                                   targetQuery(c * 1000.0 + i));
+            });
+        for (std::thread &thread : threads)
+            thread.join();
+        double wallS = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        qps = static_cast<double>(kConnections * kPerConnection) /
+              wallS;
+
+        // Hit rate and p99 from the obs metrics, the same counters
+        // the `stats` command serves.
+        const server::ModelCache &cache = srv.cache();
+        hitRate = static_cast<double>(cache.hits()) /
+                  static_cast<double>(cache.hits() + cache.misses());
+        p99Ms = obs::Registry::global()
+                    .histogram("server.request_latency_ms")
+                    .quantile(0.99);
+
+        client.close();
+        srv.requestStop();
+        srv.wait();
+    }
+    double hotMeanMs = hotTotalMs / kHotRounds;
+    double speedup = coldMeanMs / hotMeanMs;
+
+    bench::recordValue("server.cold_mean_ms", coldMeanMs);
+    bench::recordValue("server.hit_mean_ms", hotMeanMs);
+    bench::recordValue("server.hit_speedup", speedup);
+    bench::recordValue("server.hit_p99_ms", p99Ms);
+    bench::recordValue("server.hit_rate", hitRate);
+    bench::recordValue("server.qps", qps);
+
+    // The tentpole claim, asserted end to end through the socket.
+    require(speedup >= 10.0,
+            "cache-hit speedup " + formatGeneral(speedup, 4) +
+                "x fell below the required 10x");
+    std::cout << "[server] cache-hit speedup "
+              << formatFixed(speedup, 1) << "x (cold "
+              << formatFixed(coldMeanMs, 2) << " ms -> hit "
+              << formatFixed(hotMeanMs, 3) << " ms), hit rate "
+              << formatFixed(hitRate, 4) << ", p99 "
+              << formatFixed(p99Ms, 3) << " ms, sustained "
+              << formatFixed(qps, 0) << " req/s\n";
+}
+
+/** Microbenchmark: request-line parse + validation alone. */
+void
+benchParseRequest(benchmark::State &state)
+{
+    std::string line = targetQuery(1.0);
+    for (auto _ : state) {
+        auto request = server::parseRequest(line, 256);
+        benchmark::DoNotOptimize(request);
+    }
+}
+BENCHMARK(benchParseRequest);
+
+/** Microbenchmark: a cache hit plus one availability evaluation. */
+void
+benchCacheHitEvaluate(benchmark::State &state)
+{
+    server::ModelCache cache(4);
+    server::QuerySpec spec; // defaults = OpenContrail Large x3
+    cache.acquire(spec);    // prime
+    bdd::ProbabilityScratch scratch;
+    for (auto _ : state) {
+        server::CacheLookup lookup = cache.acquire(spec);
+        double a =
+            lookup.model->availability(spec.params, scratch);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(benchCacheHitEvaluate);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return sdnav::bench::benchMain("server", printReport, argc, argv);
+}

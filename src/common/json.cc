@@ -201,8 +201,15 @@ escapeString(std::string &out, const std::string &s)
             break;
           default:
             if (static_cast<unsigned char>(c) < 0x20) {
+                // Widen through unsigned char: a plain signed char
+                // would sign-extend bytes >= 0x80 into "￿ff80"
+                // garbage if the escape set ever grows past the
+                // control range.
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                std::snprintf(
+                    buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(
+                        static_cast<unsigned char>(c)));
                 out += buf;
             } else {
                 out += c;

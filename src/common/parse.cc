@@ -1,0 +1,91 @@
+#include "common/parse.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace sdnav
+{
+
+namespace
+{
+
+/** True if every character could belong to a decimal number. */
+bool
+decimalOnly(const std::string &text)
+{
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != 'e' && c != 'E' && c != '+' && c != '-') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::optional<double>
+tryParseDouble(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    // std::from_chars is already strict about whitespace and hex, but
+    // pre-filtering keeps locale-odd inputs ("0x1p3", "infinity")
+    // from ever reaching it, and gives '+' its usual meaning, which
+    // from_chars rejects.
+    if (!decimalOnly(text))
+        return std::nullopt;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    if (*first == '+') {
+        ++first;
+        // Exactly one sign: "+-1" and "++1" are not numbers.
+        if (first != last && (*first == '+' || *first == '-'))
+            return std::nullopt;
+    }
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || !std::isfinite(value))
+        return std::nullopt;
+    return value;
+}
+
+double
+parseDouble(const std::string &text, const std::string &what,
+            double min, double max)
+{
+    std::optional<double> value = tryParseDouble(text);
+    require(value.has_value(),
+            what + ": '" + text + "' is not a number");
+    require(*value >= min && *value <= max,
+            what + ": " + text + " is out of range [" +
+                std::to_string(min) + ", " + std::to_string(max) +
+                "]");
+    return *value;
+}
+
+std::size_t
+parseCount(const std::string &text, const std::string &what,
+           std::size_t max)
+{
+    require(!text.empty(), what + ": empty count");
+    for (char c : text) {
+        require(std::isdigit(static_cast<unsigned char>(c)),
+                what + ": '" + text +
+                    "' is not a non-negative integer");
+    }
+    std::size_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    require(ec == std::errc() && ptr == text.data() + text.size(),
+            what + ": '" + text + "' is not a non-negative integer");
+    require(value <= max,
+            what + ": " + text + " exceeds the maximum of " +
+                std::to_string(max));
+    return value;
+}
+
+} // namespace sdnav

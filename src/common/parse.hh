@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Checked numeric parsing for untrusted text.
+ *
+ * Command-line options and network requests both arrive as strings;
+ * a bare std::stod accepts trailing junk ("3x" parses as 3) and
+ * throws an uncaught std::invalid_argument on garbage. These helpers
+ * are strict: the whole string must be consumed, the value must be
+ * finite, and an optional range is enforced. Errors throw ModelError
+ * naming the offending input, so the CLI can map them to usage
+ * failures and the query server to per-request error replies.
+ */
+
+#ifndef SDNAV_COMMON_PARSE_HH
+#define SDNAV_COMMON_PARSE_HH
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace sdnav
+{
+
+/**
+ * Parse a double strictly: the entire string must be a single finite
+ * number (optional leading '+' or '-', no whitespace, no trailing
+ * characters, no inf/nan/hex). Returns nullopt on any violation.
+ */
+std::optional<double> tryParseDouble(const std::string &text);
+
+/**
+ * Parse a finite double within [min, max].
+ *
+ * @param text The candidate number.
+ * @param what Name used in error messages (e.g. "--mtbf").
+ * @throws ModelError naming `what` on malformed input, trailing
+ *         junk, non-finite values, or range violations.
+ */
+double parseDouble(
+    const std::string &text, const std::string &what,
+    double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max());
+
+/**
+ * Parse a non-negative integer count within [0, max]. Rejects signs,
+ * fractions, exponents, and trailing junk.
+ *
+ * @param text The candidate count.
+ * @param what Name used in error messages (e.g. "--nodes").
+ * @throws ModelError naming `what` on violations.
+ */
+std::size_t parseCount(
+    const std::string &text, const std::string &what,
+    std::size_t max = std::numeric_limits<std::size_t>::max());
+
+} // namespace sdnav
+
+#endif // SDNAV_COMMON_PARSE_HH

@@ -1,5 +1,7 @@
 #include "obs/obs.hh"
 
+#include <array>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
@@ -173,6 +175,180 @@ Timer::reset()
     }
 }
 
+namespace
+{
+
+/**
+ * Histogram bucket layout: geometric buckets a factor 2^(1/8) apart
+ * (~9% wide) from kHistMin up, plus an underflow bucket 0 and an
+ * overflow bucket at the top. Index math is shared by record() and
+ * the quantile fold so a value always lands where the fold looks.
+ */
+constexpr double kHistMin = 1e-3;
+constexpr int kHistBucketsPerOctave = 8;
+constexpr int kHistOctaves = 27; // 1e-3 .. ~1.3e5
+constexpr int kHistBuckets =
+    kHistOctaves * kHistBucketsPerOctave + 2;
+
+int
+histBucketIndex(double value)
+{
+    if (!(value > kHistMin)) // NaN and underflow both land at 0
+        return 0;
+    int index = 1 + static_cast<int>(std::floor(
+                        std::log2(value / kHistMin) *
+                        kHistBucketsPerOctave));
+    return index >= kHistBuckets ? kHistBuckets - 1 : index;
+}
+
+/** Upper bound of a bucket, used as the quantile estimate. */
+double
+histBucketUpper(int index)
+{
+    if (index <= 0)
+        return kHistMin;
+    return kHistMin *
+           std::exp2(static_cast<double>(index) /
+                     kHistBucketsPerOctave);
+}
+
+} // anonymous namespace
+
+/** One thread's bucket array; see Counter::Cell. */
+struct alignas(64) Histogram::Cell
+{
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> total{0.0};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+Histogram::Histogram() : id_(allocateMetricId()) {}
+
+Histogram::~Histogram() = default;
+
+Histogram::Cell &
+Histogram::cell()
+{
+    auto it = t_cell_cache.find(id_);
+    if (it != t_cell_cache.end())
+        return *static_cast<Cell *>(it->second);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(std::make_unique<Cell>());
+    Cell *c = cells_.back().get();
+    t_cell_cache.emplace(id_, c);
+    return *c;
+}
+
+void
+Histogram::record(double value)
+{
+    Cell &c = cell();
+    auto &bucket = c.buckets[histBucketIndex(value)];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    c.count.store(c.count.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    c.total.store(c.total.load(std::memory_order_relaxed) + value,
+                  std::memory_order_relaxed);
+    if (value > c.max.load(std::memory_order_relaxed))
+        c.max.store(value, std::memory_order_relaxed);
+}
+
+HistogramStats
+Histogram::stats() const
+{
+    std::array<std::uint64_t, kHistBuckets> folded{};
+    HistogramStats result;
+    double max = -std::numeric_limits<double>::infinity();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &c : cells_) {
+            std::uint64_t count =
+                c->count.load(std::memory_order_relaxed);
+            if (count == 0)
+                continue;
+            result.count += count;
+            result.total +=
+                c->total.load(std::memory_order_relaxed);
+            max = std::max(max,
+                           c->max.load(std::memory_order_relaxed));
+            for (int i = 0; i < kHistBuckets; ++i) {
+                folded[i] +=
+                    c->buckets[i].load(std::memory_order_relaxed);
+            }
+        }
+    }
+    if (result.count == 0)
+        return result;
+    result.max = max;
+    auto quantileOf = [&folded, &result](double q) {
+        std::uint64_t target = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(result.count)));
+        if (target == 0)
+            target = 1;
+        std::uint64_t seen = 0;
+        for (int i = 0; i < kHistBuckets; ++i) {
+            seen += folded[i];
+            if (seen >= target)
+                return histBucketUpper(i);
+        }
+        return histBucketUpper(kHistBuckets - 1);
+    };
+    result.p50 = quantileOf(0.50);
+    result.p90 = quantileOf(0.90);
+    result.p99 = quantileOf(0.99);
+    return result;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    std::array<std::uint64_t, kHistBuckets> folded{};
+    std::uint64_t total = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &c : cells_) {
+            total += c->count.load(std::memory_order_relaxed);
+            for (int i = 0; i < kHistBuckets; ++i) {
+                folded[i] +=
+                    c->buckets[i].load(std::memory_order_relaxed);
+            }
+        }
+    }
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kHistBuckets; ++i) {
+        seen += folded[i];
+        if (seen >= target)
+            return histBucketUpper(i);
+    }
+    return histBucketUpper(kHistBuckets - 1);
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &c : cells_) {
+        for (auto &bucket : c->buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        c->count.store(0, std::memory_order_relaxed);
+        c->total.store(0.0, std::memory_order_relaxed);
+        c->max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    }
+}
+
 Registry &
 Registry::global()
 {
@@ -210,6 +386,16 @@ Registry::timer(const std::string &name)
     return *slot;
 }
 
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
 json::Value
 Registry::snapshot() const
 {
@@ -219,6 +405,7 @@ Registry::snapshot() const
     std::vector<std::pair<std::string, const Counter *>> counters;
     std::vector<std::pair<std::string, const Gauge *>> gauges;
     std::vector<std::pair<std::string, const Timer *>> timers;
+    std::vector<std::pair<std::string, const Histogram *>> histograms;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &[name, c] : counters_)
@@ -227,6 +414,8 @@ Registry::snapshot() const
             gauges.emplace_back(name, g.get());
         for (const auto &[name, t] : timers_)
             timers.emplace_back(name, t.get());
+        for (const auto &[name, h] : histograms_)
+            histograms.emplace_back(name, h.get());
     }
 
     json::Value root = json::Value::makeObject();
@@ -251,6 +440,19 @@ Registry::snapshot() const
         timer_obj.set(name, std::move(entry));
     }
     root.set("timers", std::move(timer_obj));
+    json::Value histogram_obj = json::Value::makeObject();
+    for (const auto &[name, h] : histograms) {
+        HistogramStats stats = h->stats();
+        json::Value entry = json::Value::makeObject();
+        entry.set("count", static_cast<double>(stats.count));
+        entry.set("mean", stats.mean());
+        entry.set("p50", stats.p50);
+        entry.set("p90", stats.p90);
+        entry.set("p99", stats.p99);
+        entry.set("max", stats.max);
+        histogram_obj.set(name, std::move(entry));
+    }
+    root.set("histograms", std::move(histogram_obj));
     return root;
 }
 
@@ -263,6 +465,8 @@ Registry::reset()
     for (auto &entry : gauges_)
         entry.second->reset();
     for (auto &entry : timers_)
+        entry.second->reset();
+    for (auto &entry : histograms_)
         entry.second->reset();
 }
 

@@ -69,6 +69,30 @@ struct TimerStats
     }
 };
 
+/** Folded view of one histogram across all threads. */
+struct HistogramStats
+{
+    /** Number of recorded values. */
+    std::uint64_t count = 0;
+
+    /** Sum of recorded values. */
+    double total = 0.0;
+
+    /** Largest recorded value; 0 when count == 0. */
+    double max = 0.0;
+
+    /** Quantile estimates from the log-spaced buckets. */
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    double
+    mean() const
+    {
+        return count > 0 ? total / static_cast<double>(count) : 0.0;
+    }
+};
+
 #if SDNAV_METRICS_ENABLED
 
 /**
@@ -164,6 +188,48 @@ class Timer
     std::uint64_t id_;
 };
 
+/**
+ * A latency/size distribution with quantile estimates, per-thread
+ * cells like Counter. Values land in geometrically spaced buckets
+ * (~9% wide, covering 1e-3 .. ~1e5 with under/overflow buckets), so
+ * a quantile read is exact to one bucket width — tight enough for a
+ * p99 report, and recording stays an uncontended array increment.
+ * The query server's `stats` command and BENCH_server.json read
+ * their p99 from here.
+ */
+class Histogram
+{
+  public:
+    Histogram();
+    ~Histogram();
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one value into this thread's cell. */
+    void record(double value);
+
+    /** Fold all cells into counts, total, max, and quantiles. */
+    HistogramStats stats() const;
+
+    /**
+     * One folded quantile (q in [0, 1]); the upper bound of the
+     * bucket holding the q-th value. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Zero every cell (for test setup; not for concurrent use). */
+    void reset();
+
+  private:
+    struct Cell;
+
+    Cell &cell();
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Cell>> cells_;
+    std::uint64_t id_;
+};
+
 /** RAII wall-clock scope: records into the timer on destruction. */
 class ScopedTimer
 {
@@ -214,6 +280,7 @@ class Registry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
 
     /**
      * Serialize every metric:
@@ -222,7 +289,9 @@ class Registry
      *    "counters": {name: value, ...},
      *    "gauges":   {name: value, ...},
      *    "timers":   {name: {"count", "total_ms", "min_ms",
-     *                        "mean_ms", "max_ms"}, ...}}
+     *                        "mean_ms", "max_ms"}, ...},
+     *    "histograms": {name: {"count", "mean", "p50", "p90",
+     *                          "p99", "max"}, ...}}
      */
     json::Value snapshot() const;
 
@@ -234,6 +303,7 @@ class Registry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Timer>> timers_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 #else // !SDNAV_METRICS_ENABLED — same API, empty bodies.
@@ -275,6 +345,19 @@ class Timer
     void reset() {}
 };
 
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void record(double) {}
+    HistogramStats stats() const { return {}; }
+    double quantile(double) const { return 0.0; }
+    void reset() {}
+};
+
 class ScopedTimer
 {
   public:
@@ -295,6 +378,7 @@ class Registry
     Counter &counter(const std::string &) { return counter_; }
     Gauge &gauge(const std::string &) { return gauge_; }
     Timer &timer(const std::string &) { return timer_; }
+    Histogram &histogram(const std::string &) { return histogram_; }
 
     /** {"enabled": false} — consumers can tell a no-op build apart. */
     json::Value snapshot() const;
@@ -305,6 +389,7 @@ class Registry
     Counter counter_;
     Gauge gauge_;
     Timer timer_;
+    Histogram histogram_;
 };
 
 #endif // SDNAV_METRICS_ENABLED

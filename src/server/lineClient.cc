@@ -1,0 +1,119 @@
+#include "server/lineClient.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hh"
+
+namespace sdnav::server
+{
+
+LineClient::~LineClient() { close(); }
+
+LineClient::LineClient(LineClient &&other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_))
+{
+    other.fd_ = -1;
+}
+
+LineClient &
+LineClient::operator=(LineClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buffer_ = std::move(other.buffer_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+LineClient::connect(std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    require(fd_ >= 0,
+            std::string("socket() failed: ") + std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::string reason = std::strerror(errno);
+        close();
+        throw ModelError("connect to 127.0.0.1:" +
+                         std::to_string(port) + " failed: " + reason);
+    }
+}
+
+void
+LineClient::sendLine(const std::string &line)
+{
+    sendRaw(line + "\n");
+}
+
+void
+LineClient::sendRaw(const std::string &bytes)
+{
+    require(fd_ >= 0, "client is not connected");
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ModelError(std::string("send failed: ") +
+                             std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+LineClient::recvLine()
+{
+    require(fd_ >= 0, "client is not connected");
+    for (;;) {
+        std::size_t pos = buffer_.find('\n');
+        if (pos != std::string::npos) {
+            std::string line = buffer_.substr(0, pos);
+            buffer_.erase(0, pos + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            throw ModelError("connection closed by server");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ModelError(std::string("recv failed: ") +
+                             std::strerror(errno));
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+LineClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+} // namespace sdnav::server

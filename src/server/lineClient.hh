@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal blocking client for the sdnavd line protocol.
+ *
+ * One TCP connection, sendLine()/recvLine() in lockstep (or
+ * pipelined — the server preserves per-connection reply order).
+ * Shared by the test suite, the sdnav_load generator, and
+ * bench_server, so every consumer exercises the same framing code.
+ */
+
+#ifndef SDNAV_SERVER_LINE_CLIENT_HH
+#define SDNAV_SERVER_LINE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sdnav::server
+{
+
+class LineClient
+{
+  public:
+    LineClient() = default;
+
+    /** Closes the connection. */
+    ~LineClient();
+
+    LineClient(const LineClient &) = delete;
+    LineClient &operator=(const LineClient &) = delete;
+
+    LineClient(LineClient &&other) noexcept;
+    LineClient &operator=(LineClient &&other) noexcept;
+
+    /**
+     * Connect to 127.0.0.1:port.
+     * @throws ModelError when the connection fails.
+     */
+    void connect(std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send one request line (newline appended).
+     * @throws ModelError when the peer is gone.
+     */
+    void sendLine(const std::string &line);
+
+    /**
+     * Send raw bytes exactly as given — no newline added. Lets tests
+     * split a line across writes or abandon one mid-line.
+     */
+    void sendRaw(const std::string &bytes);
+
+    /**
+     * Receive one reply line (newline stripped).
+     * @throws ModelError on EOF or a socket error.
+     */
+    std::string recvLine();
+
+    /** Close the connection (abruptly, wherever the stream stands). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace sdnav::server
+
+#endif // SDNAV_SERVER_LINE_CLIENT_HH

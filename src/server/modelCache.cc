@@ -1,0 +1,204 @@
+#include "server/modelCache.hh"
+
+#include <chrono>
+
+#include "common/error.hh"
+#include "obs/obs.hh"
+
+namespace sdnav::server
+{
+
+namespace
+{
+
+obs::Counter &
+hitCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.cache_hits");
+    return c;
+}
+
+obs::Counter &
+missCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.cache_misses");
+    return c;
+}
+
+obs::Counter &
+evictionCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.cache_evictions");
+    return c;
+}
+
+/**
+ * Compile the model a spec describes. Paper-scale clusters keep the
+ * golden SharedInfrastructureFirst order; larger clusters switch to
+ * NodeMajor, which stays polynomial in the cluster size (PR 5) —
+ * availability values are identical either way, only diagram shape
+ * differs.
+ */
+std::shared_ptr<const model::ExactPlaneModel>
+compileModel(const QuerySpec &spec)
+{
+    fmea::ControllerCatalog catalog = resolveCatalog(spec);
+    topology::DeploymentTopology topo =
+        resolveTopology(spec, catalog.roles().size());
+    model::ExactPlaneModel::Options options;
+    if (spec.nodes > 3)
+        options.order = model::ExactVariableOrder::NodeMajor;
+    return std::make_shared<const model::ExactPlaneModel>(
+        catalog, topo, spec.policy, spec.plane, options);
+}
+
+} // anonymous namespace
+
+ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity)
+{
+    require(capacity >= 1, "model cache capacity must be >= 1");
+}
+
+CacheLookup
+ModelCache::acquire(const QuerySpec &spec)
+{
+    std::string key = spec.modelKey();
+    std::promise<CachedModel> promise;
+    std::shared_future<CachedModel> future;
+    bool compile = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            future = it->second->future;
+            ++hits_;
+        } else {
+            future = promise.get_future().share();
+            lru_.push_front(Entry{key, future, false, 0});
+            index_[key] = lru_.begin();
+            ++misses_;
+            compile = true;
+        }
+    }
+
+    if (!compile) {
+        hitCounter().add();
+        // May be an in-flight compile: waiting here coalesces
+        // concurrent misses onto one build.
+        CachedModel cached = future.get();
+        return {cached.model, true, cached.compileMs};
+    }
+
+    missCounter().add();
+    try {
+        auto t0 = std::chrono::steady_clock::now();
+        std::shared_ptr<const model::ExactPlaneModel> model =
+            compileModel(spec);
+        double compileMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = index_.find(key);
+            // The entry cannot have been evicted: eviction skips
+            // entries whose compile has not finished.
+            require(it != index_.end(),
+                    "model cache lost an in-flight entry");
+            it->second->ready = true;
+            it->second->bddNodes = model->bddNodeCount();
+            ++readyCount_;
+            totalBddNodes_ += it->second->bddNodes;
+            evictOverCapacityLocked();
+        }
+        promise.set_value(CachedModel{model, compileMs});
+        return {model, false, compileMs};
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = index_.find(key);
+            if (it != index_.end()) {
+                lru_.erase(it->second);
+                index_.erase(it);
+            }
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+void
+ModelCache::evictOverCapacityLocked()
+{
+    while (readyCount_ > capacity_) {
+        // Walk from the LRU tail past in-flight entries (they are
+        // pinned until their compile lands).
+        auto victim = lru_.end();
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            if (it->ready) {
+                victim = std::prev(it.base());
+                break;
+            }
+        }
+        if (victim == lru_.end())
+            return;
+        totalBddNodes_ -= victim->bddNodes;
+        --readyCount_;
+        ++evictions_;
+        evictionCounter().add();
+        index_.erase(victim->key);
+        lru_.erase(victim);
+    }
+}
+
+std::size_t
+ModelCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return readyCount_;
+}
+
+std::size_t
+ModelCache::totalBddNodes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalBddNodes_;
+}
+
+std::vector<std::string>
+ModelCache::keysMostRecentFirst() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const Entry &entry : lru_)
+        keys.push_back(entry.key);
+    return keys;
+}
+
+std::uint64_t
+ModelCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ModelCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t
+ModelCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+} // namespace sdnav::server

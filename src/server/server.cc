@@ -1,0 +1,579 @@
+#include "server/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+#include "obs/obs.hh"
+
+namespace sdnav::server
+{
+
+namespace
+{
+
+/** How often blocked accept/read loops re-check the stop flag. */
+constexpr int kPollMs = 100;
+
+obs::Counter &
+requestCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.requests");
+    return c;
+}
+
+obs::Counter &
+queryCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.queries");
+    return c;
+}
+
+obs::Counter &
+errorCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.errors");
+    return c;
+}
+
+obs::Counter &
+connectionCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.connections");
+    return c;
+}
+
+obs::Gauge &
+queueDepthGauge()
+{
+    static obs::Gauge &g =
+        obs::Registry::global().gauge("server.queue_depth");
+    return g;
+}
+
+obs::Gauge &
+queuePeakGauge()
+{
+    static obs::Gauge &g =
+        obs::Registry::global().gauge("server.queue_peak");
+    return g;
+}
+
+obs::Histogram &
+latencyHistogram()
+{
+    static obs::Histogram &h = obs::Registry::global().histogram(
+        "server.request_latency_ms");
+    return h;
+}
+
+obs::Timer &
+evalTimer()
+{
+    static obs::Timer &t =
+        obs::Registry::global().timer("server.eval");
+    return t;
+}
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/**
+ * Write a full buffer to a socket. MSG_NOSIGNAL turns a peer that
+ * vanished mid-reply into an error return instead of SIGPIPE — the
+ * session just ends; the server must not.
+ */
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity)
+{
+    require(capacity >= 1, "job queue capacity must be >= 1");
+}
+
+bool
+JobQueue::push(Job &&job)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock, [this] {
+        return closed_ || jobs_.size() < capacity_;
+    });
+    if (closed_)
+        return false;
+    jobs_.push_back(std::move(job));
+    queueDepthGauge().set(static_cast<double>(jobs_.size()));
+    queuePeakGauge().setMax(static_cast<double>(jobs_.size()));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+}
+
+bool
+JobQueue::pop(Job &job)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock,
+                   [this] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty())
+        return false; // closed and fully drained
+    job = std::move(jobs_.front());
+    jobs_.pop_front();
+    queueDepthGauge().set(static_cast<double>(jobs_.size()));
+    lock.unlock();
+    notFull_.notify_one();
+    return true;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+std::size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+Server::Server(const ServerOptions &options)
+    : options_(options), cache_(options.cacheCapacity),
+      queue_(options.queueCapacity)
+{
+    require(options.maxLineBytes >= 64,
+            "max line bytes must be >= 64");
+    require(options.maxBatch >= 1, "max batch must be >= 1");
+}
+
+Server::~Server()
+{
+    if (started_.load()) {
+        requestStop();
+        wait();
+    }
+}
+
+void
+Server::start()
+{
+    require(!started_.load(), "server already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    require(listenFd_ >= 0, std::string("socket() failed: ") +
+                                std::strerror(errno));
+
+    int enable = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ModelError("bind to 127.0.0.1:" +
+                         std::to_string(options_.port) +
+                         " failed: " + reason);
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ModelError("listen failed: " + reason);
+    }
+
+    socklen_t addrLen = sizeof(addr);
+    require(::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          &addrLen) == 0,
+            "getsockname failed");
+    port_ = ntohs(addr.sin_port);
+
+    startTime_ = std::chrono::steady_clock::now();
+    started_.store(true);
+
+    std::size_t workerCount = options_.resolvedWorkers();
+    workers_.reserve(workerCount);
+    for (std::size_t i = 0; i < workerCount; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true, std::memory_order_release);
+}
+
+void
+Server::wait()
+{
+    // Block until someone (signal handler, "shutdown" command, or a
+    // test) asks for shutdown. The flag is also the session/acceptor
+    // exit condition, so a plain poll keeps this signal-handler
+    // compatible — no condvar a handler would have to notify.
+    while (!stopping())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    bool expected = false;
+    if (!joined_.compare_exchange_strong(expected, true))
+        return; // another wait() already ran the join sequence
+
+    // Shutdown order matters: sessions may still be waiting on
+    // worker futures, so workers stay alive until every session has
+    // written its final reply and exited. Only then does closing the
+    // queue let workers drain the remaining jobs and stop.
+    if (acceptor_.joinable())
+        acceptor_.join();
+    reapSessions(true);
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, kPollMs);
+        reapSessions(false);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        connectionCounter().add();
+        auto session = std::make_unique<Session>();
+        session->fd = fd;
+        Session *raw = session.get();
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            sessions_.push_back(std::move(session));
+        }
+        raw->thread = std::thread([this, raw] {
+            sessionLoop(*raw);
+            raw->done.store(true, std::memory_order_release);
+        });
+    }
+}
+
+void
+Server::reapSessions(bool joinAll)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        Session &session = **it;
+        if (joinAll || session.done.load(std::memory_order_acquire)) {
+            if (session.thread.joinable())
+                session.thread.join();
+            it = sessions_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::sessionLoop(Session &session)
+{
+    std::string buffer;
+    bool discarding = false;
+    char chunk[4096];
+
+    while (!stopping()) {
+        pollfd pfd{session.fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, kPollMs);
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0)
+            continue;
+        ssize_t n = ::recv(session.fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            break; // client closed (possibly mid-line: just ends)
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+
+        for (;;) {
+            std::size_t pos = buffer.find('\n');
+            if (pos == std::string::npos) {
+                if (discarding) {
+                    // Still inside an already-rejected line; keep
+                    // dropping bytes until its newline arrives.
+                    buffer.clear();
+                } else if (buffer.size() > options_.maxLineBytes) {
+                    errors_.fetch_add(1, std::memory_order_relaxed);
+                    errorCounter().add();
+                    if (!sendAll(session.fd,
+                                 errorReplyLine(
+                                     json::Value{},
+                                     "request line exceeds " +
+                                         std::to_string(
+                                             options_.maxLineBytes) +
+                                         " bytes") +
+                                     "\n"))
+                        goto done;
+                    buffer.clear();
+                    discarding = true;
+                }
+                break;
+            }
+            std::string line = buffer.substr(0, pos);
+            buffer.erase(0, pos + 1);
+            if (discarding) {
+                // This newline terminates the rejected line; the
+                // next line starts clean.
+                discarding = false;
+                continue;
+            }
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            std::string reply = handleLine(line);
+            if (!sendAll(session.fd, reply + "\n"))
+                goto done;
+        }
+    }
+
+done:
+    ::close(session.fd);
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    requestCounter().add();
+
+    Request request;
+    try {
+        request = parseRequest(line, options_.maxBatch);
+    } catch (const std::exception &e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errorCounter().add();
+        return errorReplyLine(json::Value{}, e.what());
+    }
+
+    json::Value reply = json::Value::makeObject();
+    if (!request.id.isNull())
+        reply.set("id", request.id);
+
+    switch (request.kind) {
+    case Request::Kind::Ping:
+        reply.set("ok", true);
+        reply.set("pong", true);
+        return reply.dump();
+    case Request::Kind::Stats:
+        reply.set("ok", true);
+        reply.set("stats", statsJson());
+        return reply.dump();
+    case Request::Kind::Shutdown:
+        reply.set("ok", true);
+        reply.set("stopping", true);
+        requestStop();
+        return reply.dump();
+    case Request::Kind::Query:
+    case Request::Kind::Batch:
+        break;
+    }
+
+    // Fan the query items out to the worker pool, then collect the
+    // results in request order so replies stay deterministic.
+    std::vector<std::future<json::Value>> pending(
+        request.queries.size());
+    std::vector<json::Value> results(request.queries.size());
+    for (std::size_t i = 0; i < request.queries.size(); ++i) {
+        ParsedQuery &item = request.queries[i];
+        if (!item.ok) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorCounter().add();
+            json::Value failed = json::Value::makeObject();
+            failed.set("ok", false);
+            failed.set("error", item.error);
+            results[i] = std::move(failed);
+            continue;
+        }
+        queries_.fetch_add(1, std::memory_order_relaxed);
+        queryCounter().add();
+        Job job;
+        job.spec = item.spec;
+        pending[i] = job.result.get_future();
+        if (!queue_.push(std::move(job))) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorCounter().add();
+            json::Value failed = json::Value::makeObject();
+            failed.set("ok", false);
+            failed.set("error", "server is shutting down");
+            results[i] = std::move(failed);
+            pending[i] = {};
+        }
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].valid())
+            results[i] = pending[i].get();
+    }
+
+    if (request.kind == Request::Kind::Query) {
+        // Merge the single result into the id-bearing envelope.
+        for (const auto &[key, value] : results[0].asObject())
+            reply.set(key, value);
+    } else {
+        reply.set("ok", true);
+        json::Value items = json::Value::makeArray();
+        for (json::Value &result : results)
+            items.push(std::move(result));
+        reply.set("results", std::move(items));
+    }
+    latencyHistogram().record(elapsedMs(t0));
+    return reply.dump();
+}
+
+void
+Server::workerLoop()
+{
+    Job job;
+    while (queue_.pop(job)) {
+        json::Value result = json::Value::makeObject();
+        try {
+            CacheLookup lookup = cache_.acquire(job.spec);
+            auto t0 = std::chrono::steady_clock::now();
+            thread_local bdd::ProbabilityScratch scratch;
+            double availability =
+                lookup.model->availability(job.spec.params, scratch);
+            double evalMs = elapsedMs(t0);
+            evalTimer().record(evalMs);
+            result.set("ok", true);
+            result.set("availability", availability);
+            result.set("plane", job.spec.planeName());
+            result.set("model_key", job.spec.modelKey());
+            result.set("cache", lookup.hit ? "hit" : "miss");
+        } catch (const std::exception &e) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorCounter().add();
+            result.set("ok", false);
+            result.set("error", e.what());
+        }
+        job.result.set_value(std::move(result));
+    }
+}
+
+json::Value
+Server::statsJson() const
+{
+    double uptimeS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime_)
+            .count();
+    std::uint64_t requests =
+        requests_.load(std::memory_order_relaxed);
+
+    json::Value stats = json::Value::makeObject();
+    stats.set("uptime_s", uptimeS);
+    stats.set("qps", uptimeS > 0.0
+                         ? static_cast<double>(requests) / uptimeS
+                         : 0.0);
+    stats.set("requests", static_cast<double>(requests));
+    stats.set("queries",
+              static_cast<double>(
+                  queries_.load(std::memory_order_relaxed)));
+    stats.set("errors",
+              static_cast<double>(
+                  errors_.load(std::memory_order_relaxed)));
+    stats.set("connections",
+              static_cast<double>(
+                  connections_.load(std::memory_order_relaxed)));
+    stats.set("workers",
+              static_cast<double>(options_.resolvedWorkers()));
+
+    json::Value cache = json::Value::makeObject();
+    std::uint64_t hits = cache_.hits();
+    std::uint64_t misses = cache_.misses();
+    cache.set("hits", static_cast<double>(hits));
+    cache.set("misses", static_cast<double>(misses));
+    cache.set("evictions", static_cast<double>(cache_.evictions()));
+    cache.set("entries", static_cast<double>(cache_.entryCount()));
+    cache.set("capacity", static_cast<double>(cache_.capacity()));
+    cache.set("hit_rate",
+              hits + misses > 0
+                  ? static_cast<double>(hits) /
+                        static_cast<double>(hits + misses)
+                  : 0.0);
+    cache.set("bdd_nodes",
+              static_cast<double>(cache_.totalBddNodes()));
+    stats.set("cache", std::move(cache));
+
+    json::Value queue = json::Value::makeObject();
+    queue.set("depth", static_cast<double>(queue_.depth()));
+    queue.set("capacity", static_cast<double>(queue_.capacity()));
+    queue.set("peak", queuePeakGauge().value());
+    stats.set("queue", std::move(queue));
+
+    obs::HistogramStats latency = latencyHistogram().stats();
+    json::Value latencyDoc = json::Value::makeObject();
+    latencyDoc.set("count", static_cast<double>(latency.count));
+    latencyDoc.set("mean_ms", latency.mean());
+    latencyDoc.set("p50_ms", latency.p50);
+    latencyDoc.set("p90_ms", latency.p90);
+    latencyDoc.set("p99_ms", latency.p99);
+    latencyDoc.set("max_ms", latency.max);
+    stats.set("latency", std::move(latencyDoc));
+
+    return stats;
+}
+
+} // namespace sdnav::server

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * sdnavd — the long-running availability-query server.
+ *
+ * Operators sweep what-if questions ("availability of catalog X on
+ * topology Y with MTTR Z?") interactively; answering each one from a
+ * fresh process pays a full BDD compilation per question. This
+ * server keeps the compiled models hot: requests arrive as
+ * newline-delimited JSON over a TCP socket (see server/protocol.hh),
+ * a size-bounded LRU cache (server/ModelCache) compiles each
+ * distinct (catalog, topology, nodes, policy, plane) once, and a
+ * worker pool answers every repeat query with a microsecond-scale
+ * evaluation against per-worker scratch buffers.
+ *
+ * Architecture (one thread each unless noted):
+ *
+ *   acceptor ── accepts connections, reaps finished sessions
+ *   session (per connection) ── reads lines, parses requests,
+ *     enqueues query jobs, assembles in-order reply lines
+ *   worker (xN) ── pops jobs, serves models from the cache,
+ *     evaluates availability, fulfills the session's futures
+ *
+ * The job queue is bounded: a full queue blocks the enqueuing
+ * session (and therefore stops reading its socket), so backpressure
+ * propagates to clients through TCP instead of growing memory.
+ *
+ * Failure isolation: a malformed, oversized, or invalid request
+ * yields a JSON error reply on that connection and nothing else —
+ * the worker pool and other sessions are untouched; a mid-line
+ * disconnect just ends that session.
+ *
+ * Graceful shutdown (SIGINT in sdnavd, or the "shutdown" command):
+ * stop accepting, let sessions finish their current request, drain
+ * every queued job through the workers, then join all threads.
+ */
+
+#ifndef SDNAV_SERVER_SERVER_HH
+#define SDNAV_SERVER_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "server/modelCache.hh"
+#include "server/protocol.hh"
+
+namespace sdnav::server
+{
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** Listen port; 0 picks an ephemeral port (see Server::port()). */
+    std::uint16_t port = 0;
+
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t workers = 0;
+
+    /** Bounded job-queue capacity (backpressure threshold). */
+    std::size_t queueCapacity = 256;
+
+    /** Compiled-model LRU capacity, in models. */
+    std::size_t cacheCapacity = 16;
+
+    /** Largest accepted request line, in bytes. */
+    std::size_t maxLineBytes = 1 << 20;
+
+    /** Largest accepted "queries" batch. */
+    std::size_t maxBatch = 256;
+
+    std::size_t
+    resolvedWorkers() const
+    {
+        if (workers > 0)
+            return workers;
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? hw : 2;
+    }
+};
+
+/** One availability evaluation in flight through the worker pool. */
+struct Job
+{
+    QuerySpec spec;
+    std::promise<json::Value> result;
+};
+
+/**
+ * Bounded MPMC job queue. push() blocks while full (backpressure)
+ * and fails once closed; pop() drains remaining jobs after close()
+ * before reporting exhaustion, so shutdown never drops queued work.
+ */
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity);
+
+    /** Enqueue; blocks while full. False once the queue is closed. */
+    bool push(Job &&job);
+
+    /** Dequeue; blocks while empty. False when closed and drained. */
+    bool pop(Job &job);
+
+    /** Stop accepting pushes; pending jobs remain poppable. */
+    void close();
+
+    std::size_t depth() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<Job> jobs_;
+    bool closed_ = false;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &options);
+
+    /** Stops and joins if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and spawn the acceptor and worker threads.
+     * @throws ModelError when the socket cannot be bound.
+     */
+    void start();
+
+    /** The bound port (the chosen one when options.port was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Begin graceful shutdown; returns immediately. Safe to call
+     * from any thread, from a session handling the "shutdown"
+     * command, and more than once.
+     */
+    void requestStop();
+
+    /** Block until shutdown completes and every thread is joined. */
+    void wait();
+
+    /** True once requestStop() has been called. */
+    bool
+    stopping() const
+    {
+        return stopping_.load(std::memory_order_acquire);
+    }
+
+    /** The compiled-model cache (stats and tests). */
+    const ModelCache &cache() const { return cache_; }
+
+    /** The "stats" command payload. */
+    json::Value statsJson() const;
+
+  private:
+    struct Session
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void sessionLoop(Session &session);
+    void workerLoop();
+
+    /** Handle one request line; returns the reply line. */
+    std::string handleLine(const std::string &line);
+
+    /** Reap finished session threads (acceptor housekeeping). */
+    void reapSessions(bool joinAll);
+
+    ServerOptions options_;
+    ModelCache cache_;
+    JobQueue queue_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> joined_{false};
+    std::chrono::steady_clock::time_point startTime_{};
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::mutex sessionsMutex_;
+    std::list<std::unique_ptr<Session>> sessions_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> queries_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> connections_{0};
+};
+
+} // namespace sdnav::server
+
+#endif // SDNAV_SERVER_SERVER_HH

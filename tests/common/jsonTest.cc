@@ -3,6 +3,8 @@
  * Tests for the JSON parser and serializer.
  */
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hh"
@@ -195,6 +197,33 @@ TEST(JsonDump, IntegersPrintWithoutDecimalPoint)
 TEST(JsonFile, ParseFileErrors)
 {
     EXPECT_THROW(parseFile("/nonexistent/file.json"), ModelError);
+}
+
+TEST(JsonDump, EverySingleByteStringRoundTripsExactly)
+{
+    // Writer -> parser round trip for all 256 single-byte strings.
+    // This locks in the escapeString fix: bytes >= 0x80 must pass
+    // through verbatim, not sign-extend into "\uffffff80"-style
+    // garbage, and control bytes must escape and re-parse to the
+    // identical byte.
+    for (int byte = 0; byte < 256; ++byte) {
+        std::string original(1, static_cast<char>(byte));
+        Value wrapped(original);
+        std::string dumped = wrapped.dump();
+        // Control bytes must leave as \uXXXX escapes with exactly
+        // two hex digits of payload.
+        if (byte < 0x20 && byte != '\n' && byte != '\t' &&
+            byte != '\r' && byte != '\b' && byte != '\f') {
+            char expect[16];
+            std::snprintf(expect, sizeof(expect), "\"\\u%04x\"",
+                          byte);
+            EXPECT_EQ(dumped, expect) << "byte " << byte;
+        }
+        Value reparsed = parse(dumped);
+        ASSERT_TRUE(reparsed.isString()) << "byte " << byte;
+        EXPECT_EQ(reparsed.asString(), original)
+            << "byte " << byte << " dumped as " << dumped;
+    }
 }
 
 } // anonymous namespace

@@ -1,0 +1,62 @@
+#include "common/parse.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+namespace
+{
+
+using namespace sdnav;
+
+TEST(TryParseDouble, AcceptsPlainNumbers)
+{
+    EXPECT_DOUBLE_EQ(*tryParseDouble("3"), 3.0);
+    EXPECT_DOUBLE_EQ(*tryParseDouble("-0.5"), -0.5);
+    EXPECT_DOUBLE_EQ(*tryParseDouble("+2.25"), 2.25);
+    EXPECT_DOUBLE_EQ(*tryParseDouble("1e3"), 1000.0);
+    EXPECT_DOUBLE_EQ(*tryParseDouble("0.99999"), 0.99999);
+}
+
+TEST(TryParseDouble, RejectsEverythingStodWouldHaveLetThrough)
+{
+    // std::stod("3x") returns 3; these helpers refuse trailing junk,
+    // whitespace, hex, and non-finite spellings outright.
+    for (const char *bad :
+         {"", "3x", "x3", " 3", "3 ", "1.2.3", "0x10", "1e", "nan",
+          "inf", "infinity", "1e999", "--1", "+-1", "1,5"}) {
+        EXPECT_FALSE(tryParseDouble(bad).has_value()) << bad;
+    }
+}
+
+TEST(ParseDouble, NamesTheOffendingInputInErrors)
+{
+    try {
+        parseDouble("abc", "--mtbf");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("--mtbf"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("abc"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParseDouble, EnforcesRange)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("0.5", "--a", 0.0, 1.0), 0.5);
+    EXPECT_THROW(parseDouble("1.5", "--a", 0.0, 1.0), ModelError);
+    EXPECT_THROW(parseDouble("-0.1", "--a", 0.0, 1.0), ModelError);
+}
+
+TEST(ParseCount, StrictNonNegativeIntegers)
+{
+    EXPECT_EQ(parseCount("0", "--n"), 0u);
+    EXPECT_EQ(parseCount("42", "--n"), 42u);
+    for (const char *bad : {"", "-1", "+1", "3.0", "1e2", "3x", " 3"})
+        EXPECT_THROW(parseCount(bad, "--n"), ModelError) << bad;
+    EXPECT_THROW(parseCount("11", "--n", 10), ModelError);
+    EXPECT_EQ(parseCount("10", "--n", 10), 10u);
+}
+
+} // anonymous namespace

@@ -262,4 +262,85 @@ TEST(Registry, GlobalIsASingleton)
     EXPECT_EQ(&obs::Registry::global(), &obs::Registry::global());
 }
 
+TEST(Histogram, CountsTotalsAndTracksMax)
+{
+    obs::Histogram histogram;
+    EXPECT_EQ(histogram.stats().count, 0u);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+    histogram.record(1.0);
+    histogram.record(2.0);
+    histogram.record(9.0);
+    obs::HistogramStats stats = histogram.stats();
+    EXPECT_EQ(stats.count, kEnabled ? 3u : 0u);
+    if (kEnabled) {
+        EXPECT_DOUBLE_EQ(stats.total, 12.0);
+        EXPECT_DOUBLE_EQ(stats.max, 9.0);
+        EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+    }
+    histogram.reset();
+    EXPECT_EQ(histogram.stats().count, 0u);
+}
+
+TEST(Histogram, QuantilesAreExactToOneBucketWidth)
+{
+    if (!kEnabled)
+        GTEST_SKIP() << "metrics disabled";
+    obs::Histogram histogram;
+    for (int i = 1; i <= 1000; ++i)
+        histogram.record(static_cast<double>(i));
+    // Buckets are 2^(1/8) (~9%) wide; each quantile reports its
+    // bucket's upper bound, so the estimate sits in [q-th value,
+    // q-th value * 2^(1/8)).
+    double p50 = histogram.quantile(0.50);
+    EXPECT_GE(p50, 500.0);
+    EXPECT_LE(p50, 500.0 * 1.10);
+    double p99 = histogram.quantile(0.99);
+    EXPECT_GE(p99, 990.0);
+    EXPECT_LE(p99, 990.0 * 1.10);
+    obs::HistogramStats stats = histogram.stats();
+    EXPECT_DOUBLE_EQ(stats.p50, p50);
+    EXPECT_DOUBLE_EQ(stats.p99, p99);
+    // Extremes clamp to the edge buckets instead of misfiling.
+    histogram.record(0.0);
+    histogram.record(1e9);
+    EXPECT_DOUBLE_EQ(histogram.stats().max, 1e9);
+    EXPECT_EQ(histogram.stats().count, 1002u);
+}
+
+TEST(Histogram, FoldsAcrossThreads)
+{
+    obs::Histogram histogram;
+    constexpr std::size_t threads = 4;
+    constexpr int perThread = 5000;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t)
+        pool.emplace_back([&histogram] {
+            for (int i = 0; i < perThread; ++i)
+                histogram.record(1.0 + (i % 100));
+        });
+    for (std::thread &worker : pool)
+        worker.join();
+    EXPECT_EQ(histogram.stats().count,
+              kEnabled ? threads * perThread : 0u);
+}
+
+TEST(Registry, SnapshotIncludesHistogramFamily)
+{
+    obs::Registry registry;
+    registry.histogram("unit.latency").record(2.5);
+    json::Value snap = registry.snapshot();
+    if (!kEnabled) {
+        EXPECT_FALSE(snap.at("enabled").asBool());
+        return;
+    }
+    const json::Value &family = snap.at("histograms");
+    ASSERT_TRUE(family.contains("unit.latency"));
+    const json::Value &entry = family.at("unit.latency");
+    for (const char *key :
+         {"count", "mean", "p50", "p90", "p99", "max"})
+        EXPECT_TRUE(entry.contains(key)) << key;
+    EXPECT_DOUBLE_EQ(entry.at("count").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(entry.at("max").asNumber(), 2.5);
+}
+
 } // anonymous namespace

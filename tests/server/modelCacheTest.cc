@@ -1,0 +1,157 @@
+#include "server/modelCache.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::server;
+
+/** Distinct cheap-to-compile specs (small topology, tiny clusters). */
+QuerySpec
+spec(const std::string &catalog, std::size_t nodes)
+{
+    QuerySpec s;
+    s.catalog = catalog;
+    s.topology = "small";
+    s.nodes = nodes;
+    return s;
+}
+
+TEST(ModelCache, MissThenHit)
+{
+    ModelCache cache(2);
+    CacheLookup first = cache.acquire(spec("opencontrail", 1));
+    EXPECT_FALSE(first.hit);
+    ASSERT_NE(first.model, nullptr);
+
+    CacheLookup second = cache.acquire(spec("opencontrail", 1));
+    EXPECT_TRUE(second.hit);
+    // A hit serves the very same compiled model object.
+    EXPECT_EQ(second.model.get(), first.model.get());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.entryCount(), 1u);
+}
+
+TEST(ModelCache, HitAnswersAreBitIdenticalToColdCompile)
+{
+    QuerySpec query = spec("opencontrail", 3);
+    bdd::ProbabilityScratch scratch;
+
+    ModelCache cold(1);
+    double coldValue = cold.acquire(query).model->availability(
+        query.params, scratch);
+
+    ModelCache cache(2);
+    cache.acquire(query); // prime
+    CacheLookup hit = cache.acquire(query);
+    ASSERT_TRUE(hit.hit);
+    double hitValue =
+        hit.model->availability(query.params, scratch);
+    // Same compiled structure, same evaluation path: the cached
+    // answer must match a cold compile to full double precision.
+    EXPECT_NEAR(hitValue, coldValue, 1e-15);
+    EXPECT_EQ(hitValue, coldValue);
+}
+
+TEST(ModelCache, EvictsLeastRecentlyUsedInOrder)
+{
+    ModelCache cache(2);
+    cache.acquire(spec("opencontrail", 1)); // A
+    cache.acquire(spec("raft", 1));         // B
+    // Touch A so B becomes the LRU victim.
+    cache.acquire(spec("opencontrail", 1));
+    cache.acquire(spec("fragile", 1)); // C evicts B
+
+    std::vector<std::string> keys = cache.keysMostRecentFirst();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], spec("fragile", 1).modelKey());
+    EXPECT_EQ(keys[1], spec("opencontrail", 1).modelKey());
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // B was evicted: asking again recompiles (a miss).
+    EXPECT_FALSE(cache.acquire(spec("raft", 1)).hit);
+}
+
+TEST(ModelCache, CapacityAccountingStaysExact)
+{
+    ModelCache cache(2);
+    EXPECT_EQ(cache.totalBddNodes(), 0u);
+    CacheLookup a = cache.acquire(spec("opencontrail", 1));
+    CacheLookup b = cache.acquire(spec("raft", 1));
+    std::size_t both = a.model->bddNodeCount() +
+                       b.model->bddNodeCount();
+    EXPECT_EQ(cache.totalBddNodes(), both);
+
+    // Evicting one entry subtracts exactly its footprint.
+    CacheLookup c = cache.acquire(spec("fragile", 1));
+    EXPECT_EQ(cache.entryCount(), 2u);
+    EXPECT_EQ(cache.totalBddNodes(),
+              b.model->bddNodeCount() + c.model->bddNodeCount());
+
+    // Evicted-but-still-referenced models stay usable (shared_ptr).
+    bdd::ProbabilityScratch scratch;
+    EXPECT_GT(a.model->availability(QuerySpec{}.params, scratch),
+              0.0);
+}
+
+TEST(ModelCache, ConcurrentSameKeyMissesCoalesceToOneCompile)
+{
+    ModelCache cache(4);
+    constexpr int kThreads = 8;
+    std::atomic<int> hits{0};
+    std::vector<std::shared_ptr<const model::ExactPlaneModel>>
+        models(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            CacheLookup lookup =
+                cache.acquire(spec("opencontrail", 3));
+            models[static_cast<std::size_t>(t)] = lookup.model;
+            if (lookup.hit)
+                hits.fetch_add(1);
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Exactly one thread compiled; everyone shares its model.
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(hits.load(), kThreads - 1);
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(models[static_cast<std::size_t>(t)].get(),
+                  models[0].get());
+    EXPECT_EQ(cache.entryCount(), 1u);
+}
+
+TEST(ModelCache, ConcurrentDistinctKeysAllLand)
+{
+    ModelCache cache(8);
+    const char *catalogs[] = {"opencontrail", "raft", "fragile"};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t)
+        threads.emplace_back([&, t] {
+            cache.acquire(
+                spec(catalogs[t % 3],
+                     static_cast<std::size_t>(1 + 2 * (t / 3))));
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(cache.entryCount(), 6u);
+    EXPECT_EQ(cache.misses(), 6u);
+}
+
+TEST(ModelCache, RejectsZeroCapacity)
+{
+    EXPECT_THROW(ModelCache cache(0), ModelError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,339 @@
+#include "server/server.hh"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hh"
+#include "common/error.hh"
+#include "common/json.hh"
+#include "fmea/openContrail.hh"
+#include "model/exactModel.hh"
+#include "server/lineClient.hh"
+
+namespace
+{
+
+using namespace sdnav;
+using namespace sdnav::server;
+
+/** Start a server on an ephemeral port with test-friendly options. */
+ServerOptions
+testOptions()
+{
+    ServerOptions options;
+    options.port = 0;
+    options.workers = 2;
+    return options;
+}
+
+/** A cheap query line (small topology, single node). */
+std::string
+cheapQuery(double id, const std::string &catalog = "opencontrail")
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("id", id);
+    doc.set("catalog", catalog);
+    doc.set("topology", "small");
+    doc.set("nodes", 1);
+    return doc.dump();
+}
+
+json::Value
+roundTrip(LineClient &client, const std::string &line)
+{
+    client.sendLine(line);
+    return json::parse(client.recvLine());
+}
+
+TEST(Server, SingleQueryMatchesDirectModelEvaluation)
+{
+    Server srv(testOptions());
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+
+    json::Value reply = roundTrip(
+        client,
+        R"({"id":1,"catalog":"opencontrail","topology":"small",)"
+        R"("nodes":1,"params":{"a":0.995}})");
+    ASSERT_TRUE(reply.at("ok").asBool()) << reply.dump();
+    EXPECT_EQ(reply.at("id").asNumber(), 1.0);
+    EXPECT_EQ(reply.at("cache").asString(), "miss");
+
+    // Ground truth: the same model compiled and evaluated directly.
+    auto catalog = fmea::openContrail3();
+    auto topo = topology::smallTopology(catalog.roles().size(), 1);
+    model::ExactPlaneModel direct(
+        catalog, topo, model::SupervisorPolicy::Required,
+        fmea::Plane::ControlPlane, {});
+    model::SwParams params;
+    params.processAvailability = 0.995;
+    EXPECT_NEAR(reply.at("availability").asNumber(),
+                direct.availability(params), 1e-15);
+
+    // The second ask is a hit with the identical answer.
+    json::Value again = roundTrip(
+        client,
+        R"({"id":2,"catalog":"opencontrail","topology":"small",)"
+        R"("nodes":1,"params":{"a":0.995}})");
+    EXPECT_EQ(again.at("cache").asString(), "hit");
+    EXPECT_EQ(again.at("availability").asNumber(),
+              reply.at("availability").asNumber());
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, MalformedLinesErrorThatRequestOnly)
+{
+    Server srv(testOptions());
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+
+    // Broken JSON: an error reply, not a dropped connection.
+    json::Value bad = roundTrip(client, "{this is not json");
+    EXPECT_FALSE(bad.at("ok").asBool());
+    EXPECT_FALSE(bad.at("error").asString().empty());
+
+    // Unknown members and bad values: ditto, with the id echoed.
+    json::Value unknown =
+        roundTrip(client, R"({"id":9,"nodez":3})");
+    EXPECT_FALSE(unknown.at("ok").asBool());
+    EXPECT_EQ(unknown.at("id").asNumber(), 9.0);
+
+    // The same session still answers real queries afterwards.
+    json::Value good = roundTrip(client, cheapQuery(10));
+    EXPECT_TRUE(good.at("ok").asBool());
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, OversizedLineIsRejectedAndTheSessionResyncs)
+{
+    ServerOptions options = testOptions();
+    options.maxLineBytes = 512;
+    Server srv(options);
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+
+    // Blow past the limit mid-line: the server replies with an error
+    // while still reading, then discards up to the next newline.
+    std::string huge(4096, 'x');
+    client.sendRaw(huge);
+    std::string reply = client.recvLine();
+    json::Value doc = json::parse(reply);
+    EXPECT_FALSE(doc.at("ok").asBool());
+    EXPECT_NE(doc.at("error").asString().find("exceeds"),
+              std::string::npos);
+
+    // Finish the oversized line, then prove the stream re-syncs.
+    client.sendRaw(huge + "\n");
+    json::Value good = roundTrip(client, cheapQuery(1));
+    EXPECT_TRUE(good.at("ok").asBool());
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, MidLineDisconnectLeavesTheServerServing)
+{
+    Server srv(testOptions());
+    srv.start();
+
+    {
+        LineClient dropper;
+        dropper.connect(srv.port());
+        dropper.sendRaw(R"({"id":1,"catalog":"open)"); // no newline
+        dropper.close();
+    }
+
+    // A fresh connection is unaffected.
+    LineClient client;
+    client.connect(srv.port());
+    json::Value reply = roundTrip(client, cheapQuery(2));
+    EXPECT_TRUE(reply.at("ok").asBool());
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, ConcurrentClientsGetDeterministicAnswers)
+{
+    Server srv(testOptions());
+    srv.start();
+
+    // Prime all three model keys so every reply below is a hit —
+    // then equal requests must produce byte-identical reply lines.
+    {
+        LineClient primer;
+        primer.connect(srv.port());
+        for (const char *catalog :
+             {"opencontrail", "raft", "fragile"})
+            ASSERT_TRUE(roundTrip(primer, cheapQuery(0, catalog))
+                            .at("ok")
+                            .asBool());
+    }
+
+    constexpr int kClients = 4;
+    constexpr int kRounds = 25;
+    std::vector<std::vector<std::string>> replies(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c)
+        threads.emplace_back([&replies, &srv, c] {
+            LineClient client;
+            client.connect(srv.port());
+            const char *catalogs[] = {"opencontrail", "raft",
+                                      "fragile"};
+            for (int i = 0; i < kRounds; ++i) {
+                client.sendLine(
+                    cheapQuery(i, catalogs[i % 3]));
+                replies[static_cast<std::size_t>(c)].push_back(
+                    client.recvLine());
+            }
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (int c = 1; c < kClients; ++c)
+        EXPECT_EQ(replies[static_cast<std::size_t>(c)], replies[0])
+            << "client " << c
+            << " saw different bytes than client 0";
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, BatchRunsPerItemAndReportsPerItemErrors)
+{
+    Server srv(testOptions());
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+
+    json::Value reply = roundTrip(
+        client,
+        R"({"id":5,"queries":[)"
+        R"({"catalog":"opencontrail","topology":"small","nodes":1},)"
+        R"({"catalog":"bogus"},)"
+        R"({"catalog":"raft","topology":"small","nodes":1}]})");
+    ASSERT_TRUE(reply.at("ok").asBool());
+    EXPECT_EQ(reply.at("id").asNumber(), 5.0);
+    const json::Value::Array &results =
+        reply.at("results").asArray();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].at("ok").asBool());
+    EXPECT_FALSE(results[1].at("ok").asBool());
+    EXPECT_NE(results[1].at("error").asString().find("bogus"),
+              std::string::npos);
+    EXPECT_TRUE(results[2].at("ok").asBool());
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, GracefulShutdownDrainsQueuedWork)
+{
+    ServerOptions options = testOptions();
+    options.workers = 1;
+    options.queueCapacity = 4; // force the batch through backpressure
+    Server srv(options);
+    srv.start();
+
+    LineClient loader;
+    loader.connect(srv.port());
+    json::Value batch = json::Value::makeObject();
+    batch.set("id", 1);
+    json::Value queries = json::Value::makeArray();
+    for (int i = 0; i < 32; ++i) {
+        json::Value query = json::Value::makeObject();
+        query.set("catalog", "opencontrail");
+        query.set("topology", "small");
+        query.set("nodes", 1);
+        queries.push(std::move(query));
+    }
+    batch.set("queries", std::move(queries));
+    loader.sendLine(batch.dump());
+
+    // Give the session time to start pushing jobs, then ask for
+    // shutdown from a second connection while work is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    LineClient stopper;
+    stopper.connect(srv.port());
+    json::Value ack = roundTrip(stopper, R"({"cmd":"shutdown"})");
+    EXPECT_TRUE(ack.at("ok").asBool());
+
+    // Every queued query still completes and the full reply arrives.
+    json::Value reply = json::parse(loader.recvLine());
+    ASSERT_TRUE(reply.at("ok").asBool());
+    const json::Value::Array &results =
+        reply.at("results").asArray();
+    ASSERT_EQ(results.size(), 32u);
+    for (const json::Value &result : results)
+        EXPECT_TRUE(result.at("ok").asBool());
+
+    srv.wait();
+    EXPECT_TRUE(srv.stopping());
+}
+
+TEST(Server, StatsCommandReportsTheDocumentedSchema)
+{
+    Server srv(testOptions());
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+    ASSERT_TRUE(roundTrip(client, cheapQuery(1)).at("ok").asBool());
+    ASSERT_TRUE(roundTrip(client, cheapQuery(2)).at("ok").asBool());
+
+    json::Value reply =
+        roundTrip(client, R"({"id":"s","cmd":"stats"})");
+    ASSERT_TRUE(reply.at("ok").asBool());
+    EXPECT_EQ(reply.at("id").asString(), "s");
+    const json::Value &stats = reply.at("stats");
+    for (const char *key :
+         {"uptime_s", "qps", "requests", "queries", "errors",
+          "connections", "workers", "cache", "queue", "latency"})
+        EXPECT_TRUE(stats.contains(key)) << "missing " << key;
+    EXPECT_GE(stats.at("queries").asNumber(), 2.0);
+
+    const json::Value &cache = stats.at("cache");
+    for (const char *key : {"hits", "misses", "evictions", "entries",
+                            "capacity", "hit_rate", "bdd_nodes"})
+        EXPECT_TRUE(cache.contains(key)) << "missing cache." << key;
+    EXPECT_EQ(cache.at("misses").asNumber(), 1.0);
+    EXPECT_EQ(cache.at("hits").asNumber(), 1.0);
+    EXPECT_EQ(cache.at("hit_rate").asNumber(), 0.5);
+
+    const json::Value &queue = stats.at("queue");
+    for (const char *key : {"depth", "capacity", "peak"})
+        EXPECT_TRUE(queue.contains(key)) << "missing queue." << key;
+
+    const json::Value &latency = stats.at("latency");
+    for (const char *key : {"count", "mean_ms", "p50_ms", "p90_ms",
+                            "p99_ms", "max_ms"})
+        EXPECT_TRUE(latency.contains(key))
+            << "missing latency." << key;
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, ShutdownCommandStopsTheServer)
+{
+    Server srv(testOptions());
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+    json::Value ack = roundTrip(client, R"({"cmd":"shutdown"})");
+    EXPECT_TRUE(ack.at("ok").asBool());
+    EXPECT_TRUE(ack.at("stopping").asBool());
+    srv.wait();
+    EXPECT_TRUE(srv.stopping());
+}
+
+} // anonymous namespace

@@ -167,8 +167,10 @@ TEST(Cli, BadInputsReportErrorsGracefully)
     auto bad_file = runCli("analyze --catalog-file /no/such.json");
     EXPECT_EQ(bad_file.exitCode, 1);
 
+    // Malformed or out-of-range numeric flags are usage errors and
+    // exit 2 (see MalformedNumericOptionIsAUsageErrorNamingTheFlag).
     auto bad_availability = runCli("analyze --a 1.5");
-    EXPECT_EQ(bad_availability.exitCode, 1);
+    EXPECT_EQ(bad_availability.exitCode, 2);
 
     auto missing_value = runCli("analyze --topology");
     EXPECT_EQ(missing_value.exitCode, 1);
@@ -399,6 +401,35 @@ TEST(Cli, SimulateWithoutHostsReportsUnmeasuredDp)
         "--seed 3");
     EXPECT_EQ(result.exitCode, 0);
     EXPECT_NE(result.output.find("n/a"), std::string::npos);
+}
+
+TEST(Cli, MalformedNumericOptionIsAUsageErrorNamingTheFlag)
+{
+    // std::stod would have parsed "3x" as 3 and thrown uncaught on
+    // "abc"; the checked parser exits 2 and says which flag.
+    auto mtbf = runCli("simulate --mtbf abc --hours 100");
+    EXPECT_EQ(mtbf.exitCode, 2);
+    EXPECT_NE(mtbf.output.find("--mtbf"), std::string::npos);
+
+    auto hours = runCli("simulate --hours 3x");
+    EXPECT_EQ(hours.exitCode, 2);
+    EXPECT_NE(hours.output.find("--hours"), std::string::npos);
+
+    auto nodes = runCli("analyze --nodes 2.5");
+    EXPECT_EQ(nodes.exitCode, 2);
+    EXPECT_NE(nodes.output.find("--nodes"), std::string::npos);
+}
+
+TEST(Cli, OutOfRangeAvailabilityIsAUsageError)
+{
+    auto result = runCli("analyze --a 1.5");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("--a"), std::string::npos);
+    EXPECT_NE(result.output.find("out of range"), std::string::npos);
+
+    auto negative = runCli("analyze --ah -0.2");
+    EXPECT_EQ(negative.exitCode, 2);
+    EXPECT_NE(negative.output.find("--ah"), std::string::npos);
 }
 
 } // anonymous namespace

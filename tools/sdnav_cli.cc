@@ -33,6 +33,7 @@
 #include "analysis/summary.hh"
 #include "analysis/transient.hh"
 #include "common/error.hh"
+#include "common/parse.hh"
 #include "common/units.hh"
 #include "fmea/catalogIo.hh"
 #include "fmea/openContrail.hh"
@@ -52,6 +53,16 @@ namespace
 using namespace sdnav;
 namespace model = sdnav::model;
 
+/**
+ * A bad option value. Distinct from ModelError so main() can report
+ * it as a usage failure (exit 2, naming the flag) instead of the
+ * generic runtime-error path.
+ */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
 /** Parsed command line: positionals plus --key value options. */
 struct Args
 {
@@ -67,11 +78,41 @@ struct Args
         return it == options.end() ? fallback : it->second;
     }
 
+    /**
+     * Strictly parsed numeric option: the whole value must be one
+     * finite number inside [min, max] ("3x", "1e999", and "nan" are
+     * usage errors naming the flag, not silent truncations or
+     * uncaught std::stod throws).
+     */
     double
-    getNumber(const std::string &key, double fallback) const
+    getNumber(const std::string &key, double fallback,
+              double min = std::numeric_limits<double>::lowest(),
+              double max = std::numeric_limits<double>::max()) const
     {
         auto it = options.find(key);
-        return it == options.end() ? fallback : std::stod(it->second);
+        if (it == options.end())
+            return fallback;
+        try {
+            return parseDouble(it->second, "--" + key, min, max);
+        } catch (const std::exception &e) {
+            throw UsageError(e.what());
+        }
+    }
+
+    /** As getNumber(), for non-negative integer options. */
+    std::size_t
+    getCount(const std::string &key, std::size_t fallback,
+             std::size_t max =
+                 std::numeric_limits<std::size_t>::max()) const
+    {
+        auto it = options.find(key);
+        if (it == options.end())
+            return fallback;
+        try {
+            return parseCount(it->second, "--" + key, max);
+        } catch (const std::exception &e) {
+            throw UsageError(e.what());
+        }
     }
 };
 
@@ -125,7 +166,7 @@ resolveTopology(const Args &args, std::size_t roleCount)
         return topology::loadTopology(args.get("topology-file", ""));
     std::string name = args.get("topology", "large");
     std::size_t nodes =
-        static_cast<std::size_t>(args.getNumber("nodes", 3));
+        args.getCount("nodes", 3);
     if (name == "small")
         return topology::smallTopology(roleCount, nodes);
     if (name == "medium")
@@ -152,7 +193,7 @@ resolveSweep(const Args &args)
 {
     analysis::SweepOptions sweep;
     sweep.threads =
-        static_cast<std::size_t>(args.getNumber("threads", 0));
+        args.getCount("threads", 0);
     return sweep;
 }
 
@@ -161,15 +202,15 @@ resolveParams(const Args &args)
 {
     model::SwParams params;
     params.processAvailability =
-        args.getNumber("a", params.processAvailability);
+        args.getNumber("a", params.processAvailability, 0.0, 1.0);
     params.manualProcessAvailability =
-        args.getNumber("as", params.manualProcessAvailability);
+        args.getNumber("as", params.manualProcessAvailability, 0.0, 1.0);
     params.vmAvailability =
-        args.getNumber("av", params.vmAvailability);
+        args.getNumber("av", params.vmAvailability, 0.0, 1.0);
     params.hostAvailability =
-        args.getNumber("ah", params.hostAvailability);
+        args.getNumber("ah", params.hostAvailability, 0.0, 1.0);
     params.rackAvailability =
-        args.getNumber("ar", params.rackAvailability);
+        args.getNumber("ar", params.rackAvailability, 0.0, 1.0);
     params.validate();
     return params;
 }
@@ -179,7 +220,7 @@ cmdTables(const Args &args)
 {
     fmea::ControllerCatalog catalog = resolveCatalog(args);
     unsigned cluster =
-        static_cast<unsigned>(args.getNumber("nodes", 3));
+        static_cast<unsigned>(args.getCount("nodes", 3));
     std::cout << fmea::nodeProcessTable(catalog, cluster).str() << "\n"
               << fmea::restartModeTable(catalog).str() << "\n"
               << fmea::quorumTypeTable(catalog).str() << "\n";
@@ -243,7 +284,7 @@ cmdRank(const Args &args)
     importance.reorder = args.has("bdd-reorder");
     auto ranking = system.rankImportance(importance);
     std::size_t top =
-        static_cast<std::size_t>(args.getNumber("top", 10));
+        args.getCount("top", 10);
     TextTable table;
     table.title("Weak-link ranking (" +
                 std::string(plane == fmea::Plane::DataPlane ? "DP"
@@ -318,10 +359,10 @@ cmdCutSets(const Args &args)
         model::buildExactSystem(catalog, topo, policy, params, plane);
     rbd::CutSetOptions options;
     options.maxOrder =
-        static_cast<std::size_t>(args.getNumber("order", 2));
+        args.getCount("order", 2);
     auto cuts = rbd::minimalCutSets(system, options);
     std::size_t top =
-        static_cast<std::size_t>(args.getNumber("top", 12));
+        args.getCount("top", 12);
 
     TextTable table;
     table.title("Minimal cut sets (order <= " +
@@ -360,7 +401,7 @@ cmdFleet(const Args &args)
     auto profile = analysis::outageProfile(
         system, analysis::classifyMtbfs(system, classes));
     std::size_t sites =
-        static_cast<std::size_t>(args.getNumber("sites", 500));
+        args.getCount("sites", 500);
     auto fleet = analysis::fleetFromProfile(sites, profile);
     std::cout << analysis::outageProfileTable("Per-site profile",
                                               profile)
@@ -411,7 +452,7 @@ cmdFigures(const Args &args)
     model::HwParams hw;
     model::SwParams sw = resolveParams(args);
     std::size_t points =
-        static_cast<std::size_t>(args.getNumber("points", 21));
+        args.getCount("points", 21);
     analysis::SweepOptions sweep = resolveSweep(args);
     analysis::FigureData fig3 = analysis::figure3(hw, 0.999, 1.0,
                                                   points, sweep);
@@ -495,19 +536,19 @@ cmdSimulate(const Args &args)
         args.getNumber("sup-mtbf", config.process.mtbfHours);
     config.horizonHours = args.getNumber("hours", 1e6);
     config.monitoredHosts =
-        static_cast<std::size_t>(args.getNumber("hosts", 24));
+        args.getCount("hosts", 24);
     config.seed =
-        static_cast<std::uint64_t>(args.getNumber("seed", 1));
+        static_cast<std::uint64_t>(args.getCount("seed", 1));
     config.rediscoveryDelayHours =
         args.getNumber("rediscovery-min", 1.0) / 60.0;
 
     std::size_t replications =
-        static_cast<std::size_t>(args.getNumber("replications", 1));
+        args.getCount("replications", 1);
     if (replications > 1) {
         sim::ReplicatedSimConfig rep;
         rep.replications = replications;
         rep.threads =
-            static_cast<std::size_t>(args.getNumber("threads", 0));
+            args.getCount("threads", 0);
         rep.baseSeed = config.seed;
         auto result = sim::simulateControllerReplicated(
             catalog, topo, policy, config, rep);
@@ -808,6 +849,10 @@ main(int argc, char **argv)
             writeTraceFile(args);
         }
         return rc;
+    } catch (const UsageError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        printUsage();
+        return 2;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * sdnav_load — load generator / client for sdnavd.
+ *
+ * Drives concurrent connections of availability queries against a
+ * running daemon and reports client-side latency and throughput:
+ *
+ *   sdnav_load --port 43117 --connections 4 --requests 200
+ *   sdnav_load --port 43117 --distinct 8 --batch 16
+ *   sdnav_load --port 43117 --command stats
+ *
+ * Every reply is checked: a transport failure or an "ok": false
+ * reply (outside of intentionally distinct model keys, each query
+ * this tool sends is valid) makes the exit status nonzero, so CI
+ * smoke steps can pipe a query through a fresh daemon and trust the
+ * exit code.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "common/parse.hh"
+#include "server/lineClient.hh"
+
+namespace
+{
+
+using namespace sdnav;
+
+struct LoadOptions
+{
+    std::uint16_t port = 0;
+    std::size_t connections = 4;
+    std::size_t requests = 100; // per connection
+    std::size_t distinct = 1;   // distinct model keys to rotate
+    std::size_t batch = 1;      // queries per request line
+    std::string command;        // stats | ping | shutdown
+};
+
+/** Per-connection outcome. */
+struct WorkerResult
+{
+    std::vector<double> latenciesMs;
+    std::size_t errors = 0;
+    std::string firstError;
+};
+
+/**
+ * The i-th request line: rotates through `distinct` model keys built
+ * from (catalog x cluster size) combinations that all compile
+ * quickly, so --distinct measures cache behaviour rather than
+ * worst-case BDD construction.
+ */
+std::string
+requestLine(const LoadOptions &options, std::size_t worker,
+            std::size_t index)
+{
+    static const char *kCatalogs[] = {"opencontrail", "raft",
+                                      "fragile"};
+    auto queryDoc = [&](std::size_t i) {
+        std::size_t variant = i % options.distinct;
+        json::Value query = json::Value::makeObject();
+        query.set("catalog", kCatalogs[variant % 3]);
+        query.set("topology", "large");
+        query.set("nodes",
+                  static_cast<double>(variant < 3 ? 3 : 1));
+        return query;
+    };
+
+    json::Value doc;
+    std::size_t id = worker * options.requests + index;
+    if (options.batch > 1) {
+        doc = json::Value::makeObject();
+        doc.set("id", static_cast<double>(id));
+        json::Value queries = json::Value::makeArray();
+        for (std::size_t b = 0; b < options.batch; ++b)
+            queries.push(queryDoc(index * options.batch + b));
+        doc.set("queries", std::move(queries));
+    } else {
+        doc = queryDoc(index);
+        doc.set("id", static_cast<double>(id));
+    }
+    return doc.dump();
+}
+
+/** True when a reply line says ok (and, for batches, every item). */
+bool
+replyOk(const std::string &line, std::string &reason)
+{
+    try {
+        json::Value doc = json::parse(line);
+        if (!doc.isObject() || !doc.contains("ok") ||
+            !doc.at("ok").isBool() || !doc.at("ok").asBool()) {
+            reason = line;
+            return false;
+        }
+        if (doc.contains("results")) {
+            for (const json::Value &item :
+                 doc.at("results").asArray()) {
+                if (!item.contains("ok") ||
+                    !item.at("ok").asBool()) {
+                    reason = line;
+                    return false;
+                }
+            }
+        }
+        return true;
+    } catch (const std::exception &e) {
+        reason = std::string(e.what()) + ": " + line;
+        return false;
+    }
+}
+
+WorkerResult
+runWorker(const LoadOptions &options, std::size_t worker)
+{
+    WorkerResult result;
+    try {
+        server::LineClient client;
+        client.connect(options.port);
+        for (std::size_t i = 0; i < options.requests; ++i) {
+            std::string line = requestLine(options, worker, i);
+            auto t0 = std::chrono::steady_clock::now();
+            client.sendLine(line);
+            std::string reply = client.recvLine();
+            result.latenciesMs.push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            std::string reason;
+            if (!replyOk(reply, reason)) {
+                ++result.errors;
+                if (result.firstError.empty())
+                    result.firstError = reason;
+            }
+        }
+    } catch (const std::exception &e) {
+        ++result.errors;
+        if (result.firstError.empty())
+            result.firstError = e.what();
+    }
+    return result;
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+}
+
+int
+runCommand(const LoadOptions &options)
+{
+    server::LineClient client;
+    client.connect(options.port);
+    json::Value doc = json::Value::makeObject();
+    doc.set("cmd", options.command);
+    client.sendLine(doc.dump());
+    std::string reply = client.recvLine();
+    std::cout << reply << "\n";
+    std::string reason;
+    return replyOk(reply, reason) ? 0 : 1;
+}
+
+void
+printUsage()
+{
+    std::cout <<
+        "usage: sdnav_load --port P [options]\n"
+        "\n"
+        "options:\n"
+        "  --port P          sdnavd port (required)\n"
+        "  --connections C   concurrent connections (default 4)\n"
+        "  --requests N      request lines per connection "
+        "(default 100)\n"
+        "  --distinct K      rotate K distinct model keys "
+        "(default 1)\n"
+        "  --batch B         queries per request line (default 1)\n"
+        "  --command CMD     send one stats | ping | shutdown\n"
+        "                    command instead of load\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadOptions options;
+    bool havePort = false;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                printUsage();
+                return 0;
+            }
+            require(arg.rfind("--", 0) == 0 && i + 1 < argc,
+                    "option " + arg + " needs a value");
+            std::string value = argv[++i];
+            if (arg == "--port") {
+                options.port = static_cast<std::uint16_t>(
+                    parseCount(value, "--port", 65535));
+                havePort = true;
+            } else if (arg == "--connections") {
+                options.connections =
+                    parseCount(value, "--connections", 1024);
+                require(options.connections >= 1,
+                        "--connections must be >= 1");
+            } else if (arg == "--requests") {
+                options.requests = parseCount(value, "--requests");
+            } else if (arg == "--distinct") {
+                options.distinct =
+                    parseCount(value, "--distinct", 6);
+                require(options.distinct >= 1,
+                        "--distinct must be >= 1");
+            } else if (arg == "--batch") {
+                options.batch = parseCount(value, "--batch", 1 << 20);
+                require(options.batch >= 1, "--batch must be >= 1");
+            } else if (arg == "--command") {
+                require(value == "stats" || value == "ping" ||
+                            value == "shutdown",
+                        "--command must be stats | ping | shutdown");
+                options.command = value;
+            } else {
+                throw ModelError("unknown option: " + arg);
+            }
+        }
+        require(havePort, "--port is required");
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        printUsage();
+        return 2;
+    }
+
+    try {
+        if (!options.command.empty())
+            return runCommand(options);
+
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<WorkerResult> results(options.connections);
+        std::vector<std::thread> threads;
+        threads.reserve(options.connections);
+        for (std::size_t c = 0; c < options.connections; ++c)
+            threads.emplace_back([&results, &options, c] {
+                results[c] = runWorker(options, c);
+            });
+        for (std::thread &thread : threads)
+            thread.join();
+        double wallS = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+        std::vector<double> latencies;
+        std::size_t errors = 0;
+        std::string firstError;
+        for (const WorkerResult &result : results) {
+            latencies.insert(latencies.end(),
+                             result.latenciesMs.begin(),
+                             result.latenciesMs.end());
+            errors += result.errors;
+            if (firstError.empty())
+                firstError = result.firstError;
+        }
+        std::sort(latencies.begin(), latencies.end());
+        double total = 0.0;
+        for (double ms : latencies)
+            total += ms;
+        std::size_t count = latencies.size();
+
+        std::cout << "requests " << count << " (x" << options.batch
+                  << " queries/line), errors " << errors << "\n";
+        std::cout << "wall " << wallS << " s, "
+                  << (wallS > 0.0 ? static_cast<double>(count) / wallS
+                                  : 0.0)
+                  << " req/s\n";
+        if (count > 0) {
+            std::cout << "latency ms: mean "
+                      << total / static_cast<double>(count) << ", p50 "
+                      << percentile(latencies, 0.50) << ", p90 "
+                      << percentile(latencies, 0.90) << ", p99 "
+                      << percentile(latencies, 0.99) << ", max "
+                      << latencies.back() << "\n";
+        }
+        if (errors > 0) {
+            std::cerr << "first error: " << firstError << "\n";
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * sdnavd — the availability-query daemon.
+ *
+ * Serves the newline-delimited JSON protocol (src/server/protocol.hh)
+ * on a loopback TCP port, keeping compiled exact models hot in an
+ * LRU cache so interactive what-if sweeps skip BDD compilation.
+ *
+ *   sdnavd --port 0 --port-file /tmp/sdnavd.port &
+ *   echo '{"id":1,"catalog":"opencontrail","nodes":3}' \
+ *       | nc 127.0.0.1 $(cat /tmp/sdnavd.port)
+ *
+ * Stops gracefully on SIGINT/SIGTERM or the "shutdown" command:
+ * in-flight requests finish, the job queue drains, exit status 0.
+ */
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/error.hh"
+#include "common/parse.hh"
+#include "server/server.hh"
+
+namespace
+{
+
+using namespace sdnav;
+
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+}
+
+void
+printUsage()
+{
+    std::cout <<
+        "usage: sdnavd [options]\n"
+        "\n"
+        "options:\n"
+        "  --port P            listen port (default 0 = ephemeral)\n"
+        "  --port-file FILE    write the bound port to FILE once\n"
+        "                      listening (for scripts using --port 0)\n"
+        "  --workers N         worker threads (default 0 = hardware)\n"
+        "  --queue N           job queue capacity (default 256)\n"
+        "  --cache N           compiled-model LRU capacity "
+        "(default 16)\n"
+        "  --max-line-bytes N  largest accepted request line\n"
+        "                      (default 1048576)\n"
+        "  --max-batch N       largest accepted query batch "
+        "(default 256)\n"
+        "\n"
+        "Protocol and stats fields: README, \"Availability-query "
+        "server\".\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    server::ServerOptions options;
+    std::string portFile;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                printUsage();
+                return 0;
+            }
+            require(arg.rfind("--", 0) == 0 && i + 1 < argc,
+                    "option " + arg + " needs a value");
+            std::string value = argv[++i];
+            if (arg == "--port") {
+                options.port = static_cast<std::uint16_t>(
+                    parseCount(value, "--port", 65535));
+            } else if (arg == "--port-file") {
+                portFile = value;
+            } else if (arg == "--workers") {
+                options.workers =
+                    parseCount(value, "--workers", 1024);
+            } else if (arg == "--queue") {
+                options.queueCapacity =
+                    parseCount(value, "--queue", 1 << 20);
+            } else if (arg == "--cache") {
+                options.cacheCapacity =
+                    parseCount(value, "--cache", 1 << 20);
+            } else if (arg == "--max-line-bytes") {
+                options.maxLineBytes =
+                    parseCount(value, "--max-line-bytes");
+            } else if (arg == "--max-batch") {
+                options.maxBatch =
+                    parseCount(value, "--max-batch", 1 << 20);
+            } else {
+                throw ModelError("unknown option: " + arg);
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        printUsage();
+        return 2;
+    }
+
+    try {
+        server::Server srv(options);
+        srv.start();
+
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        std::cout << "sdnavd listening on 127.0.0.1:" << srv.port()
+                  << std::endl;
+        if (!portFile.empty()) {
+            std::ofstream out(portFile);
+            out << srv.port() << "\n";
+            require(out.good(),
+                    "cannot write port file: " + portFile);
+        }
+
+        // Wake on either exit path: a delivered signal or the
+        // protocol's "shutdown" command flipping the server flag.
+        while (g_signal.load() == 0 && !srv.stopping())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        srv.requestStop();
+        srv.wait();
+        std::cout << "sdnavd stopped" << std::endl;
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
