@@ -34,6 +34,7 @@
 #include "common/error.hh"
 #include "common/json.hh"
 #include "common/textTable.hh"
+#include "common/version.hh"
 #include "obs/obs.hh"
 
 namespace sdnav::bench
@@ -222,28 +223,6 @@ recordAttribution(const std::string &label,
 }
 
 /**
- * Commit the binary ran from: $GITHUB_SHA in CI, `git rev-parse HEAD`
- * locally, "unknown" outside a work tree. Recorded in the bench JSON
- * so a perf artifact is always attributable to a revision.
- */
-inline std::string
-gitSha()
-{
-    if (const char *env = std::getenv("GITHUB_SHA"))
-        return env;
-    std::string sha;
-    if (FILE *pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
-        char buffer[128];
-        if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr)
-            sha = buffer;
-        pclose(pipe);
-    }
-    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
-        sha.pop_back();
-    return sha.empty() ? "unknown" : sha;
-}
-
-/**
  * Write bench_results/BENCH_<name>.json: the machine-readable twin of
  * the report that just printed. Schema (v1):
  *
@@ -262,7 +241,7 @@ writeBenchJson(const std::string &name, double reportWallMs)
     json::Value doc = json::Value::makeObject();
     doc.set("schema_version", 1);
     doc.set("bench", name);
-    doc.set("git_sha", gitSha());
+    doc.set("git_sha", common::gitSha());
     doc.set("threads",
             static_cast<double>(
                 analysis::SweepOptions{}.resolvedThreads()));

@@ -69,11 +69,57 @@ BddManager::rehash(SubTable &table)
     }
 }
 
+void
+BddManager::setStepBudget(const StepBudget &budget)
+{
+    budget_ = budget;
+    budget_armed_ = budget.limited();
+    budget_start_ = std::chrono::steady_clock::now();
+    budget_tick_ = 0;
+}
+
+void
+BddManager::clearStepBudget()
+{
+    budget_ = StepBudget{};
+    budget_armed_ = false;
+}
+
+void
+BddManager::throwBudgetExceeded(const char *budgetName) const
+{
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - budget_start_)
+            .count();
+    throw BudgetExceeded(budgetName, liveNodes(), gc_runs_,
+                         elapsed_ms);
+}
+
+void
+BddManager::checkWallBudget()
+{
+    if (budget_.wallMs <= 0.0)
+        return;
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - budget_start_)
+            .count();
+    if (elapsed_ms > budget_.wallMs)
+        throwBudgetExceeded("wall-deadline");
+}
+
 NodeRef
 BddManager::makeNode(unsigned var, NodeRef low, NodeRef high)
 {
     if (low == high)
         return low; // Reduction rule: redundant test.
+    // The node cap is the cheap budget check (two compares on the
+    // sole allocation path): a runaway build aborts as soon as it
+    // crosses the cap, long before the wall deadline would notice.
+    if (budget_armed_ && budget_.nodeCap > 0 &&
+        liveNodes() >= budget_.nodeCap)
+        throwBudgetExceeded("node-cap");
     SubTable &table = subtables_[var];
     if (table.buckets.empty())
         table.buckets.assign(kInitialBuckets, 0);
@@ -233,6 +279,8 @@ BddManager::clearIteCache()
 NodeRef
 BddManager::ite(NodeRef f, NodeRef g, NodeRef h)
 {
+    if (budget_armed_)
+        checkWallBudget();
     if (nodes_.size() > ite_cache_.size())
         growIteCache();
 
@@ -256,6 +304,15 @@ BddManager::ite(NodeRef f, NodeRef g, NodeRef h)
     frames.clear();
     frames.push_back({f, g, h, 0, falseNode, 0});
     while (!frames.empty()) {
+        // Wall-deadline safe point: frequent enough that one apply
+        // cannot overshoot the budget by more than ~a thousand frame
+        // steps, rare enough that the clock read stays off the hot
+        // path.
+        if (budget_armed_ &&
+            ++budget_tick_ >= kBudgetCheckInterval) {
+            budget_tick_ = 0;
+            checkWallBudget();
+        }
         IteFrame &frame = frames.back();
         switch (frame.phase) {
           case 0: {
@@ -397,7 +454,7 @@ BddManager::restrict(NodeRef f, unsigned index, bool value,
     const std::size_t domain = nodes_.size();
     const unsigned cut_level = level_of_var_[index];
     std::vector<NodeRef> &result = scratch.result_;
-    std::vector<std::uint8_t> &known = scratch.known_;
+    auto &known = scratch.known_;
     std::vector<NodeRef> &stack = scratch.stack_;
     result.assign(domain, falseNode);
     known.assign(domain, 0);
@@ -470,8 +527,8 @@ BddManager::probability(NodeRef f, std::span<const double> probs,
     // Dense memo keyed by NodeRef (refs index nodes_ directly). The
     // assign() calls reuse the scratch's capacity, so after the first
     // evaluation at a given manager size this allocates nothing.
-    std::vector<double> &value = scratch.value_;
-    std::vector<std::uint8_t> &known = scratch.known_;
+    auto &value = scratch.value_;
+    auto &known = scratch.known_;
     std::vector<NodeRef> &stack = scratch.stack_;
     value.assign(nodes_.size(), 0.0);
     known.assign(nodes_.size(), 0);

@@ -38,11 +38,16 @@
 #ifndef SDNAV_BDD_BDD_HH
 #define SDNAV_BDD_BDD_HH
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "bdd/pageAlloc.hh"
 
 namespace sdnav::bdd
 {
@@ -93,6 +98,72 @@ struct BddStats
     unsigned variables = 0;
 };
 
+/**
+ * Cooperative build budget: a wall-clock deadline and/or a live-node
+ * cap enforced inside the apply loops. Some structure functions are
+ * exponentially large under every order the builder knows (the
+ * OpenContrail Large topology past 3 nodes), and a server compiling
+ * on behalf of untrusted queries must bound that work. Zero means
+ * unlimited for either field. Enforcement is plain control flow —
+ * it functions identically with metrics compiled out.
+ */
+struct StepBudget
+{
+    /** Wall-clock limit on one build phase, in ms (0 = unlimited). */
+    double wallMs = 0.0;
+
+    /** Live-node cap, terminals included (0 = unlimited). */
+    std::size_t nodeCap = 0;
+
+    /** True when either limit is set. */
+    bool
+    limited() const
+    {
+        return wallMs > 0.0 || nodeCap > 0;
+    }
+};
+
+/**
+ * Thrown by BddManager when an active StepBudget is exhausted. Carries
+ * the engine state at the abort so the error reply (and the request
+ * log) can say how far the build got — nodes allocated, GC runs,
+ * elapsed wall time — not just that it died.
+ */
+class BudgetExceeded : public std::runtime_error
+{
+  public:
+    BudgetExceeded(const std::string &budgetName,
+                   std::size_t nodesAllocated, std::uint64_t gcRuns,
+                   double elapsedMs)
+        : std::runtime_error(
+              "BDD build budget exceeded (" + budgetName + "): " +
+              std::to_string(nodesAllocated) + " nodes allocated, " +
+              std::to_string(gcRuns) + " GC runs, " +
+              std::to_string(elapsedMs) + " ms elapsed"),
+          budget_name_(budgetName), nodes_allocated_(nodesAllocated),
+          gc_runs_(gcRuns), elapsed_ms_(elapsedMs)
+    {
+    }
+
+    /** Which limit tripped: "node-cap" or "wall-deadline". */
+    const std::string &budgetName() const { return budget_name_; }
+
+    /** Live nodes in the manager at the abort. */
+    std::size_t nodesAllocated() const { return nodes_allocated_; }
+
+    /** Garbage collections the build had run before aborting. */
+    std::uint64_t gcRuns() const { return gc_runs_; }
+
+    /** Wall time since the budget was armed, in ms. */
+    double elapsedMs() const { return elapsed_ms_; }
+
+  private:
+    std::string budget_name_;
+    std::size_t nodes_allocated_;
+    std::uint64_t gc_runs_;
+    double elapsed_ms_;
+};
+
 /** The constant-false terminal. */
 constexpr NodeRef falseNode = 0;
 
@@ -138,8 +209,10 @@ class ProbabilityScratch
 
     std::uint64_t reuses_ = 0;
 
-    std::vector<double> value_;
-    std::vector<std::uint8_t> known_;
+    // PageVector: eval walks these in data-dependent order, so their
+    // page placement must not depend on prior heap churn.
+    PageVector<double> value_;
+    PageVector<std::uint8_t> known_;
     std::vector<NodeRef> stack_;
 };
 
@@ -369,6 +442,25 @@ class BddManager
     /** The variable sitting at a level. */
     unsigned variableAtLevel(unsigned level) const;
 
+    /**
+     * Arm a cooperative build budget and start its wall clock. Until
+     * clearStepBudget(), node allocation checks the live-node cap and
+     * the apply loops periodically check the wall deadline; crossing
+     * either throws BudgetExceeded. The manager survives the abort in
+     * a consistent state (hash-consing invariants hold), so the owner
+     * may clear the budget and keep building — but a caller that
+     * wants a clean model simply discards the manager.
+     *
+     * A budget with neither limit set disarms (same as clear).
+     */
+    void setStepBudget(const StepBudget &budget);
+
+    /** Disarm the budget; later operations run unbounded again. */
+    void clearStepBudget();
+
+    /** True while a budget with at least one limit is armed. */
+    bool budgetArmed() const { return budget_armed_; }
+
     /** Lifetime engine statistics (cache behaviour, table sizes). */
     BddStats stats() const;
 
@@ -461,6 +553,12 @@ class BddManager
     /** Clear the computed cache in place (GC / reorder). */
     void clearIteCache();
 
+    /** Throw BudgetExceeded for the named limit. */
+    [[noreturn]] void throwBudgetExceeded(const char *budgetName) const;
+
+    /** Wall-deadline check, called periodically from apply loops. */
+    void checkWallBudget();
+
     /** Swap the variables at levels `level` and `level + 1`. */
     void swapAdjacentLevels(unsigned level);
 
@@ -469,7 +567,9 @@ class BddManager
 
     bool isTerminal(NodeRef f) const { return f <= trueNode; }
 
-    std::vector<Node> nodes_;
+    // PageVector: the arena is the eval/apply hot path's working
+    // set; fresh pages keep its layout independent of heap history.
+    PageVector<Node> nodes_;
     std::vector<SubTable> subtables_;
     std::vector<IteEntry> ite_cache_;
     std::vector<IteFrame> ite_frames_;
@@ -499,6 +599,12 @@ class BddManager
     std::size_t gc_threshold_ = kDefaultGcThreshold;
     std::size_t peak_live_ = 2;
 
+    /** Armed build budget; checked only while budget_armed_. */
+    StepBudget budget_{};
+    bool budget_armed_ = false;
+    std::chrono::steady_clock::time_point budget_start_{};
+    std::uint32_t budget_tick_ = 0;
+
     std::uint64_t ite_cache_hits_ = 0;
     std::uint64_t ite_cache_misses_ = 0;
     std::uint64_t unique_hits_ = 0;
@@ -507,6 +613,9 @@ class BddManager
     std::uint64_t gc_reclaimed_ = 0;
     std::uint64_t reorder_runs_ = 0;
     std::uint64_t reorder_swaps_ = 0;
+
+    /** ite() loop iterations between wall-deadline checks. */
+    static constexpr std::uint32_t kBudgetCheckInterval = 1024;
 
     static constexpr std::size_t kDefaultGcThreshold = 1u << 15;
     static constexpr std::size_t kMinGcThreshold = 1u << 12;

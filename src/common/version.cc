@@ -1,0 +1,38 @@
+#include "common/version.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdnav::common
+{
+
+namespace
+{
+
+std::string
+resolveGitSha()
+{
+    if (const char *env = std::getenv("GITHUB_SHA"))
+        return env;
+    std::string sha;
+    if (FILE *pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buffer[128];
+        if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr)
+            sha = buffer;
+        pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+} // anonymous namespace
+
+const std::string &
+gitSha()
+{
+    static const std::string sha = resolveGitSha();
+    return sha;
+}
+
+} // namespace sdnav::common

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Build provenance: which commit is this binary from?
+ *
+ * Both the bench JSON artifacts and the server's `stats` reply stamp
+ * their output with the revision, so a number on a dashboard is
+ * always attributable to the code that produced it.
+ */
+
+#ifndef SDNAV_COMMON_VERSION_HH
+#define SDNAV_COMMON_VERSION_HH
+
+#include <string>
+
+namespace sdnav::common
+{
+
+/**
+ * Commit the binary ran from: $GITHUB_SHA in CI, `git rev-parse HEAD`
+ * locally, "unknown" outside a work tree. Resolved once per process
+ * and cached, so repeated callers (per-request stats) never fork.
+ */
+const std::string &gitSha();
+
+} // namespace sdnav::common
+
+#endif // SDNAV_COMMON_VERSION_HH

@@ -279,7 +279,8 @@ ExactPlaneModel::ExactPlaneModel(const fmea::ControllerCatalog &catalog,
                                options.order, classes_)),
       compiled_(system_,
                 rbd::CompiledRbd::Options{options.reorderBdd,
-                                          options.reorderOptions})
+                                          options.reorderOptions,
+                                          options.budget})
 {
 }
 

@@ -138,6 +138,14 @@ class ExactPlaneModel
 
         /** Tuning for the reorder pass when enabled. */
         bdd::ReorderOptions reorderOptions{};
+
+        /**
+         * Compile budget (wall deadline / live-node cap) forwarded to
+         * the underlying CompiledRbd build; exceeding it throws
+         * bdd::BudgetExceeded out of the constructor. Defaults to
+         * unlimited.
+         */
+        bdd::StepBudget budget{};
     };
 
     ExactPlaneModel(const fmea::ControllerCatalog &catalog,

@@ -335,6 +335,40 @@ Histogram::quantile(double q) const
     return histBucketUpper(kHistBuckets - 1);
 }
 
+std::vector<HistogramBucket>
+Histogram::cumulativeBuckets() const
+{
+    std::array<std::uint64_t, kHistBuckets> folded{};
+    std::uint64_t total = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &c : cells_) {
+            total += c->count.load(std::memory_order_relaxed);
+            for (int i = 0; i < kHistBuckets; ++i) {
+                folded[i] +=
+                    c->buckets[i].load(std::memory_order_relaxed);
+            }
+        }
+    }
+    std::vector<HistogramBucket> buckets;
+    if (total == 0)
+        return buckets;
+    // Emit a cumulative entry per occupied bucket; sparse output is
+    // legal because the counts are cumulative. The overflow bucket
+    // has no finite bound, so it folds into the final +Inf entry.
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kHistBuckets - 1; ++i) {
+        if (folded[i] == 0)
+            continue;
+        cumulative += folded[i];
+        buckets.push_back(
+            HistogramBucket{histBucketUpper(i), cumulative});
+    }
+    buckets.push_back(HistogramBucket{
+        std::numeric_limits<double>::infinity(), total});
+    return buckets;
+}
+
 void
 Histogram::reset()
 {

@@ -93,6 +93,17 @@ struct HistogramStats
     }
 };
 
+/**
+ * One cumulative histogram bucket: the count of recorded values <=
+ * upperBound. The top bucket reports upperBound = +infinity, matching
+ * the Prometheus `le="+Inf"` convention.
+ */
+struct HistogramBucket
+{
+    double upperBound = 0.0;
+    std::uint64_t cumulativeCount = 0;
+};
+
 #if SDNAV_METRICS_ENABLED
 
 /**
@@ -217,6 +228,15 @@ class Histogram
      */
     double quantile(double q) const;
 
+    /**
+     * Folded cumulative buckets for exposition: one entry per bucket
+     * that received at least one value, in ascending upper-bound
+     * order, each carrying the count of values <= its bound; the
+     * final entry is always the +Inf bucket with the total count.
+     * Empty when no values were recorded.
+     */
+    std::vector<HistogramBucket> cumulativeBuckets() const;
+
     /** Zero every cell (for test setup; not for concurrent use). */
     void reset();
 
@@ -295,6 +315,15 @@ class Registry
      */
     json::Value snapshot() const;
 
+    /**
+     * Render every metric in Prometheus text exposition format
+     * (version 0.0.4): counters as `<name>_total`, gauges plain,
+     * timers as `<name>_ms_sum` / `<name>_ms_count`, histograms as
+     * cumulative `<name>_bucket{le="..."}` series plus `<name>_sum`
+     * and `<name>_count`. Dots in metric names become underscores.
+     */
+    std::string prometheusText() const;
+
     /** Zero every metric (keeps registrations and cached references). */
     void reset();
 
@@ -355,6 +384,10 @@ class Histogram
     void record(double) {}
     HistogramStats stats() const { return {}; }
     double quantile(double) const { return 0.0; }
+    std::vector<HistogramBucket> cumulativeBuckets() const
+    {
+        return {};
+    }
     void reset() {}
 };
 
@@ -382,6 +415,9 @@ class Registry
 
     /** {"enabled": false} — consumers can tell a no-op build apart. */
     json::Value snapshot() const;
+
+    /** A comment-only document — scrapers see a valid, empty page. */
+    std::string prometheusText() const;
 
     void reset() {}
 

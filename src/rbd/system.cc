@@ -234,11 +234,27 @@ compileTraced(const RbdSystem &system, bdd::BddManager &manager)
     return system.compile(manager);
 }
 
+/**
+ * Arms the manager's step budget (when limited) before the build so
+ * the clock covers the whole compile, then compiles. The budget stays
+ * armed for the constructor body (reorder pass); the constructor
+ * disarms it before handing the object out, since evaluation must
+ * never be interrupted.
+ */
+bdd::NodeRef
+compileBudgeted(const RbdSystem &system, bdd::BddManager &manager,
+                const CompiledRbd::Options &options)
+{
+    if (options.budget.limited())
+        manager.setStepBudget(options.budget);
+    return compileTraced(system, manager);
+}
+
 } // anonymous namespace
 
 CompiledRbd::CompiledRbd(const RbdSystem &system,
                          const Options &options)
-    : root_(compileTraced(system, manager_))
+    : root_(compileBudgeted(system, manager_, options))
 {
     // The compiled root is the one ref this object hands out, so it
     // (and everything it reaches) is pinned for the manager's
@@ -246,8 +262,10 @@ CompiledRbd::CompiledRbd(const RbdSystem &system,
     manager_.addRoot(root_);
     if (options.reorder)
         manager_.reorderSifting(options.reorderOptions);
-    // The build phase is over; evaluation never grows the manager, so
-    // this is the moment the cache/table stats are final.
+    // The build phase is over; evaluation never grows the manager and
+    // must never be interrupted, so disarm the compile budget here.
+    manager_.clearStepBudget();
+    // This is also the moment the cache/table stats are final.
     manager_.recordMetrics();
 }
 

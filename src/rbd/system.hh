@@ -209,6 +209,14 @@ class CompiledRbd
 
         /** Tuning for the reorder pass when enabled. */
         bdd::ReorderOptions reorderOptions{};
+
+        /**
+         * Compile budget (wall deadline / live-node cap); enforced
+         * across the whole build including the optional reorder
+         * pass. Exceeding it throws bdd::BudgetExceeded out of the
+         * constructor. Zeroed fields (the default) are unlimited.
+         */
+        bdd::StepBudget budget{};
     };
 
     /** Compile the system's structure function. */

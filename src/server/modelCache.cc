@@ -35,6 +35,14 @@ evictionCounter()
     return c;
 }
 
+obs::Timer &
+compileTimer()
+{
+    static obs::Timer &t =
+        obs::Registry::global().timer("server.compile");
+    return t;
+}
+
 /**
  * Compile the model a spec describes. Paper-scale clusters keep the
  * golden SharedInfrastructureFirst order; larger clusters switch to
@@ -43,7 +51,7 @@ evictionCounter()
  * differs.
  */
 std::shared_ptr<const model::ExactPlaneModel>
-compileModel(const QuerySpec &spec)
+compileModel(const QuerySpec &spec, const bdd::StepBudget &budget)
 {
     fmea::ControllerCatalog catalog = resolveCatalog(spec);
     topology::DeploymentTopology topo =
@@ -51,6 +59,7 @@ compileModel(const QuerySpec &spec)
     model::ExactPlaneModel::Options options;
     if (spec.nodes > 3)
         options.order = model::ExactVariableOrder::NodeMajor;
+    options.budget = budget;
     return std::make_shared<const model::ExactPlaneModel>(
         catalog, topo, spec.policy, spec.plane, options);
 }
@@ -62,25 +71,36 @@ ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity)
     require(capacity >= 1, "model cache capacity must be >= 1");
 }
 
+void
+ModelCache::setCompileBudget(const bdd::StepBudget &budget)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    compileBudget_ = budget;
+}
+
 CacheLookup
 ModelCache::acquire(const QuerySpec &spec)
 {
     std::string key = spec.modelKey();
     std::promise<CachedModel> promise;
     std::shared_future<CachedModel> future;
+    bdd::StepBudget budget;
     bool compile = false;
+    bool coalesced = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = index_.find(key);
         if (it != index_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second);
             future = it->second->future;
+            coalesced = !it->second->ready;
             ++hits_;
         } else {
             future = promise.get_future().share();
             lru_.push_front(Entry{key, future, false, 0});
             index_[key] = lru_.begin();
             ++misses_;
+            budget = compileBudget_;
             compile = true;
         }
     }
@@ -90,14 +110,14 @@ ModelCache::acquire(const QuerySpec &spec)
         // May be an in-flight compile: waiting here coalesces
         // concurrent misses onto one build.
         CachedModel cached = future.get();
-        return {cached.model, true, cached.compileMs};
+        return {cached.model, true, coalesced, cached.compileMs};
     }
 
     missCounter().add();
     try {
         auto t0 = std::chrono::steady_clock::now();
         std::shared_ptr<const model::ExactPlaneModel> model =
-            compileModel(spec);
+            compileModel(spec, budget);
         double compileMs =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0)
@@ -115,8 +135,9 @@ ModelCache::acquire(const QuerySpec &spec)
             totalBddNodes_ += it->second->bddNodes;
             evictOverCapacityLocked();
         }
+        compileTimer().record(compileMs);
         promise.set_value(CachedModel{model, compileMs});
-        return {model, false, compileMs};
+        return {model, false, false, compileMs};
     } catch (...) {
         {
             std::lock_guard<std::mutex> lock(mutex_);

@@ -57,6 +57,12 @@ struct CacheLookup
     /** True when this call did not compile (resident or coalesced). */
     bool hit = false;
 
+    /**
+     * True when this call hit an entry whose compile was still in
+     * flight and waited for it — a coalesced concurrent miss.
+     */
+    bool coalesced = false;
+
     /** Compile wall time of the model's original build. */
     double compileMs = 0.0;
 };
@@ -76,6 +82,15 @@ class ModelCache
      * Thread-safe; throws only what model compilation throws.
      */
     CacheLookup acquire(const QuerySpec &spec);
+
+    /**
+     * Set the compile budget applied to every subsequent miss
+     * compile. Zeroed fields (the default) are unlimited. A compile
+     * that exceeds the budget throws bdd::BudgetExceeded out of
+     * acquire(); the failed entry is dropped, not cached, so a later
+     * acquire() of the same key compiles afresh.
+     */
+    void setCompileBudget(const bdd::StepBudget &budget);
 
     /** Resident (fully compiled) entries. */
     std::size_t entryCount() const;
@@ -111,6 +126,7 @@ class ModelCache
     void evictOverCapacityLocked();
 
     std::size_t capacity_;
+    bdd::StepBudget compileBudget_{}; // guarded by mutex_
 
     mutable std::mutex mutex_;
     EntryList lru_; // front = most recently used

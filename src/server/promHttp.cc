@@ -1,0 +1,166 @@
+#include "server/promHttp.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/error.hh"
+#include "obs/obs.hh"
+
+namespace sdnav::server
+{
+
+namespace
+{
+
+/** How often the blocked accept loop re-checks the stop flag. */
+constexpr int kPromPollMs = 100;
+
+/** Bounded read of one HTTP request head (through the blank line). */
+std::string
+readRequestHead(int fd)
+{
+    std::string head;
+    char chunk[1024];
+    while (head.size() < 8192 &&
+           head.find("\r\n\r\n") == std::string::npos) {
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 1000) <= 0)
+            break; // a scraper that stalls mid-request gets dropped
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        head.append(chunk, static_cast<std::size_t>(n));
+    }
+    return head;
+}
+
+bool
+sendAllHttp(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+httpResponse(const std::string &status, const std::string &contentType,
+             const std::string &body)
+{
+    return "HTTP/1.1 " + status +
+           "\r\nContent-Type: " + contentType +
+           "\r\nContent-Length: " + std::to_string(body.size()) +
+           "\r\nConnection: close\r\n\r\n" + body;
+}
+
+} // anonymous namespace
+
+PromHttpServer::~PromHttpServer() { stop(); }
+
+void
+PromHttpServer::start(std::uint16_t port)
+{
+    require(listenFd_ < 0, "prometheus endpoint already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    require(listenFd_ >= 0, std::string("socket() failed: ") +
+                                std::strerror(errno));
+
+    int enable = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 16) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ModelError("prometheus endpoint bind to 127.0.0.1:" +
+                         std::to_string(port) + " failed: " + reason);
+    }
+
+    socklen_t addrLen = sizeof(addr);
+    require(::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          &addrLen) == 0,
+            "getsockname failed");
+    port_ = ntohs(addr.sin_port);
+
+    stopping_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+void
+PromHttpServer::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+PromHttpServer::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, kPromPollMs);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+
+        std::string head = readRequestHead(fd);
+        std::size_t methodEnd = head.find(' ');
+        std::size_t pathEnd = methodEnd == std::string::npos
+                                  ? std::string::npos
+                                  : head.find(' ', methodEnd + 1);
+        std::string method = methodEnd == std::string::npos
+                                 ? ""
+                                 : head.substr(0, methodEnd);
+        std::string path =
+            pathEnd == std::string::npos
+                ? ""
+                : head.substr(methodEnd + 1, pathEnd - methodEnd - 1);
+
+        std::string response;
+        if (method == "GET" && (path == "/metrics" || path == "/")) {
+            response = httpResponse(
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                obs::Registry::global().prometheusText());
+        } else {
+            response = httpResponse("404 Not Found",
+                                    "text/plain; charset=utf-8",
+                                    "not found\n");
+        }
+        sendAllHttp(fd, response);
+        ::close(fd);
+    }
+}
+
+} // namespace sdnav::server

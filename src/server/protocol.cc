@@ -193,12 +193,14 @@ parseRequest(const std::string &line, std::size_t maxBatch)
             request.kind = Request::Kind::Ping;
         } else if (name == "stats") {
             request.kind = Request::Kind::Stats;
+        } else if (name == "metrics") {
+            request.kind = Request::Kind::Metrics;
         } else if (name == "shutdown") {
             request.kind = Request::Kind::Shutdown;
         } else {
             throw ModelError(
                 "unknown command '" + name +
-                "' (expected ping | stats | shutdown)");
+                "' (expected ping | stats | metrics | shutdown)");
         }
         return request;
     }

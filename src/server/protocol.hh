@@ -5,7 +5,7 @@
  * One request per line, one reply line per request. A request is
  * either a command or an availability query:
  *
- *   {"cmd": "ping" | "stats" | "shutdown", "id": <any>}
+ *   {"cmd": "ping" | "stats" | "metrics" | "shutdown", "id": <any>}
  *
  *   {"id": <any>,
  *    "catalog": "opencontrail" | "raft" | "fragile",
@@ -84,7 +84,7 @@ struct ParsedQuery
 /** A parsed request line. */
 struct Request
 {
-    enum class Kind { Query, Batch, Stats, Ping, Shutdown };
+    enum class Kind { Query, Batch, Stats, Metrics, Ping, Shutdown };
 
     Kind kind = Kind::Query;
 

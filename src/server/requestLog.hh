@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-request JSONL log for sdnavd (`--request-log FILE`).
+ *
+ * Metrics aggregate and the trace samples; the request log is the
+ * ground truth in between — exactly one line per request, written
+ * after the reply is assembled, so an operator can answer "what did
+ * request 4711 cost, and where?" without correlating counters. One
+ * record:
+ *
+ *   {"id": 4711, "peer": "127.0.0.1:52114", "kind": "query",
+ *    "key": "catalog=opencontrail;topology=large;nodes=3;...",
+ *    "cache": "hit" | "miss" | "coalesced" | "mixed" | "",
+ *    "queue_wait_ms": 0.01, "compile_ms": 0.0, "eval_ms": 0.02,
+ *    "reply_bytes": 213, "latency_ms": 0.21,
+ *    "outcome": "ok" | "error" | "budget_exceeded"}
+ *
+ * Writes take one mutex and flush per record (a crashed server keeps
+ * its log). Building with -DSDNAV_METRICS=OFF swaps in the same-API
+ * no-op, so `--request-log` costs nothing in no-op builds.
+ */
+
+#ifndef SDNAV_SERVER_REQUEST_LOG_HH
+#define SDNAV_SERVER_REQUEST_LOG_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#ifndef SDNAV_METRICS_ENABLED
+#define SDNAV_METRICS_ENABLED 1
+#endif
+
+namespace sdnav::server
+{
+
+/** Everything one request-log line records. */
+struct RequestRecord
+{
+    /** Monotonic per-process request id (also in the trace spans). */
+    std::uint64_t id = 0;
+
+    /** Client address, "ip:port". */
+    std::string peer;
+
+    /** "query", "batch", or "cmd:<name>"; "invalid" on parse fail. */
+    std::string kind;
+
+    /** Model key for queries; empty for commands. */
+    std::string key;
+
+    /** Aggregate cache outcome; "mixed" when batch items disagree. */
+    std::string cache;
+
+    /** Summed over batch items; zero for commands. */
+    double queueWaitMs = 0.0;
+    double compileMs = 0.0;
+    double evalMs = 0.0;
+
+    /** Size of the reply line (without the newline). */
+    std::size_t replyBytes = 0;
+
+    /** Wall time from first parse to assembled reply. */
+    double latencyMs = 0.0;
+
+    /** "ok", "error", or "budget_exceeded". */
+    std::string outcome;
+};
+
+#if SDNAV_METRICS_ENABLED
+
+class RequestLog
+{
+  public:
+    RequestLog() = default;
+    RequestLog(const RequestLog &) = delete;
+    RequestLog &operator=(const RequestLog &) = delete;
+
+    /**
+     * Open (append) the log file; records flow after this. @throws
+     * ModelError when the path is not writable.
+     */
+    void open(const std::string &path);
+
+    /** True once open() succeeded. */
+    bool enabled() const { return enabled_; }
+
+    /** Serialize and append one record (no-op until open()). */
+    void append(const RequestRecord &record);
+
+  private:
+    std::mutex mutex_;
+    std::ofstream out_;
+    bool enabled_ = false;
+};
+
+#else // !SDNAV_METRICS_ENABLED — same API, empty bodies.
+
+class RequestLog
+{
+  public:
+    RequestLog() = default;
+    RequestLog(const RequestLog &) = delete;
+    RequestLog &operator=(const RequestLog &) = delete;
+
+    void open(const std::string &) {}
+    bool enabled() const { return false; }
+    void append(const RequestRecord &) {}
+};
+
+#endif // SDNAV_METRICS_ENABLED
+
+} // namespace sdnav::server
+
+#endif // SDNAV_SERVER_REQUEST_LOG_HH

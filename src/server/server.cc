@@ -12,7 +12,9 @@
 
 #include "bdd/bdd.hh"
 #include "common/error.hh"
+#include "common/version.hh"
 #include "obs/obs.hh"
+#include "obs/trace.hh"
 
 namespace sdnav::server
 {
@@ -85,6 +87,30 @@ evalTimer()
     static obs::Timer &t =
         obs::Registry::global().timer("server.eval");
     return t;
+}
+
+obs::Counter &
+slowRequestCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.slow_requests");
+    return c;
+}
+
+obs::Counter &
+oversizedLineCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.oversized_lines");
+    return c;
+}
+
+obs::Counter &
+compileAbortCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("server.compile_aborts");
+    return c;
 }
 
 double
@@ -182,6 +208,10 @@ Server::Server(const ServerOptions &options)
     require(options.maxLineBytes >= 64,
             "max line bytes must be >= 64");
     require(options.maxBatch >= 1, "max batch must be >= 1");
+    if (options.compileBudgetMs > 0.0 || options.compileNodeCap > 0) {
+        cache_.setCompileBudget(bdd::StepBudget{
+            options.compileBudgetMs, options.compileNodeCap});
+    }
 }
 
 Server::~Server()
@@ -196,6 +226,14 @@ void
 Server::start()
 {
     require(!started_.load(), "server already started");
+
+    // Observability endpoints come up first: if the request log or
+    // the Prometheus port is unusable, fail before accepting query
+    // traffic we could not account for.
+    if (!options_.requestLogPath.empty())
+        requestLog_.open(options_.requestLogPath);
+    if (options_.promEnabled)
+        promHttp_.start(options_.promPort);
 
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     require(listenFd_ >= 0, std::string("socket() failed: ") +
@@ -273,6 +311,9 @@ Server::wait()
     for (std::thread &worker : workers_)
         worker.join();
     workers_.clear();
+    // The endpoint outlives the workers so a scrape can still see
+    // the drain; it stops before the listen socket goes away.
+    promHttp_.stop();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
@@ -288,13 +329,22 @@ Server::acceptLoop()
         reapSessions(false);
         if (ready <= 0)
             continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        sockaddr_in peerAddr{};
+        socklen_t peerLen = sizeof(peerAddr);
+        int fd = ::accept(listenFd_,
+                          reinterpret_cast<sockaddr *>(&peerAddr),
+                          &peerLen);
         if (fd < 0)
             continue;
         connections_.fetch_add(1, std::memory_order_relaxed);
         connectionCounter().add();
         auto session = std::make_unique<Session>();
         session->fd = fd;
+        char ip[INET_ADDRSTRLEN] = "?";
+        ::inet_ntop(AF_INET, &peerAddr.sin_addr, ip, sizeof(ip));
+        session->peer =
+            std::string(ip) + ":" +
+            std::to_string(ntohs(peerAddr.sin_port));
         Session *raw = session.get();
         {
             std::lock_guard<std::mutex> lock(sessionsMutex_);
@@ -357,6 +407,7 @@ Server::sessionLoop(Session &session)
                 } else if (buffer.size() > options_.maxLineBytes) {
                     errors_.fetch_add(1, std::memory_order_relaxed);
                     errorCounter().add();
+                    oversizedLineCounter().add();
                     if (!sendAll(session.fd,
                                  errorReplyLine(
                                      json::Value{},
@@ -383,7 +434,7 @@ Server::sessionLoop(Session &session)
                 line.pop_back();
             if (line.empty())
                 continue;
-            std::string reply = handleLine(line);
+            std::string reply = handleLine(line, session.peer);
             if (!sendAll(session.fd, reply + "\n"))
                 goto done;
         }
@@ -394,11 +445,35 @@ done:
 }
 
 std::string
-Server::handleLine(const std::string &line)
+Server::handleLine(const std::string &line, const std::string &peer)
 {
     auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t requestId =
+        nextRequestId_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::TraceSpan request_span("server.request", requestId);
     requests_.fetch_add(1, std::memory_order_relaxed);
     requestCounter().add();
+
+    RequestRecord record;
+    record.id = requestId;
+    record.peer = peer;
+
+    // Every exit runs through here: measure, flag slow requests, and
+    // append the request-log line after the reply is final.
+    auto finish = [&](std::string reply) {
+        double latency = elapsedMs(t0);
+        latencyHistogram().record(latency);
+        if (options_.slowMs > 0.0 && latency > options_.slowMs) {
+            slowRequests_.fetch_add(1, std::memory_order_relaxed);
+            slowRequestCounter().add();
+            obs::Tracer::global().instant("server.slow_request",
+                                          requestId);
+        }
+        record.replyBytes = reply.size();
+        record.latencyMs = latency;
+        requestLog_.append(record);
+        return reply;
+    };
 
     Request request;
     try {
@@ -406,42 +481,66 @@ Server::handleLine(const std::string &line)
     } catch (const std::exception &e) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         errorCounter().add();
-        return errorReplyLine(json::Value{}, e.what());
+        record.kind = "invalid";
+        record.outcome = "error";
+        return finish(errorReplyLine(json::Value{}, e.what()));
     }
 
     json::Value reply = json::Value::makeObject();
     if (!request.id.isNull())
         reply.set("id", request.id);
 
+    record.outcome = "ok";
     switch (request.kind) {
     case Request::Kind::Ping:
+        record.kind = "cmd:ping";
         reply.set("ok", true);
         reply.set("pong", true);
-        return reply.dump();
+        return finish(reply.dump());
     case Request::Kind::Stats:
+        record.kind = "cmd:stats";
         reply.set("ok", true);
         reply.set("stats", statsJson());
-        return reply.dump();
+        return finish(reply.dump());
+    case Request::Kind::Metrics:
+        record.kind = "cmd:metrics";
+        reply.set("ok", true);
+        reply.set("metrics",
+                  obs::Registry::global().prometheusText());
+        return finish(reply.dump());
     case Request::Kind::Shutdown:
+        record.kind = "cmd:shutdown";
         reply.set("ok", true);
         reply.set("stopping", true);
         requestStop();
-        return reply.dump();
+        return finish(reply.dump());
     case Request::Kind::Query:
     case Request::Kind::Batch:
         break;
     }
 
+    record.kind =
+        request.kind == Request::Kind::Query ? "query" : "batch";
+    if (request.kind == Request::Kind::Query && request.queries[0].ok)
+        record.key = request.queries[0].spec.modelKey();
+    else if (request.kind == Request::Kind::Batch)
+        record.key = "batch";
+
     // Fan the query items out to the worker pool, then collect the
     // results in request order so replies stay deterministic.
-    std::vector<std::future<json::Value>> pending(
+    std::vector<std::future<JobResult>> pending(
         request.queries.size());
     std::vector<json::Value> results(request.queries.size());
+    bool anyError = false;
+    bool anyBudgetExceeded = false;
+    const char *cacheAgg = nullptr;
+    bool cacheMixed = false;
     for (std::size_t i = 0; i < request.queries.size(); ++i) {
         ParsedQuery &item = request.queries[i];
         if (!item.ok) {
             errors_.fetch_add(1, std::memory_order_relaxed);
             errorCounter().add();
+            anyError = true;
             json::Value failed = json::Value::makeObject();
             failed.set("ok", false);
             failed.set("error", item.error);
@@ -452,10 +551,13 @@ Server::handleLine(const std::string &line)
         queryCounter().add();
         Job job;
         job.spec = item.spec;
+        job.requestId = requestId;
+        job.enqueueTime = std::chrono::steady_clock::now();
         pending[i] = job.result.get_future();
         if (!queue_.push(std::move(job))) {
             errors_.fetch_add(1, std::memory_order_relaxed);
             errorCounter().add();
+            anyError = true;
             json::Value failed = json::Value::makeObject();
             failed.set("ok", false);
             failed.set("error", "server is shutting down");
@@ -464,9 +566,31 @@ Server::handleLine(const std::string &line)
         }
     }
     for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (pending[i].valid())
-            results[i] = pending[i].get();
+        if (!pending[i].valid())
+            continue;
+        JobResult job_result = pending[i].get();
+        const JobTelemetry &telemetry = job_result.telemetry;
+        record.queueWaitMs += telemetry.queueWaitMs;
+        record.compileMs += telemetry.compileMs;
+        record.evalMs += telemetry.evalMs;
+        if (telemetry.cache[0] != '\0') {
+            if (cacheAgg == nullptr)
+                cacheAgg = telemetry.cache;
+            else if (std::strcmp(cacheAgg, telemetry.cache) != 0)
+                cacheMixed = true;
+        }
+        if (telemetry.budgetExceeded)
+            anyBudgetExceeded = true;
+        if (job_result.reply.contains("ok") &&
+            !job_result.reply.at("ok").asBool())
+            anyError = true;
+        results[i] = std::move(job_result.reply);
     }
+    record.cache =
+        cacheMixed ? "mixed" : (cacheAgg != nullptr ? cacheAgg : "");
+    record.outcome = anyBudgetExceeded
+                         ? "budget_exceeded"
+                         : (anyError ? "error" : "ok");
 
     if (request.kind == Request::Kind::Query) {
         // Merge the single result into the id-bearing envelope.
@@ -479,8 +603,7 @@ Server::handleLine(const std::string &line)
             items.push(std::move(result));
         reply.set("results", std::move(items));
     }
-    latencyHistogram().record(elapsedMs(t0));
-    return reply.dump();
+    return finish(reply.dump());
 }
 
 void
@@ -488,27 +611,66 @@ Server::workerLoop()
 {
     Job job;
     while (queue_.pop(job)) {
+        JobTelemetry telemetry;
+        telemetry.queueWaitMs = elapsedMs(job.enqueueTime);
+        obs::TraceSpan job_span("server.job", job.requestId);
         json::Value result = json::Value::makeObject();
         try {
-            CacheLookup lookup = cache_.acquire(job.spec);
+            CacheLookup lookup;
+            {
+                obs::TraceSpan acquire_span("server.model_acquire",
+                                            job.requestId);
+                lookup = cache_.acquire(job.spec);
+            }
+            if (!lookup.hit)
+                telemetry.compileMs = lookup.compileMs;
+            telemetry.cache =
+                lookup.hit ? (lookup.coalesced ? "coalesced" : "hit")
+                           : "miss";
             auto t0 = std::chrono::steady_clock::now();
-            thread_local bdd::ProbabilityScratch scratch;
-            double availability =
-                lookup.model->availability(job.spec.params, scratch);
+            double availability;
+            {
+                obs::TraceSpan eval_span("server.eval",
+                                         job.requestId);
+                thread_local bdd::ProbabilityScratch scratch;
+                availability = lookup.model->availability(
+                    job.spec.params, scratch);
+            }
             double evalMs = elapsedMs(t0);
             evalTimer().record(evalMs);
+            telemetry.evalMs = evalMs;
             result.set("ok", true);
             result.set("availability", availability);
             result.set("plane", job.spec.planeName());
             result.set("model_key", job.spec.modelKey());
-            result.set("cache", lookup.hit ? "hit" : "miss");
+            result.set("cache", telemetry.cache);
+        } catch (const bdd::BudgetExceeded &e) {
+            // A budget abort is a per-request answer, not a worker
+            // failure: report what the compile had consumed and move
+            // on. Coalesced waiters see the same exception through
+            // the shared future and land here too.
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorCounter().add();
+            compileAbortCounter().add();
+            obs::Tracer::global().instant("server.budget_exceeded",
+                                          job.requestId);
+            telemetry.budgetExceeded = true;
+            result.set("ok", false);
+            result.set("error", e.what());
+            result.set("budget_exceeded", true);
+            result.set("budget", e.budgetName());
+            result.set("nodes_allocated",
+                       static_cast<double>(e.nodesAllocated()));
+            result.set("gc_runs", static_cast<double>(e.gcRuns()));
+            result.set("elapsed_ms", e.elapsedMs());
         } catch (const std::exception &e) {
             errors_.fetch_add(1, std::memory_order_relaxed);
             errorCounter().add();
             result.set("ok", false);
             result.set("error", e.what());
         }
-        job.result.set_value(std::move(result));
+        job.result.set_value(
+            JobResult{std::move(result), telemetry});
     }
 }
 
@@ -524,10 +686,17 @@ Server::statsJson() const
 
     json::Value stats = json::Value::makeObject();
     stats.set("uptime_s", uptimeS);
+    // uptime_seconds is the self-describing alias scrapers key on;
+    // uptime_s stays for existing clients.
+    stats.set("uptime_seconds", uptimeS);
+    stats.set("git_sha", common::gitSha());
     stats.set("qps", uptimeS > 0.0
                          ? static_cast<double>(requests) / uptimeS
                          : 0.0);
     stats.set("requests", static_cast<double>(requests));
+    stats.set("slow_requests",
+              static_cast<double>(
+                  slowRequests_.load(std::memory_order_relaxed)));
     stats.set("queries",
               static_cast<double>(
                   queries_.load(std::memory_order_relaxed)));

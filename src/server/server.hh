@@ -52,7 +52,9 @@
 
 #include "common/json.hh"
 #include "server/modelCache.hh"
+#include "server/promHttp.hh"
 #include "server/protocol.hh"
+#include "server/requestLog.hh"
 
 namespace sdnav::server
 {
@@ -78,6 +80,32 @@ struct ServerOptions
     /** Largest accepted "queries" batch. */
     std::size_t maxBatch = 256;
 
+    /** JSONL per-request log path; empty = no request log. */
+    std::string requestLogPath;
+
+    /**
+     * Slow-request threshold in milliseconds; a request slower than
+     * this bumps server.slow_requests and drops an instant trace
+     * event. 0 disables the check.
+     */
+    double slowMs = 0.0;
+
+    /** Serve Prometheus exposition over HTTP when true. */
+    bool promEnabled = false;
+
+    /** Prometheus endpoint port; 0 picks an ephemeral port. */
+    std::uint16_t promPort = 0;
+
+    /**
+     * Per-query compile budget: wall deadline in milliseconds and
+     * live-BDD-node cap (0 = unlimited). A compile that exceeds
+     * either returns a budget_exceeded error reply for that request;
+     * the worker and the cache stay healthy. Enforcement is plain
+     * control flow — it works in -DSDNAV_METRICS=OFF builds too.
+     */
+    double compileBudgetMs = 0.0;
+    std::size_t compileNodeCap = 0;
+
     std::size_t
     resolvedWorkers() const
     {
@@ -88,11 +116,44 @@ struct ServerOptions
     }
 };
 
+/** Where one job's time went, reported back with its reply. */
+struct JobTelemetry
+{
+    /** Queue entry to worker pickup. */
+    double queueWaitMs = 0.0;
+
+    /** Compile wall time when this job compiled; 0 on a hit. */
+    double compileMs = 0.0;
+
+    /** Model evaluation wall time. */
+    double evalMs = 0.0;
+
+    /** "hit", "miss", or "coalesced" (empty if the job failed). */
+    const char *cache = "";
+
+    /** True when the compile hit its StepBudget. */
+    bool budgetExceeded = false;
+};
+
+/** A worker's answer: the reply fragment plus its telemetry. */
+struct JobResult
+{
+    json::Value reply;
+    JobTelemetry telemetry;
+};
+
 /** One availability evaluation in flight through the worker pool. */
 struct Job
 {
     QuerySpec spec;
-    std::promise<json::Value> result;
+
+    /** Request id the job belongs to (trace and request-log key). */
+    std::uint64_t requestId = 0;
+
+    /** When the session enqueued it (queue-wait attribution). */
+    std::chrono::steady_clock::time_point enqueueTime{};
+
+    std::promise<JobResult> result;
 };
 
 /**
@@ -169,10 +230,27 @@ class Server
     /** The "stats" command payload. */
     json::Value statsJson() const;
 
+    /**
+     * The Prometheus endpoint's bound port; 0 unless options enabled
+     * it and start() has run.
+     */
+    std::uint16_t promPort() const { return promHttp_.port(); }
+
+    /** Requests slower than options.slowMs so far. */
+    std::uint64_t
+    slowRequests() const
+    {
+        return slowRequests_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Session
     {
         int fd = -1;
+
+        /** Client address, "ip:port" (request-log attribution). */
+        std::string peer;
+
         std::thread thread;
         std::atomic<bool> done{false};
     };
@@ -182,7 +260,8 @@ class Server
     void workerLoop();
 
     /** Handle one request line; returns the reply line. */
-    std::string handleLine(const std::string &line);
+    std::string handleLine(const std::string &line,
+                           const std::string &peer);
 
     /** Reap finished session threads (acceptor housekeeping). */
     void reapSessions(bool joinAll);
@@ -207,6 +286,13 @@ class Server
     std::atomic<std::uint64_t> queries_{0};
     std::atomic<std::uint64_t> errors_{0};
     std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> slowRequests_{0};
+
+    /** Source of the monotonic per-request ids. */
+    std::atomic<std::uint64_t> nextRequestId_{0};
+
+    RequestLog requestLog_;
+    PromHttpServer promHttp_;
 };
 
 } // namespace sdnav::server

@@ -496,6 +496,77 @@ TEST(Bdd, ReorderKeepsRootedRefsDenotingTheSameFunction)
     EXPECT_TRUE(m.evaluate(both, assign));
 }
 
+TEST(Bdd, NodeCapBudgetAbortsABigBuild)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 24; ++i)
+        vars.push_back(m.var(i));
+    // atLeast over 24 variables wants hundreds of nodes; a cap of 40
+    // (terminals included) trips mid-build.
+    m.setStepBudget(StepBudget{0.0, 40});
+    try {
+        m.atLeast(vars, 12);
+        FAIL() << "expected BudgetExceeded";
+    } catch (const BudgetExceeded &e) {
+        EXPECT_EQ(e.budgetName(), "node-cap");
+        EXPECT_GE(e.nodesAllocated(), 40u);
+        EXPECT_GE(e.elapsedMs(), 0.0);
+        EXPECT_NE(std::string(e.what()).find("node-cap"),
+                  std::string::npos);
+    }
+}
+
+TEST(Bdd, WallDeadlineBudgetAbortsABigBuild)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 24; ++i)
+        vars.push_back(m.var(i));
+    // An already-expired deadline trips at the next ite() entry.
+    m.setStepBudget(StepBudget{1e-9, 0});
+    try {
+        m.atLeast(vars, 12);
+        FAIL() << "expected BudgetExceeded";
+    } catch (const BudgetExceeded &e) {
+        EXPECT_EQ(e.budgetName(), "wall-deadline");
+        EXPECT_GT(e.elapsedMs(), 0.0);
+    }
+}
+
+TEST(Bdd, ManagerSurvivesABudgetAbortAndRebuildsUnbudgeted)
+{
+    BddManager m;
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 24; ++i)
+        vars.push_back(m.var(i));
+    m.setStepBudget(StepBudget{0.0, 40});
+    EXPECT_THROW(m.atLeast(vars, 12), BudgetExceeded);
+
+    // Clearing the budget leaves a usable manager: the same build
+    // succeeds and evaluates correctly (no poisoned caches).
+    m.clearStepBudget();
+    NodeRef f = m.atLeast(vars, 12);
+    std::vector<bool> assign(24, false);
+    for (unsigned i = 0; i < 12; ++i)
+        assign[i] = true;
+    EXPECT_TRUE(m.evaluate(f, assign));
+    assign[0] = false;
+    EXPECT_FALSE(m.evaluate(f, assign));
+}
+
+TEST(Bdd, UnlimitedBudgetIsANoOp)
+{
+    BddManager m;
+    m.setStepBudget(StepBudget{}); // both fields zero = unlimited
+    EXPECT_FALSE(StepBudget{}.limited());
+    std::vector<NodeRef> vars;
+    for (unsigned i = 0; i < 12; ++i)
+        vars.push_back(m.var(i));
+    NodeRef f = m.atLeast(vars, 6);
+    EXPECT_NE(f, falseNode);
+}
+
 // Randomized cross-check: random expressions over 10 variables,
 // probability via BDD vs brute-force enumeration of all 1024 states.
 class BddRandomExpression : public testing::TestWithParam<int>

@@ -154,4 +154,67 @@ TEST(ModelCache, RejectsZeroCapacity)
     EXPECT_THROW(ModelCache cache(0), ModelError);
 }
 
+TEST(ModelCache, CompileBudgetAbortSurfacesAndDoesNotPoison)
+{
+    ModelCache cache(2);
+    // A 16-live-node cap is below even this small model's variable
+    // count, so the compile aborts almost immediately.
+    cache.setCompileBudget(bdd::StepBudget{0.0, 16});
+    QuerySpec query = spec("opencontrail", 3);
+    try {
+        cache.acquire(query);
+        FAIL() << "expected BudgetExceeded";
+    } catch (const bdd::BudgetExceeded &e) {
+        EXPECT_EQ(e.budgetName(), "node-cap");
+        EXPECT_GE(e.nodesAllocated(), 1u);
+    }
+    // The aborted compile must not leave a poisoned entry behind:
+    // lifting the budget and asking again compiles cleanly.
+    EXPECT_EQ(cache.entryCount(), 0u);
+    cache.setCompileBudget(bdd::StepBudget{});
+    CacheLookup retry = cache.acquire(query);
+    EXPECT_FALSE(retry.hit);
+    ASSERT_NE(retry.model, nullptr);
+    bdd::ProbabilityScratch scratch;
+    EXPECT_GT(retry.model->availability(query.params, scratch), 0.0);
+    EXPECT_EQ(cache.entryCount(), 1u);
+    EXPECT_TRUE(cache.acquire(query).hit);
+}
+
+TEST(ModelCache, ConcurrentBudgetAbortsAndRetriesStayConsistent)
+{
+    ModelCache cache(4);
+    cache.setCompileBudget(bdd::StepBudget{0.0, 16});
+    QuerySpec doomed = spec("opencontrail", 3);
+
+    // Every acquire of the doomed key must observe the
+    // BudgetExceeded — the thread that compiles and the coalesced
+    // waiters that share its in-flight future alike.
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 3;
+    std::atomic<int> aborts{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kRounds; ++i) {
+                try {
+                    cache.acquire(doomed);
+                } catch (const bdd::BudgetExceeded &) {
+                    aborts.fetch_add(1);
+                }
+            }
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Every attempt aborted and none left a cache entry behind.
+    EXPECT_EQ(aborts.load(), kThreads * kRounds);
+    EXPECT_EQ(cache.entryCount(), 0u);
+
+    // The key is immediately usable once the budget is lifted.
+    cache.setCompileBudget(bdd::StepBudget{});
+    EXPECT_NE(cache.acquire(doomed).model, nullptr);
+    EXPECT_EQ(cache.entryCount(), 1u);
+}
+
 } // anonymous namespace

@@ -1,8 +1,13 @@
 #include "server/server.hh"
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +16,7 @@
 #include "common/json.hh"
 #include "fmea/openContrail.hh"
 #include "model/exactModel.hh"
+#include "obs/obs.hh"
 #include "server/lineClient.hh"
 
 namespace
@@ -121,6 +127,9 @@ TEST(Server, OversizedLineIsRejectedAndTheSessionResyncs)
     srv.start();
     LineClient client;
     client.connect(srv.port());
+    std::uint64_t before =
+        obs::Registry::global().counter("server.oversized_lines")
+            .value();
 
     // Blow past the limit mid-line: the server replies with an error
     // while still reading, then discards up to the next newline.
@@ -136,6 +145,16 @@ TEST(Server, OversizedLineIsRejectedAndTheSessionResyncs)
     client.sendRaw(huge + "\n");
     json::Value good = roundTrip(client, cheapQuery(1));
     EXPECT_TRUE(good.at("ok").asBool());
+
+#if SDNAV_METRICS_ENABLED
+    // The rejection is visible to scrapers, not just this client.
+    EXPECT_GE(obs::Registry::global()
+                  .counter("server.oversized_lines")
+                  .value(),
+              before + 1);
+#else
+    (void)before;
+#endif
 
     srv.requestStop();
     srv.wait();
@@ -296,10 +315,14 @@ TEST(Server, StatsCommandReportsTheDocumentedSchema)
     EXPECT_EQ(reply.at("id").asString(), "s");
     const json::Value &stats = reply.at("stats");
     for (const char *key :
-         {"uptime_s", "qps", "requests", "queries", "errors",
-          "connections", "workers", "cache", "queue", "latency"})
+         {"uptime_s", "uptime_seconds", "git_sha", "qps", "requests",
+          "slow_requests", "queries", "errors", "connections",
+          "workers", "cache", "queue", "latency"})
         EXPECT_TRUE(stats.contains(key)) << "missing " << key;
     EXPECT_GE(stats.at("queries").asNumber(), 2.0);
+    EXPECT_TRUE(stats.at("git_sha").isString());
+    EXPECT_EQ(stats.at("uptime_seconds").asNumber(),
+              stats.at("uptime_s").asNumber());
 
     const json::Value &cache = stats.at("cache");
     for (const char *key : {"hits", "misses", "evictions", "entries",
@@ -322,6 +345,286 @@ TEST(Server, StatsCommandReportsTheDocumentedSchema)
     srv.requestStop();
     srv.wait();
 }
+
+TEST(Server, MetricsCommandServesPrometheusText)
+{
+    Server srv(testOptions());
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+    ASSERT_TRUE(roundTrip(client, cheapQuery(1)).at("ok").asBool());
+
+    json::Value reply =
+        roundTrip(client, R"({"id":"m","cmd":"metrics"})");
+    ASSERT_TRUE(reply.at("ok").asBool()) << reply.dump();
+    EXPECT_EQ(reply.at("id").asString(), "m");
+    const std::string &text = reply.at("metrics").asString();
+#if SDNAV_METRICS_ENABLED
+    EXPECT_NE(text.find("server_requests_total"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE"), std::string::npos);
+#else
+    EXPECT_NE(text.find("metrics disabled"), std::string::npos);
+#endif
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, PromEndpointServesTheExpositionOverHttp)
+{
+    ServerOptions options = testOptions();
+    options.promEnabled = true;
+    options.promPort = 0; // ephemeral
+    Server srv(options);
+    srv.start();
+    ASSERT_NE(srv.promPort(), 0);
+
+    {
+        LineClient primer;
+        primer.connect(srv.port());
+        ASSERT_TRUE(
+            roundTrip(primer, cheapQuery(1)).at("ok").asBool());
+    }
+
+    // A raw HTTP/1.1 GET against the scrape endpoint. The server
+    // closes the connection after one response, so read until EOF.
+    LineClient http;
+    http.connect(srv.promPort());
+    http.sendRaw("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    std::string response;
+    try {
+        for (int i = 0; i < 4096; ++i)
+            response += http.recvLine() + "\n";
+    } catch (const ModelError &) {
+        // EOF: the whole response has arrived.
+    }
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(response.find("text/plain"), std::string::npos);
+#if SDNAV_METRICS_ENABLED
+    EXPECT_NE(response.find("server_requests_total"),
+              std::string::npos)
+        << response;
+#else
+    EXPECT_NE(response.find("metrics disabled"), std::string::npos);
+#endif
+
+    // Unknown paths 404 without killing the listener.
+    LineClient miss;
+    miss.connect(srv.promPort());
+    miss.sendRaw("GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    std::string notFound;
+    try {
+        for (int i = 0; i < 64; ++i)
+            notFound += miss.recvLine() + "\n";
+    } catch (const ModelError &) {
+    }
+    EXPECT_NE(notFound.find("404"), std::string::npos);
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, CompileBudgetTurnsRunawayCompilesIntoErrorReplies)
+{
+    ServerOptions options = testOptions();
+    // OpenContrail Large blows through this cap within milliseconds;
+    // the small single-node models stay far beneath it.
+    options.compileNodeCap = 20000;
+    Server srv(options);
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+
+    const std::string runaway =
+        R"({"id":7,"catalog":"opencontrail",)"
+        R"("topology":"large","nodes":6})";
+    json::Value reply = roundTrip(client, runaway);
+    ASSERT_FALSE(reply.at("ok").asBool()) << reply.dump();
+    EXPECT_TRUE(reply.at("budget_exceeded").asBool());
+    EXPECT_EQ(reply.at("budget").asString(), "node-cap");
+    EXPECT_GE(reply.at("nodes_allocated").asNumber(), 1.0);
+    EXPECT_GE(reply.at("gc_runs").asNumber(), 0.0);
+    EXPECT_GT(reply.at("elapsed_ms").asNumber(), 0.0);
+    EXPECT_NE(reply.at("error").asString().find("node-cap"),
+              std::string::npos);
+
+    // The worker pool survives the abort: commands and affordable
+    // queries keep flowing on the same connection.
+    EXPECT_TRUE(
+        roundTrip(client, R"({"cmd":"ping"})").at("ok").asBool());
+    EXPECT_TRUE(roundTrip(client, cheapQuery(8)).at("ok").asBool());
+
+    // Asking again errors again — promptly, off a clean cache entry —
+    // rather than hanging on a poisoned in-flight future.
+    json::Value again = roundTrip(client, runaway);
+    EXPECT_FALSE(again.at("ok").asBool());
+    EXPECT_TRUE(again.at("budget_exceeded").asBool());
+
+    // Budget aborts count as errors and land in the abort counter.
+    json::Value stats =
+        roundTrip(client, R"({"cmd":"stats"})").at("stats");
+    EXPECT_GE(stats.at("errors").asNumber(), 2.0);
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, ConcurrentBudgetAbortsLeaveEveryWorkerServing)
+{
+    ServerOptions options = testOptions();
+    options.compileNodeCap = 20000;
+    Server srv(options);
+    srv.start();
+
+    constexpr int kClients = 3;
+    std::vector<std::thread> threads;
+    std::atomic<int> aborts{0};
+    std::atomic<int> oks{0};
+    for (int c = 0; c < kClients; ++c)
+        threads.emplace_back([&srv, &aborts, &oks, c] {
+            LineClient client;
+            client.connect(srv.port());
+            for (int i = 0; i < 3; ++i) {
+                json::Value bad = roundTrip(
+                    client,
+                    R"({"id":1,"catalog":"opencontrail",)"
+                    R"("topology":"large","nodes":6})");
+                if (!bad.at("ok").asBool() &&
+                    bad.at("budget_exceeded").asBool())
+                    aborts.fetch_add(1);
+                json::Value good = roundTrip(
+                    client, cheapQuery(static_cast<double>(c)));
+                if (good.at("ok").asBool())
+                    oks.fetch_add(1);
+            }
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Every runaway aborted, every cheap query answered: aborts are
+    // per-request failures, never worker or connection casualties.
+    EXPECT_EQ(aborts.load(), kClients * 3);
+    EXPECT_EQ(oks.load(), kClients * 3);
+
+    srv.requestStop();
+    srv.wait();
+}
+
+TEST(Server, SlowThresholdCountsEveryRequestWhenSetToZeroish)
+{
+    ServerOptions options = testOptions();
+    options.slowMs = 1e-6; // everything is "slow"
+    Server srv(options);
+    srv.start();
+    LineClient client;
+    client.connect(srv.port());
+    ASSERT_TRUE(roundTrip(client, cheapQuery(1)).at("ok").asBool());
+    ASSERT_TRUE(roundTrip(client, cheapQuery(2)).at("ok").asBool());
+
+    json::Value stats =
+        roundTrip(client, R"({"cmd":"stats"})").at("stats");
+    EXPECT_GE(stats.at("slow_requests").asNumber(), 2.0);
+    EXPECT_GE(srv.slowRequests(), 2u);
+
+    srv.requestStop();
+    srv.wait();
+}
+
+#if SDNAV_METRICS_ENABLED
+TEST(Server, RequestLogWritesOneRecordPerRequest)
+{
+    std::string path = testing::TempDir() + "/sdnav_request_log_" +
+                       std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+
+    ServerOptions options = testOptions();
+    options.requestLogPath = path;
+    {
+        Server srv(options);
+        srv.start();
+        LineClient client;
+        client.connect(srv.port());
+        ASSERT_TRUE(
+            roundTrip(client, cheapQuery(1)).at("ok").asBool());
+        ASSERT_TRUE(roundTrip(client, cheapQuery(1)).at("ok").asBool());
+        ASSERT_TRUE(
+            roundTrip(client, R"({"cmd":"ping"})").at("ok").asBool());
+        srv.requestStop();
+        srv.wait();
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::vector<json::Value> records;
+    std::string line;
+    while (std::getline(in, line))
+        records.push_back(json::parse(line));
+    ASSERT_EQ(records.size(), 3u);
+
+    // The two queries: miss then hit, with the model key recorded.
+    for (const char *key :
+         {"id", "peer", "kind", "key", "cache", "queue_wait_ms",
+          "compile_ms", "eval_ms", "reply_bytes", "latency_ms",
+          "outcome"})
+        EXPECT_TRUE(records[0].contains(key)) << "missing " << key;
+    EXPECT_EQ(records[0].at("kind").asString(), "query");
+    EXPECT_EQ(records[0].at("cache").asString(), "miss");
+    EXPECT_EQ(records[0].at("outcome").asString(), "ok");
+    EXPECT_GT(records[0].at("compile_ms").asNumber(), 0.0);
+    EXPECT_FALSE(records[0].at("key").asString().empty());
+    EXPECT_NE(records[0].at("peer").asString().find("127.0.0.1"),
+              std::string::npos);
+    EXPECT_EQ(records[1].at("cache").asString(), "hit");
+    EXPECT_EQ(records[1].at("compile_ms").asNumber(), 0.0);
+
+    // The command: no key, no cache interaction, still logged.
+    EXPECT_EQ(records[2].at("kind").asString(), "cmd:ping");
+    EXPECT_EQ(records[2].at("key").asString(), "");
+    EXPECT_EQ(records[2].at("outcome").asString(), "ok");
+
+    // Ids are the monotonic per-process sequence.
+    EXPECT_LT(records[0].at("id").asNumber(),
+              records[1].at("id").asNumber());
+    EXPECT_LT(records[1].at("id").asNumber(),
+              records[2].at("id").asNumber());
+
+    std::remove(path.c_str());
+}
+
+TEST(Server, RequestLogRecordsBudgetAbortsAsSuch)
+{
+    std::string path = testing::TempDir() + "/sdnav_budget_log_" +
+                       std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+
+    ServerOptions options = testOptions();
+    options.requestLogPath = path;
+    options.compileNodeCap = 20000;
+    {
+        Server srv(options);
+        srv.start();
+        LineClient client;
+        client.connect(srv.port());
+        json::Value reply = roundTrip(
+            client,
+            R"({"id":1,"catalog":"opencontrail",)"
+            R"("topology":"large","nodes":6})");
+        EXPECT_FALSE(reply.at("ok").asBool());
+        srv.requestStop();
+        srv.wait();
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    json::Value record = json::parse(line);
+    EXPECT_EQ(record.at("outcome").asString(), "budget_exceeded");
+    EXPECT_EQ(record.at("kind").asString(), "query");
+    std::remove(path.c_str());
+}
+#endif // SDNAV_METRICS_ENABLED
 
 TEST(Server, ShutdownCommandStopsTheServer)
 {

@@ -139,6 +139,43 @@ TEST_F(TraceValidate, RejectsMisnestedSpans)
               std::string::npos);
 }
 
+TEST_F(TraceValidate, RejectsSpanEndingBeforeItBegins)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "a", "ph": "B", "ts": 5.0, "pid": 1, "tid": 1},
+        {"name": "a", "ph": "E", "ts": 3.0, "pid": 1, "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("before it begins"),
+              std::string::npos);
+}
+
+TEST_F(TraceValidate, RejectsChildBeginningBeforeParent)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "parent", "ph": "B", "ts": 5.0, "pid": 1, "tid": 1},
+        {"name": "child", "ph": "B", "ts": 2.0, "pid": 1, "tid": 1},
+        {"name": "child", "ph": "E", "ts": 6.0, "pid": 1, "tid": 1},
+        {"name": "parent", "ph": "E", "ts": 7.0, "pid": 1, "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("begins before its parent"),
+              std::string::npos);
+}
+
+TEST_F(TraceValidate, ReportsMaxSpanDepth)
+{
+    auto result = validate(writeTrace(R"({"traceEvents": [
+        {"name": "outer", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+        {"name": "inner", "ph": "B", "ts": 2.0, "pid": 1, "tid": 1},
+        {"name": "inner", "ph": "E", "ts": 3.0, "pid": 1, "tid": 1},
+        {"name": "outer", "ph": "E", "ts": 4.0, "pid": 1, "tid": 1}
+    ]})"));
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("max span depth 2"),
+              std::string::npos);
+}
+
 TEST_F(TraceValidate, RejectsNonMonotonicTimestamps)
 {
     auto result = validate(writeTrace(R"({"traceEvents": [

@@ -23,7 +23,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/csv.hh"
 #include "common/error.hh"
+#include "common/textTable.hh"
 #include "common/json.hh"
 #include "common/parse.hh"
 #include "server/lineClient.hh"
@@ -40,7 +42,8 @@ struct LoadOptions
     std::size_t requests = 100; // per connection
     std::size_t distinct = 1;   // distinct model keys to rotate
     std::size_t batch = 1;      // queries per request line
-    std::string command;        // stats | ping | shutdown
+    std::string command;        // stats | ping | metrics | shutdown
+    std::string latencyCsv;     // per-request latency dump path
 };
 
 /** Per-connection outcome. */
@@ -186,8 +189,12 @@ printUsage()
         "  --distinct K      rotate K distinct model keys "
         "(default 1)\n"
         "  --batch B         queries per request line (default 1)\n"
-        "  --command CMD     send one stats | ping | shutdown\n"
-        "                    command instead of load\n";
+        "  --command CMD     send one stats | ping | metrics |\n"
+        "                    shutdown command instead of load\n"
+        "  --latency-csv F   dump per-request latencies to F\n"
+        "                    (columns: connection, request,\n"
+        "                    latency_ms) for cross-checking against\n"
+        "                    the server-side histogram\n";
 }
 
 } // anonymous namespace
@@ -228,9 +235,13 @@ main(int argc, char **argv)
                 require(options.batch >= 1, "--batch must be >= 1");
             } else if (arg == "--command") {
                 require(value == "stats" || value == "ping" ||
+                            value == "metrics" ||
                             value == "shutdown",
-                        "--command must be stats | ping | shutdown");
+                        "--command must be stats | ping | metrics | "
+                        "shutdown");
                 options.command = value;
+            } else if (arg == "--latency-csv") {
+                options.latencyCsv = value;
             } else {
                 throw ModelError("unknown option: " + arg);
             }
@@ -271,6 +282,24 @@ main(int argc, char **argv)
             if (firstError.empty())
                 firstError = result.firstError;
         }
+        if (!options.latencyCsv.empty()) {
+            CsvWriter csv;
+            csv.header({"connection", "request", "latency_ms"});
+            for (std::size_t c = 0; c < results.size(); ++c) {
+                const WorkerResult &result = results[c];
+                for (std::size_t r = 0;
+                     r < result.latenciesMs.size(); ++r) {
+                    csv.addRow({std::to_string(c),
+                                std::to_string(r),
+                                formatFixed(result.latenciesMs[r],
+                                            6)});
+                }
+            }
+            require(csv.writeFile(options.latencyCsv),
+                    "cannot write latency csv: " +
+                        options.latencyCsv);
+        }
+
         std::sort(latencies.begin(), latencies.end());
         double total = 0.0;
         for (double ms : latencies)

@@ -22,6 +22,7 @@
 
 #include "common/error.hh"
 #include "common/parse.hh"
+#include "obs/trace.hh"
 #include "server/server.hh"
 
 namespace
@@ -55,9 +56,23 @@ printUsage()
         "                      (default 1048576)\n"
         "  --max-batch N       largest accepted query batch "
         "(default 256)\n"
+        "  --request-log FILE  append one JSONL record per request\n"
+        "  --slow-ms MS        flag requests slower than MS\n"
+        "                      (trace instant + server.slow_requests)\n"
+        "  --prom-port P       serve Prometheus text exposition on\n"
+        "                      127.0.0.1:P (0 = ephemeral)\n"
+        "  --compile-budget-ms MS\n"
+        "                      per-query compile wall deadline; an\n"
+        "                      over-budget compile gets a\n"
+        "                      budget_exceeded error reply\n"
+        "  --compile-node-cap N\n"
+        "                      per-query live-BDD-node cap (same\n"
+        "                      reply; 0 = unlimited)\n"
+        "  --trace FILE        write a Chrome trace of all request\n"
+        "                      spans on shutdown\n"
         "\n"
         "Protocol and stats fields: README, \"Availability-query "
-        "server\".\n";
+        "server\" and \"Server observability\".\n";
 }
 
 } // anonymous namespace
@@ -67,6 +82,7 @@ main(int argc, char **argv)
 {
     server::ServerOptions options;
     std::string portFile;
+    std::string traceFile;
     try {
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
@@ -97,6 +113,23 @@ main(int argc, char **argv)
             } else if (arg == "--max-batch") {
                 options.maxBatch =
                     parseCount(value, "--max-batch", 1 << 20);
+            } else if (arg == "--request-log") {
+                options.requestLogPath = value;
+            } else if (arg == "--slow-ms") {
+                options.slowMs =
+                    parseDouble(value, "--slow-ms", 0.0);
+            } else if (arg == "--prom-port") {
+                options.promEnabled = true;
+                options.promPort = static_cast<std::uint16_t>(
+                    parseCount(value, "--prom-port", 65535));
+            } else if (arg == "--compile-budget-ms") {
+                options.compileBudgetMs =
+                    parseDouble(value, "--compile-budget-ms", 0.0);
+            } else if (arg == "--compile-node-cap") {
+                options.compileNodeCap =
+                    parseCount(value, "--compile-node-cap");
+            } else if (arg == "--trace") {
+                traceFile = value;
             } else {
                 throw ModelError("unknown option: " + arg);
             }
@@ -108,6 +141,11 @@ main(int argc, char **argv)
     }
 
     try {
+        // Enable before start() so worker and acceptor threads never
+        // race the enable flag.
+        if (!traceFile.empty())
+            obs::Tracer::global().enable();
+
         server::Server srv(options);
         srv.start();
 
@@ -116,6 +154,10 @@ main(int argc, char **argv)
 
         std::cout << "sdnavd listening on 127.0.0.1:" << srv.port()
                   << std::endl;
+        if (options.promEnabled) {
+            std::cout << "sdnavd metrics on http://127.0.0.1:"
+                      << srv.promPort() << "/metrics" << std::endl;
+        }
         if (!portFile.empty()) {
             std::ofstream out(portFile);
             out << srv.port() << "\n";
@@ -130,6 +172,10 @@ main(int argc, char **argv)
                 std::chrono::milliseconds(50));
         srv.requestStop();
         srv.wait();
+        if (!traceFile.empty()) {
+            obs::Tracer::global().disable();
+            obs::Tracer::global().writeFile(traceFile);
+        }
         std::cout << "sdnavd stopped" << std::endl;
         return 0;
     } catch (const std::exception &e) {

@@ -13,6 +13,9 @@ Checks the invariants the obs::Tracer exporter guarantees:
     closes the innermost open B with the same name, and no B is left
     open at end of stream (the tracer's drop-pair bookkeeping promises
     this even when ring buffers overflow);
+  * spans nest properly in time: a child B never begins before its
+    parent's B, and no span ends before it begins (child spans are
+    therefore fully inside their parents);
   * instant events ("i") use thread scope ("s": "t").
 
 Exit codes: 0 valid, 1 validation failure, 2 usage error.
@@ -41,7 +44,8 @@ def validate(doc):
         return fail("missing or non-array traceEvents")
 
     last_ts = None
-    open_spans = {}  # (pid, tid) -> [names of open B events]
+    open_spans = {}  # (pid, tid) -> [(name, begin ts) of open Bs]
+    max_depth = 0
 
     for i, ev in enumerate(events):
         where = "event %d" % i
@@ -68,23 +72,35 @@ def validate(doc):
         if ts < 0:
             return fail("%s (%s) has negative ts %r"
                         % (where, name, ts))
-        if last_ts is not None and ts < last_ts:
-            return fail("%s (%s) ts %r < previous %r — not monotonic"
-                        % (where, name, ts, last_ts))
-        last_ts = ts
 
+        # Span-interval (nesting) checks run before the global
+        # monotonic check so a nesting violation is reported as such,
+        # not as a generic sort failure.
         key = (ev["pid"], ev["tid"])
         if ph == "B":
-            open_spans.setdefault(key, []).append(name)
+            stack = open_spans.setdefault(key, [])
+            if stack and ts < stack[-1][1]:
+                return fail(
+                    "%s: child span %r (ts %r) begins before its "
+                    "parent %r (ts %r) on pid/tid %s"
+                    % (where, name, ts, stack[-1][0], stack[-1][1],
+                       key))
+            stack.append((name, ts))
+            max_depth = max(max_depth, len(stack))
         elif ph == "E":
             stack = open_spans.get(key)
             if not stack:
                 return fail("%s: E %r on pid/tid %s with no open span"
                             % (where, name, key))
-            top = stack.pop()
-            if top != name:
+            top_name, top_ts = stack.pop()
+            if top_name != name:
                 return fail("%s: E %r does not match open B %r"
-                            % (where, name, top))
+                            % (where, name, top_name))
+            if ts < top_ts:
+                return fail(
+                    "%s: span %r ends (ts %r) before it begins "
+                    "(ts %r) on pid/tid %s"
+                    % (where, name, ts, top_ts, key))
         elif ph == "i":
             if ev.get("s") != "t":
                 return fail("%s: instant %r lacks thread scope s=t"
@@ -93,14 +109,20 @@ def validate(doc):
             return fail("%s (%s) has unknown ph %r"
                         % (where, name, ph))
 
+        if last_ts is not None and ts < last_ts:
+            return fail("%s (%s) ts %r < previous %r — not monotonic"
+                        % (where, name, ts, last_ts))
+        last_ts = ts
+
     for key, stack in open_spans.items():
         if stack:
             return fail("unclosed span(s) %s on pid/tid %s"
                         % (stack, key))
 
     n_events = sum(1 for ev in events if ev.get("ph") != "M")
-    print("trace_validate: OK: %d events (%d metadata)"
-          % (n_events, len(events) - n_events))
+    print("trace_validate: OK: %d events (%d metadata), "
+          "max span depth %d"
+          % (n_events, len(events) - n_events, max_depth))
     return 0
 
 
